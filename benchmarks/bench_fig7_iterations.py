@@ -1,0 +1,34 @@
+"""Figure 7: learning-loop efficiency -- iterations to reach the
+optimal predicate, by column-subset size.
+
+Paper reference: 109 of 182 one-column predicates converge within 10
+iterations; two/three-column subsets usually fail to reach optimality
+within the 41-iteration budget.
+"""
+
+from repro.bench import bench_queries, efficacy_records, emit, fig7_rows, format_table
+
+
+def test_fig7_iterations(benchmark, once):
+    records = once(benchmark, efficacy_records)
+    rows, labels = fig7_rows(records)
+    headers = ["cols", "# optimal", "avg iters"] + labels
+    emit(
+        "fig7",
+        format_table(
+            headers,
+            rows,
+            title=f"Figure 7: iterations to optimal ({bench_queries()} queries)",
+        ),
+    )
+
+    # Shape: one-column subsets converge in few iterations when they
+    # converge at all.
+    one_col = [
+        r.iterations
+        for r in records
+        if r.technique == "SIA" and r.n_cols == 1 and r.optimal
+    ]
+    if one_col:
+        within_10 = sum(1 for i in one_col if i <= 10)
+        assert within_10 / len(one_col) >= 0.5

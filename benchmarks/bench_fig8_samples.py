@@ -1,0 +1,34 @@
+"""Figure 8: distribution of TRUE/FALSE training-sample counts at the
+final iteration of SIA's learning loop.
+
+Paper reference: most successful one-column predicates need fewer than
+50 TRUE samples (178/182) and fewer than 100 FALSE samples (118/158);
+multi-column subsets consume more samples without converging.
+"""
+
+from repro.bench import bench_queries, efficacy_records, emit, fig8_rows, format_table
+
+
+def test_fig8_sample_distribution(benchmark, once):
+    records = once(benchmark, efficacy_records)
+    rows, labels = fig8_rows(records)
+    headers = ["kind", "cols"] + labels
+    emit(
+        "fig8",
+        format_table(
+            headers,
+            rows,
+            title=f"Figure 8: final sample counts ({bench_queries()} queries)",
+        ),
+    )
+
+    # Shape: valid one-column syntheses rarely need more than 50 TRUE
+    # samples.
+    one_col = [
+        r.true_samples
+        for r in records
+        if r.technique == "SIA" and r.n_cols == 1 and r.valid
+    ]
+    if one_col:
+        small = sum(1 for v in one_col if v <= 50)
+        assert small / len(one_col) >= 0.5

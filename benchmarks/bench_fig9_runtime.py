@@ -1,0 +1,90 @@
+"""Figure 9: impact on runtime performance -- original vs rewritten
+execution at two scale factors.
+
+Paper reference (200 queries, 114 rewritten): at SF 1, 85 faster / 36
+at least 2x faster / 29 slower; at SF 10, 95 faster / 66 at least 2x
+faster / 19 slower.  Expected shape: a majority of rewritten queries
+win, and the win rate does not degrade at the larger scale factor.
+Both wall-clock and the engine's tuple-flow cost proxy are reported
+(the latter is hardware-independent).
+"""
+
+from repro.bench import (
+    bench_queries,
+    emit,
+    fig9_summary,
+    format_table,
+    runtime_records,
+    sf_large,
+    sf_small,
+)
+
+
+def _rows_for(scale_factor):
+    records = runtime_records(scale_factor=scale_factor)
+    summary = fig9_summary(records)
+    return records, summary
+
+
+def test_fig9_runtime(benchmark, once):
+    def run():
+        small = _rows_for(sf_small())
+        large = _rows_for(sf_large())
+        return small, large
+
+    (small_records, small_summary), (large_records, large_summary) = once(
+        benchmark, run
+    )
+
+    headers = [
+        "scale",
+        "rewritten",
+        "faster",
+        ">=2x faster",
+        "slower",
+        ">=2x slower",
+        "cost faster",
+        "cost >=2x",
+    ]
+    rows = []
+    for label, summary in (
+        (f"SF {sf_small()}", small_summary),
+        (f"SF {sf_large()}", large_summary),
+    ):
+        rows.append(
+            [
+                label,
+                summary["rewritten"],
+                summary["faster"],
+                summary["faster_2x"],
+                summary["slower"],
+                summary["slower_2x"],
+                summary["cost_faster"],
+                summary["cost_faster_2x"],
+            ]
+        )
+    scatter = ["query  orig_ms  rew_ms  speedup  selectivity"]
+    for record in large_records:
+        if record.rewritten:
+            scatter.append(
+                f"q{record.query_index:<4d} {record.original_ms:8.2f} "
+                f"{record.rewritten_ms:7.2f} {record.time_speedup:7.2f}x "
+                f"{record.selectivity:6.2f}"
+            )
+    emit(
+        "fig9",
+        format_table(
+            headers,
+            rows,
+            title=f"Figure 9: runtime impact ({bench_queries()} queries)",
+        )
+        + "\n\nScatter (large SF):\n"
+        + "\n".join(scatter),
+    )
+
+    # Shape: by the hardware-independent cost proxy, a majority of the
+    # rewritten queries must improve at the larger scale factor.
+    done = [r for r in large_records if r.rewritten]
+    if done:
+        winners = sum(1 for r in done if r.tuple_speedup > 1.0)
+        assert winners >= len(done) / 2

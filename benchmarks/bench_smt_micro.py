@@ -1,0 +1,93 @@
+"""Microbenchmarks of the SMT substrate.
+
+Not a paper artefact -- these track the performance of the solver
+components that every experiment sits on (sample generation is >70% of
+Sia's total time in Table 3, and it is pure solver work).
+"""
+
+import random
+
+from repro.smt import (
+    NE,
+    SAT,
+    Atom,
+    LinExpr,
+    Solver,
+    Var,
+    compare,
+    conj,
+    disj,
+    is_satisfiable,
+)
+from repro.smt.qe import unsat_region
+from repro.smt.sat import SatSolver
+
+X = Var("x")
+Y = Var("y")
+B = Var("b")
+ex, ey, eb = LinExpr.var(X), LinExpr.var(Y), LinExpr.var(B)
+c = LinExpr.const_expr
+
+
+def test_sat_random_3sat(benchmark):
+    rng = random.Random(7)
+    clauses = []
+    for _ in range(400):
+        clauses.append(
+            [rng.choice([-1, 1]) * rng.randint(1, 60) for _ in range(3)]
+        )
+
+    def solve():
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(list(clause))
+        return solver.solve()
+
+    benchmark(solve)
+
+
+def test_smt_conjunction_check(benchmark):
+    formula = conj(
+        [
+            compare(ex + ey, "<", c(100)),
+            compare(ex - ey, ">", c(-50)),
+            compare(ex, ">=", c(0)),
+            compare(ey, ">=", c(0)),
+            compare(ex * 3 + ey * 2, "<=", c(240)),
+        ]
+    )
+    benchmark(lambda: is_satisfiable(formula))
+
+
+def test_model_enumeration_50(benchmark):
+    base = conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(1000))])
+
+    def enumerate_models():
+        solver = Solver()
+        solver.add(base)
+        for _ in range(50):
+            assert solver.check() == SAT
+            value = solver.model().value(X)
+            solver.add(Atom(LinExpr.var(X) - value, NE))
+
+    benchmark(enumerate_models)
+
+
+def test_quantifier_elimination(benchmark):
+    pred = conj(
+        [
+            compare(ex - eb, "<", c(20)),
+            compare(ey - ex, "<", ex - eb + 10),
+            compare(eb, "<", c(0)),
+        ]
+    )
+    benchmark(lambda: unsat_region(pred, {X, Y}))
+
+
+def test_disjunctive_formula_check(benchmark):
+    branches = [
+        conj([compare(ex, ">=", c(i * 10)), compare(ex, "<", c(i * 10 + 5))])
+        for i in range(12)
+    ]
+    formula = conj([disj(branches), compare(ex, ">", c(57))])
+    benchmark(lambda: is_satisfiable(formula))

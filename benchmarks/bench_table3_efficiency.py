@@ -1,0 +1,45 @@
+"""Table 3: efficiency -- average generation / learning / validation
+time per synthesis, by column-subset size.
+
+Paper reference values (ms)::
+
+    cols   SIA gen/learn/val     SIA_v1 gen/learn/val   SIA_v2 gen/learn/val
+    one    893 / 1.8 / 98        2625 / 0.5 / 1         9304 / 1.9 / 11
+    two    2933 / 14.6 / 281     2739 / 1.0 / 7         10159 / 3.2 / 12
+    three  4154 / 38.9 / 328     3801 / 1.0 / 8         11859 / 5.0 / 12
+
+Expected shape: generation time dominates everywhere; SIA_v2 (2x the
+samples) is the slowest overall; SIA's validation cost exceeds the
+single-shot variants' because it verifies once per iteration.
+"""
+
+from statistics import mean
+
+from repro.bench import bench_queries, efficacy_records, emit, format_table, table3_rows
+
+
+def test_table3_efficiency(benchmark, once):
+    records = once(benchmark, efficacy_records)
+    rows = table3_rows(records)
+    headers = ["cols"]
+    for technique in ("SIA", "SIA_v1", "SIA_v2"):
+        headers += [f"{technique} gen", f"{technique} learn", f"{technique} val"]
+    emit(
+        "table3",
+        format_table(
+            headers,
+            rows,
+            title=f"Table 3: per-synthesis stage times in ms "
+            f"({bench_queries()} queries)",
+        ),
+    )
+
+    # Shape assertion: generation dominates learning for SIA_v2 (big
+    # initial sample set, single iteration).
+    v2 = [
+        r
+        for r in records
+        if r.technique == "SIA_v2" and r.possible and r.generation_ms > 0
+    ]
+    if v2:
+        assert mean(r.generation_ms for r in v2) > mean(r.learning_ms for r in v2)

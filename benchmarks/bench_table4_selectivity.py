@@ -1,0 +1,50 @@
+"""Table 4: selectivity of the synthesized predicates per performance
+class.
+
+Paper reference: predicates of faster rewritten queries average
+selectivity ~0.76 (SF1) / 0.78 (SF10); slower ones average ~0.97 /
+0.96.  Expected shape: winners carry more selective (smaller) synthesized
+predicates than losers.
+"""
+
+from repro.bench import (
+    bench_queries,
+    emit,
+    format_table,
+    runtime_records,
+    sf_large,
+    sf_small,
+    table4_rows,
+)
+
+
+def test_table4_selectivity(benchmark, once):
+    def run():
+        return (
+            runtime_records(scale_factor=sf_small()),
+            runtime_records(scale_factor=sf_large()),
+        )
+
+    small, large = once(benchmark, run)
+    rows = []
+    for label, records in ((f"SF {sf_small()}", small), (f"SF {sf_large()}", large)):
+        for row in table4_rows(records):
+            rows.append([label] + row)
+    emit(
+        "table4",
+        format_table(
+            ["scale", "class", "count", "avg selectivity"],
+            rows,
+            title=f"Table 4: synthesized-predicate selectivity "
+            f"({bench_queries()} queries)",
+        ),
+    )
+
+    # Shape: when both classes are populated, faster queries carry the
+    # more selective predicates.
+    for records in (small, large):
+        done = [r for r in records if r.rewritten]
+        faster = [r.selectivity for r in done if r.time_speedup > 1.0]
+        slower = [r.selectivity for r in done if r.time_speedup < 1.0]
+        if faster and slower:
+            assert sum(faster) / len(faster) <= sum(slower) / len(slower) + 0.15

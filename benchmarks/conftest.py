@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark suite.
+
+Scale knobs are environment variables (see repro.bench.harness):
+``REPRO_BENCH_QUERIES`` (default 8; the paper uses 200),
+``REPRO_BENCH_SF_SMALL`` / ``REPRO_BENCH_SF_LARGE`` (engine scale
+factors standing in for the paper's SF 1 / SF 10).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def once():
+    """Run an expensive experiment exactly once per session."""
+
+    def runner(benchmark, fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

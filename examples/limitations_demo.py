@@ -1,0 +1,81 @@
+"""Section 6.7: the non-linearly-separable limitation.
+
+The paper's own example:
+
+    a > b AND a < b + 50 AND b > 0 AND b < 150
+
+Over the target column {a}, the feasible restrictions form the integer
+interval [2, 198] (a >= b + 1 >= 2 and a <= b + 49 <= 198), so the
+FALSE samples (unsatisfaction tuples) lie on *both sides* of the TRUE
+samples -- no single hyperplane separates them.  The paper reports that
+Sia "either returns a disjunction of predicates that is not optimal, or
+returns an invalid predicate [discarded during verification]".
+
+This reproduction's loop does better in this instance: each valid
+iteration contributes one face (first ``a >= 2``, then ``a <= 198``)
+and the conjunction converges to the exact optimum -- but the general
+contract demonstrated here is the paper's: *an invalid predicate is
+never emitted*, whatever the sample geometry.
+
+Run:  python examples/limitations_demo.py
+"""
+
+from repro.core import synthesize
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    INTEGER,
+    Lit,
+    eval_pred_py,
+    pand,
+)
+from repro.sql import render_pred
+
+A = Column("t", "a", INTEGER)
+B = Column("t", "b", INTEGER)
+
+
+def main() -> None:
+    predicate = pand(
+        [
+            Comparison(Col(A), ">", Col(B)),
+            Comparison(Col(A), "<", Col(B) + Lit.integer(50)),
+            Comparison(Col(B), ">", Lit.integer(0)),
+            Comparison(Col(B), "<", Lit.integer(150)),
+        ]
+    )
+    print("original predicate:", render_pred(predicate))
+    print("ground truth: a is feasible iff 2 <= a <= 198 "
+          "(FALSE samples on both sides of TRUE)\n")
+
+    outcome = synthesize(predicate, {A})
+    print(f"status: {outcome.status} after {outcome.iterations} iterations")
+    if outcome.predicate is None:
+        print("Sia declined to synthesize a predicate (safe failure).")
+        return
+
+    print("synthesized:", render_pred(outcome.predicate))
+
+    # The validity contract: every feasible value of `a` is accepted.
+    violations = [
+        a
+        for a in range(2, 199)
+        if eval_pred_py(outcome.predicate, {A: a}) is not True
+    ]
+    print(f"validity check over a in [2, 198]: {len(violations)} violations")
+    assert not violations, "Sia emitted an invalid predicate!"
+
+    # Optimality: count the unsatisfaction tuples it accepts.
+    accepted_outside = sum(
+        1
+        for a in list(range(-200, 2)) + list(range(199, 400))
+        if eval_pred_py(outcome.predicate, {A: a}) is True
+    )
+    verdict = "optimal" if not accepted_outside else "sub-optimal (section 6.7)"
+    print(f"unsatisfaction tuples accepted in [-200, 400]: "
+          f"{accepted_outside} -- {verdict}")
+
+
+if __name__ == "__main__":
+    main()

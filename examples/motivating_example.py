@@ -1,0 +1,73 @@
+"""The paper's section 2 motivating example, end to end.
+
+Q1 joins lineitem and orders with three predicates that all reference
+orders.o_orderdate, so the optimizer cannot push anything down to
+lineitem (Figure 1a).  Sia infers lineitem-only predicates -- the same
+ones the paper's Q2 carries:
+
+    l_shipdate   < DATE '1993-06-20'   (we emit <= '1993-06-19')
+    l_commitdate < DATE '1993-07-18'   (we emit <= '1993-07-17')
+
+which let the optimizer filter lineitem below the join (Figure 1b).
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.engine import build_plan, execute
+from repro.rewrite import rewrite_query
+from repro.sql import parse_query, render_pred
+from repro.tpch import generate_catalog
+
+Q1 = (
+    "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+    "AND l_shipdate - o_orderdate < 20 "
+    "AND o_orderdate < DATE '1993-06-01' "
+    "AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10"
+)
+
+
+def main() -> None:
+    catalog = generate_catalog(scale_factor=0.02, seed=0)
+    query = parse_query(Q1, catalog.schema())
+
+    result = rewrite_query(query, "lineitem")
+    print("synthesized predicates (compare with the paper's Q2):")
+    for conjunct in result.synthesized_predicate.conjuncts():
+        print("   ", render_pred(conjunct))
+
+    print("\nplan P1 (original, Figure 1a):")
+    plan_p1 = build_plan(query)
+    print(plan_p1.describe())
+
+    print("\nplan P2 (rewritten, Figure 1b):")
+    plan_p2 = build_plan(result.rewritten)
+    print(plan_p2.describe())
+
+    def best_of(plan, runs=7):
+        best = None
+        relation = None
+        for _ in range(runs):
+            relation, stats = execute(plan, catalog)
+            if best is None or stats.elapsed_ms < best.elapsed_ms:
+                best = stats
+        return relation, best
+
+    rel1, stats1 = best_of(plan_p1)
+    rel2, stats2 = best_of(plan_p2)
+    assert rel1.num_rows == rel2.num_rows
+    print(f"\nboth plans return {rel1.num_rows} rows (best of 7 runs)")
+    print(
+        f"P1: {stats1.elapsed_ms:6.1f} ms, {stats1.join_input_tuples} tuples into the join"
+    )
+    print(
+        f"P2: {stats2.elapsed_ms:6.1f} ms, {stats2.join_input_tuples} tuples into the join"
+    )
+    print(
+        f"speedup {stats1.elapsed_ms / stats2.elapsed_ms:.2f}x, "
+        f"join input cut {stats1.join_input_tuples / stats2.join_input_tuples:.1f}x "
+        "(paper: ~2x wall clock on Postgres at SF 10)"
+    )
+
+
+if __name__ == "__main__":
+    main()

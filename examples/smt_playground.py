@@ -1,0 +1,92 @@
+"""Tour of the SMT substrate (the layer standing in for Z3).
+
+Sia's machinery is general: the solver, optimizer and quantifier
+elimination are usable on their own.  This walkthrough solves a small
+scheduling puzzle, optimizes an objective, enumerates models, and
+computes an unsatisfaction region -- the exact primitive behind Sia's
+FALSE training samples.
+
+Run:  python examples/smt_playground.py
+"""
+
+from repro.smt import (
+    LinExpr,
+    SAT,
+    Solver,
+    Var,
+    compare,
+    conj,
+    disj,
+    maximize,
+    unsat_region,
+)
+
+
+def main() -> None:
+    x, y, z = Var("x"), Var("y"), Var("z")
+    ex, ey, ez = LinExpr.var(x), LinExpr.var(y), LinExpr.var(z)
+    c = LinExpr.const_expr
+
+    print("== 1. satisfiability and models ==")
+    constraints = conj(
+        [
+            compare(ex + ey + ez, "=", c(30)),
+            compare(ex, "<", ey),
+            compare(ey, "<", ez),
+            compare(ex, ">=", c(1)),
+        ]
+    )
+    solver = Solver()
+    solver.add(constraints)
+    assert solver.check() == SAT
+    model = solver.model()
+    print(f"x={model.int_value(x)} y={model.int_value(y)} z={model.int_value(z)}")
+
+    print("\n== 2. optimization ==")
+    result = maximize(constraints, ex)
+    assert result is not None
+    best_model, best = result
+    print(f"max x subject to the constraints: {best} "
+          f"(y={best_model.int_value(y)}, z={best_model.int_value(z)})")
+
+    print("\n== 3. model enumeration with blocking (NotOld) ==")
+    from repro.smt import NE, Atom
+
+    box = conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(4))])
+    enum_solver = Solver()
+    enum_solver.add(box)
+    values = []
+    while enum_solver.check() == SAT:
+        value = enum_solver.model().int_value(x)
+        values.append(value)
+        enum_solver.add(Atom(LinExpr.var(x) - value, NE))
+    print("models of 0 <= x <= 4:", sorted(values))
+
+    print("\n== 4. quantifier elimination (Sia's FALSE-sample region) ==")
+    # p: x - b < 20 and b < 0.  For which x does NO b exist?
+    b = Var("b")
+    eb = LinExpr.var(b)
+    p = conj([compare(ex - eb, "<", c(20)), compare(eb, "<", c(0))])
+    region = unsat_region(p, {x})
+    print("p:", p)
+    print("unsatisfaction region over {x}:", region.formula,
+          f"(exact={region.exact})")
+    # x - b < 20 with b <= -1 means x <= b + 19 <= 18.
+    print("=> any x >= 19 is an unsatisfaction tuple: these become "
+          "Sia's FALSE training samples.")
+
+    print("\n== 5. disjunctive reasoning ==")
+    split = conj(
+        [
+            disj([compare(ex, "<", c(0)), compare(ex, ">", c(100))]),
+            compare(ex * 3, "=", c(309)),
+        ]
+    )
+    branch_solver = Solver()
+    branch_solver.add(split)
+    assert branch_solver.check() == SAT
+    print("x =", branch_solver.model().int_value(x), "(took the x > 100 branch)")
+
+
+if __name__ == "__main__":
+    main()

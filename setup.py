@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so editable installs must go through setuptools' develop command."""
+
+from setuptools import setup
+
+setup()

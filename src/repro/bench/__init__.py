@@ -1,0 +1,49 @@
+"""Benchmark harness for reproducing the paper's tables and figures."""
+
+from .casestudy import CaseStudyRecord, case_study_records, fig6_rows
+from .harness import (
+    EfficacyRecord,
+    RuntimeRecord,
+    TECHNIQUES,
+    bench_queries,
+    bench_seed,
+    catalog_for,
+    column_subsets,
+    efficacy_records,
+    fig7_rows,
+    fig8_rows,
+    fig9_summary,
+    runtime_records,
+    sf_large,
+    sf_small,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from .report import emit, format_table, histogram
+
+__all__ = [
+    "CaseStudyRecord",
+    "EfficacyRecord",
+    "RuntimeRecord",
+    "TECHNIQUES",
+    "bench_queries",
+    "bench_seed",
+    "case_study_records",
+    "catalog_for",
+    "column_subsets",
+    "efficacy_records",
+    "emit",
+    "fig6_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fig9_summary",
+    "format_table",
+    "histogram",
+    "runtime_records",
+    "sf_large",
+    "sf_small",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,68 @@
+"""Plain-text table rendering and result persistence for experiments.
+
+Every benchmark writes both to stdout and to ``results/<name>.txt`` in
+the repository root so EXPERIMENTS.md can cite stable artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_RESULTS_DIR", Path(__file__).resolve().parents[3] / "results")
+)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def histogram(values: Sequence[float], edges: Sequence[float]) -> list[int]:
+    """Counts per bucket: (-inf, e0], (e0, e1], ..., (en, +inf)."""
+    counts = [0] * (len(edges) + 1)
+    for value in values:
+        placed = False
+        for i, edge in enumerate(edges):
+            if value <= edge:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    return counts

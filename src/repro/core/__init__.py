@@ -1,0 +1,57 @@
+"""Sia's core algorithm: counter-example guided predicate synthesis."""
+
+from .baselines import (
+    TransitiveClosure,
+    constant_propagation,
+    ml_only_predicate,
+    transitive_closure_predicate,
+)
+from .config import RANDOM_BOX, SEQUENTIAL, SIA_DEFAULT, SIA_V1, SIA_V2, SiaConfig
+from .learnloop import learn
+from .result import (
+    FAILED,
+    OPTIMAL,
+    TRIVIAL,
+    UNSUPPORTED,
+    VALID,
+    IterationTrace,
+    Point,
+    SynthesisOutcome,
+    Timings,
+)
+from .samples import SampleSet, Sampler, box_formula, enumerate_all, not_old_formula
+from .synthesize import Synthesizer, ValidPredicate, synthesize
+from .verify import learned_truth_formula, verify_implied
+
+__all__ = [
+    "FAILED",
+    "IterationTrace",
+    "OPTIMAL",
+    "Point",
+    "RANDOM_BOX",
+    "SEQUENTIAL",
+    "SIA_DEFAULT",
+    "SIA_V1",
+    "SIA_V2",
+    "SampleSet",
+    "Sampler",
+    "SiaConfig",
+    "SynthesisOutcome",
+    "Synthesizer",
+    "Timings",
+    "TransitiveClosure",
+    "TRIVIAL",
+    "UNSUPPORTED",
+    "VALID",
+    "ValidPredicate",
+    "box_formula",
+    "constant_propagation",
+    "enumerate_all",
+    "learn",
+    "learned_truth_formula",
+    "ml_only_predicate",
+    "not_old_formula",
+    "synthesize",
+    "transitive_closure_predicate",
+    "verify_implied",
+]

@@ -1,0 +1,293 @@
+"""Syntax-driven baselines (section 2 "Prior Work" / Table 2).
+
+* **Transitive closure** [Ioannidis & Ramakrishnan, VLDB'88]: derive
+  implied inequalities by chaining aligned comparisons.  We implement
+  the classic difference-bound-matrix closure: conjuncts of the shape
+  ``x - y <= c`` (coefficient +-1, at most two columns) become weighted
+  edges, constant bounds attach to a virtual zero node, and
+  shortest-path closure yields every implied difference constraint.
+  This is the strongest form of the syntactic rule -- and it still
+  cannot reason about terms like ``a1 - 2*a2 + b1 < 10``, which is the
+  paper's point.
+
+* **Constant propagation** [Consens et al.]: substitute ``col = const``
+  equalities into sibling conjuncts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..predicates import (
+    Col,
+    Column,
+    Comparison,
+    DOUBLE,
+    Lit,
+    Pred,
+    pand,
+)
+from ..predicates.normalize import lower_predicate
+from ..smt import LE, LT, Atom, Var
+from ..smt.formula import And
+from .synthesize import _literal_for
+
+_INF = (Fraction(10**18), 0)  # (bound, strictness) lattice top
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """x - y <= c (strict if s) encoded as weight (c, s)."""
+
+    bound: Fraction
+    strict: bool
+
+
+def _min_weight(a: tuple[Fraction, int], b: tuple[Fraction, int]) -> tuple[Fraction, int]:
+    """Tighter of two (bound, strict) weights; strict counts as smaller."""
+    return min(a, b, key=lambda w: (w[0], -w[1]))
+
+
+def _add_weights(a: tuple[Fraction, int], b: tuple[Fraction, int]) -> tuple[Fraction, int]:
+    return (a[0] + b[0], max(a[1], b[1]))
+
+
+class TransitiveClosure:
+    """Difference-bound transitive closure over a conjunctive predicate."""
+
+    def __init__(self, pred: Pred) -> None:
+        self.pred = pred
+        self.formula, self.ctx = lower_predicate(pred)
+        self._zero = Var("__zero__")
+        self._matrix = self._build_matrix()
+
+    # ------------------------------------------------------------------
+    def _conjunct_atoms(self) -> list[Atom]:
+        """Top-level conjunct atoms (only those participate in the
+        syntactic rule; disjunctions are opaque to it)."""
+        formula = self.formula
+        if isinstance(formula, Atom):
+            return [formula]
+        if isinstance(formula, And):
+            return [arg for arg in formula.args if isinstance(arg, Atom)]
+        return []
+
+    def _build_matrix(self) -> dict[tuple[Var, Var], tuple[Fraction, int]]:
+        nodes = set()
+        edges: dict[tuple[Var, Var], tuple[Fraction, int]] = {}
+
+        def note(u: Var, v: Var, weight: tuple[Fraction, int]) -> None:
+            nodes.update((u, v))
+            key = (u, v)
+            edges[key] = _min_weight(edges.get(key, _INF), weight)
+
+        for atom in self._conjunct_atoms():
+            ops = [(atom.op, atom.expr)]
+            if atom.op == "=":
+                # x - y = c splits into two difference edges.
+                ops = [(LE, atom.expr), (LE, -atom.expr)]
+            for op, expr in ops:
+                if op not in (LE, LT):
+                    continue
+                coeffs = expr.coeffs
+                strict = op == LT
+                if len(coeffs) == 1:
+                    ((var, coeff),) = coeffs.items()
+                    if coeff == 1:  # x + c <= 0  ->  x - 0 <= -c
+                        note(var, self._zero, (-expr.const, strict))
+                    elif coeff == -1:  # -x + c <= 0  ->  0 - x <= -c
+                        note(self._zero, var, (-expr.const, strict))
+                elif len(coeffs) == 2:
+                    items = sorted(coeffs.items(), key=lambda kv: kv[0].name)
+                    (v1, c1), (v2, c2) = items
+                    if c1 == 1 and c2 == -1:  # v1 - v2 + c <= 0
+                        note(v1, v2, (-expr.const, strict))
+                    elif c1 == -1 and c2 == 1:
+                        note(v2, v1, (-expr.const, strict))
+        # Floyd-Warshall closure.
+        node_list = sorted(nodes, key=lambda v: v.name)
+        for mid in node_list:
+            for src in node_list:
+                left = edges.get((src, mid))
+                if left is None:
+                    continue
+                for dst in node_list:
+                    right = edges.get((mid, dst))
+                    if right is None or src == dst:
+                        continue
+                    combined = _add_weights(left, right)
+                    key = (src, dst)
+                    edges[key] = _min_weight(edges.get(key, _INF), combined)
+        return edges
+
+    # ------------------------------------------------------------------
+    def derive(self, target_columns: set[Column] | list[Column]) -> Pred | None:
+        """Implied predicate over exactly the target columns, or None.
+
+        Returns a conjunction of derived comparisons in which every
+        target column occurs; None when the closure yields nothing new
+        over those columns.
+        """
+        targets = sorted(set(target_columns))
+        if any(col not in self.ctx.var_of_column for col in targets):
+            return None
+        target_vars = {self.ctx.var_of_column[col]: col for col in targets}
+        direct = self._direct_keys()
+
+        parts = []
+        used: set[Var] = set()
+        for (src, dst), (bound, strict) in sorted(
+            self._matrix.items(), key=lambda kv: (kv[0][0].name, kv[0][1].name)
+        ):
+            if (src, dst) in direct:
+                continue  # already syntactically present
+            involved = {v for v in (src, dst) if v is not self._zero}
+            if not involved or not involved <= set(target_vars):
+                continue
+            parts.append(self._edge_pred(src, dst, bound, strict))
+            used |= involved
+        if not parts or used != set(target_vars):
+            return None
+        return pand(parts)
+
+    def _direct_keys(self) -> set[tuple[Var, Var]]:
+        keys = set()
+        for atom in self._conjunct_atoms():
+            coeffs = atom.expr.coeffs
+            if len(coeffs) == 1:
+                ((var, coeff),) = coeffs.items()
+                keys.add((var, self._zero) if coeff == 1 else (self._zero, var))
+            elif len(coeffs) == 2:
+                items = sorted(coeffs.items(), key=lambda kv: kv[0].name)
+                (v1, c1), (v2, c2) = items
+                if c1 == 1 and c2 == -1:
+                    keys.add((v1, v2))
+                elif c1 == -1 and c2 == 1:
+                    keys.add((v2, v1))
+        return keys
+
+    def _edge_pred(self, src: Var, dst: Var, bound: Fraction, strict: int) -> Pred:
+        op = "<" if strict else "<="
+        if dst is self._zero:
+            col = self.ctx.column_of_var[src]
+            value = self.ctx.decode_value(_floor_for(col, bound, strict), col)
+            return Comparison(Col(col), op, _literal_for(col, value))
+        if src is self._zero:
+            col = self.ctx.column_of_var[dst]
+            value = self.ctx.decode_value(_floor_for(col, -bound, strict), col)
+            return Comparison(_literal_for(col, value), op, Col(col))
+        col_src = self.ctx.column_of_var[src]
+        col_dst = self.ctx.column_of_var[dst]
+        diff = Col(col_src) - Col(col_dst)
+        return Comparison(diff, op, Lit.integer(int(bound)))
+
+
+def _floor_for(column: Column, bound: Fraction, strict: int) -> Fraction:
+    if column.ctype == DOUBLE:
+        return bound
+    return Fraction(math.floor(bound))
+
+
+def transitive_closure_predicate(
+    pred: Pred, target_columns: set[Column] | list[Column]
+) -> Pred | None:
+    """One-shot helper: derived predicate over the targets, or None."""
+    return TransitiveClosure(pred).derive(target_columns)
+
+
+def ml_only_predicate(
+    pred: Pred,
+    target_columns: set[Column] | list[Column],
+    *,
+    num_samples: int = 110,
+    seed: int = 0,
+):
+    """The unsound ML baseline the paper's introduction argues against.
+
+    Samples TRUE/FALSE tuples exactly like Sia and trains the same
+    learner -- but **skips verification entirely** and returns whatever
+    the SVM produced (cf. probabilistic predicates [Lu et al.,
+    SIGMOD'18]: acceptable in an ML pipeline, unsound for canonical
+    SQL).  Returns ``(predicate, is_actually_valid)`` so callers can
+    quantify how often the shortcut corrupts query semantics; the
+    validity check is only diagnostic and uses Sia's verifier.
+    """
+    import random as _random
+
+    from ..predicates.normalize import lower_predicate as _lower
+    from ..smt.qe import unsat_region as _unsat_region
+    from .config import SiaConfig
+    from .learnloop import learn as _learn
+    from .samples import Sampler as _Sampler
+    from .verify import verify_implied as _verify
+
+    config = SiaConfig(seed=seed)
+    targets = sorted(set(target_columns))
+    formula, ctx = _lower(pred)
+    if any(col not in ctx.var_of_column for col in targets):
+        return None, False
+    target_vars = [ctx.var_of_column[col] for col in targets]
+    region = _unsat_region(formula, set(target_vars))
+
+    rng = _random.Random(seed)
+    sampler = _Sampler(config, rng)
+    ts = sampler.sample(formula, target_vars, num_samples).points
+    fs = sampler.sample(region.formula, target_vars, num_samples).points
+    if not ts or not fs:
+        return None, False
+
+    learned = _learn(ts, fs, target_vars, config, rng)
+    is_valid = _verify(pred, learned, ctx)
+    return learned.to_pred(ctx), is_valid
+
+
+def constant_propagation(pred: Pred) -> Pred:
+    """Propagate ``col = literal`` equalities into sibling conjuncts.
+
+    Returns a predicate with the substitutions applied (semantics
+    preserved); purely syntactic, like the rule the paper cites.
+    """
+    from ..predicates import Arith, Expr
+
+    bindings: dict[Column, Lit] = {}
+    for conjunct in pred.conjuncts():
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Col)
+            and isinstance(conjunct.right, Lit)
+        ):
+            bindings[conjunct.left.column] = conjunct.right
+    if not bindings:
+        return pred
+
+    def subst_expr(expr: Expr, keep: Column | None) -> Expr:
+        if isinstance(expr, Col) and expr.column in bindings and expr.column != keep:
+            return bindings[expr.column]
+        if isinstance(expr, Arith):
+            return Arith(expr.op, subst_expr(expr.left, keep), subst_expr(expr.right, keep))
+        return expr
+
+    out = []
+    for conjunct in pred.conjuncts():
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Col)
+            and isinstance(conjunct.right, Lit)
+        ):
+            out.append(conjunct)  # keep the defining equality itself
+            continue
+        if isinstance(conjunct, Comparison):
+            out.append(
+                Comparison(
+                    subst_expr(conjunct.left, None),
+                    conjunct.op,
+                    subst_expr(conjunct.right, None),
+                )
+            )
+        else:
+            out.append(conjunct)
+    return pand(out)

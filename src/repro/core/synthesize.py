@@ -1,0 +1,512 @@
+"""The Synthesize procedure (Algorithm 1): counter-example guided
+learning of a valid, optimal predicate over a chosen column set.
+
+Pipeline per iteration (section 3.1 / figure 3):
+
+1. ``Learn`` a candidate predicate from the current samples (Alg. 2).
+2. ``Verify`` it is implied by the original predicate under 3VL.
+3. If invalid: mine TRUE counter-examples (satisfy ``p``, rejected by
+   the candidate) and loop.
+4. If valid: conjoin into the accumulated result; mine FALSE
+   counter-examples (unsatisfaction tuples the result still accepts).
+   None exist -> the result is optimal (Lemma 4); otherwise loop.
+
+Section 5.3's finite-domain fallbacks are implemented: an exhausted
+TRUE enumeration yields a disjunction of equalities, an exhausted FALSE
+enumeration yields the negation of one.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from dataclasses import dataclass, field
+
+from ..errors import UnsupportedPredicateError
+from ..learn import DisjunctivePredicate
+from ..predicates import (
+    Col,
+    Column,
+    Comparison,
+    DOUBLE,
+    FALSE_PRED,
+    Lit,
+    PNot,
+    Pred,
+    pand,
+    por,
+)
+from ..predicates.normalize import LinearizationContext, lower_predicate
+from ..smt import FALSE, Formula, Var, conj, negate
+from ..smt.qe import unsat_region
+from .config import SIA_DEFAULT, SiaConfig
+from .learnloop import learn
+from .result import (
+    FAILED,
+    OPTIMAL,
+    TRIVIAL,
+    UNSUPPORTED,
+    VALID,
+    IterationTrace,
+    Point,
+    SynthesisOutcome,
+    Timings,
+)
+from .samples import IncrementalEnumerator, Sampler, enumerate_all
+from .verify import verify_implied
+
+
+@dataclass
+class ValidPredicate:
+    """The accumulated valid predicate p1 (a conjunction of learned
+    disjunctions; starts trivial = TRUE)."""
+
+    parts: list[DisjunctivePredicate] = field(default_factory=list)
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.parts
+
+    def formula(self) -> Formula:
+        return conj([part.formula() for part in self.parts])
+
+    def to_pred(self, ctx: LinearizationContext) -> Pred:
+        return pand([part.to_pred(ctx) for part in self.parts])
+
+    def prune_dominated(
+        self,
+        witnesses: list[dict] | None = None,
+        bnb_budget: int = 300,
+        recent_only: bool = False,
+    ) -> None:
+        """Drop parts implied by the newest part.
+
+        Alg. 1 conjoins every valid learned predicate; as the loop
+        converges the newest predicate usually subsumes earlier, weaker
+        ones, and carrying them makes the optimality queries (and the
+        final SQL) needlessly large.  Dropping an implied conjunct
+        never changes the conjunction's semantics.
+
+        ``witnesses`` (sample points) serve as a cheap pre-filter: a
+        point accepted by the newest part but rejected by an old part
+        disproves implication without touching the solver.
+        """
+        from ..smt import is_satisfiable
+
+        if len(self.parts) < 2:
+            return
+        newest = self.parts[-1]
+        witnesses = witnesses or []
+        kept = []
+        candidates = self.parts[:-1]
+        if recent_only:
+            kept = list(candidates[:-1])
+            candidates = candidates[-1:]
+        for part in candidates:
+            has_witness = any(
+                newest.accepts(point) and not part.accepts(point)
+                for point in witnesses
+            )
+            if has_witness:
+                kept.append(part)
+                continue
+            if not _implication_holds(
+                conj([newest.formula(), negate(part.formula())]), bnb_budget
+            ):
+                kept.append(part)
+        self.parts = kept + [newest]
+
+    def minimize(self, witnesses: list[dict] | None = None, bnb_budget: int = 1000) -> None:
+        """Greedy redundancy elimination over the whole conjunction.
+
+        Run once at the end of the loop: drop duplicates, then drop any
+        part implied by the conjunction of the remaining ones (oldest,
+        weakest parts first).  Equivalent semantics, far cheaper to
+        evaluate in the engine -- the paper's rewritten queries carry a
+        handful of predicates, not one per loop iteration.
+        """
+        from ..smt import is_satisfiable
+
+        witnesses = witnesses or []
+        kept = list(dict.fromkeys(self.parts))
+        index = 0
+        while index < len(kept) and len(kept) > 1:
+            part = kept[index]
+            others = kept[:index] + kept[index + 1:]
+            others_formula = conj([p.formula() for p in others])
+            has_witness = any(
+                not part.accepts(point)
+                and all(other.accepts(point) for other in others)
+                for point in witnesses
+            )
+            if has_witness:
+                index += 1
+                continue
+            implied = _implication_holds(
+                conj([others_formula, negate(part.formula())]), bnb_budget
+            )
+            if implied:
+                kept = others
+            else:
+                index += 1
+        self.parts = kept
+
+    def __str__(self) -> str:
+        if self.is_trivial:
+            return "TRUE"
+        return " AND ".join(f"({part})" for part in self.parts)
+
+
+logger = logging.getLogger(__name__)
+
+
+def _implication_holds(negated_implication: Formula, bnb_budget: int) -> bool:
+    """UNSAT check with conservative handling of resource exhaustion:
+    an unknown result counts as 'implication not proven'."""
+    from ..smt import SolverError, is_satisfiable
+    from ..smt.theory import SolverBudgetError
+
+    try:
+        return not is_satisfiable(negated_implication, bnb_budget=bnb_budget)
+    except (SolverError, SolverBudgetError):
+        return False
+
+
+class Synthesizer:
+    """Reusable synthesis engine configured once (see SiaConfig)."""
+
+    def __init__(self, config: SiaConfig = SIA_DEFAULT) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def synthesize(
+        self, pred: Pred, target_columns: set[Column] | list[Column]
+    ) -> SynthesisOutcome:
+        """Synthesize a valid predicate over ``target_columns``.
+
+        ``target_columns`` must be a non-empty subset of the columns of
+        ``pred`` (Def. 2 requires Cols' subset of Cols).
+        """
+        targets = sorted(set(target_columns))
+        timings = Timings()
+        outcome = SynthesisOutcome(
+            status=FAILED,
+            timings=timings,
+            target_columns=tuple(col.qualified for col in targets),
+        )
+        if not targets:
+            outcome.status = UNSUPPORTED
+            outcome.detail = "empty target column set"
+            return outcome
+
+        try:
+            formula, ctx = lower_predicate(pred)
+        except UnsupportedPredicateError as exc:
+            outcome.status = UNSUPPORTED
+            outcome.detail = str(exc)
+            return outcome
+
+        missing = [col for col in targets if col not in ctx.var_of_column]
+        if missing:
+            outcome.status = UNSUPPORTED
+            outcome.detail = (
+                "target columns not used linearly in the predicate: "
+                + ", ".join(col.qualified for col in missing)
+            )
+            return outcome
+        if not set(targets) <= set(pred.columns()):
+            outcome.status = UNSUPPORTED
+            outcome.detail = "target columns must be a subset of the predicate's"
+            return outcome
+
+        target_vars = [ctx.var_of_column[col] for col in targets]
+        rng = random.Random(self.config.seed)
+        sampler = Sampler(self.config, rng)
+
+        # ---------------- Unsatisfaction region (Lemma 4) -------------
+        with timings.track("generation"):
+            try:
+                region = unsat_region(formula, set(target_vars))
+            except Exception as exc:  # DNF blowup or projection failure
+                outcome.status = UNSUPPORTED
+                outcome.detail = f"quantifier elimination failed: {exc}"
+                return outcome
+        outcome.optimal_exact = region.exact
+        if region.formula is FALSE:
+            outcome.status = TRIVIAL
+            outcome.detail = "every restriction is feasible; only TRUE is valid"
+            return outcome
+
+        # ---------------- Initial samples (section 5.3) ---------------
+        with timings.track("generation"):
+            ts_set = sampler.sample(
+                formula, target_vars, self.config.initial_true_samples
+            )
+            ts = ts_set.points
+            if ts_set.exhausted:
+                return self._finite_true_outcome(outcome, ctx, targets, formula, target_vars)
+            fs_set = sampler.sample(
+                region.formula, target_vars, self.config.initial_false_samples
+            )
+            fs = fs_set.points
+        if fs_set.exhausted:
+            return self._finite_false_outcome(
+                outcome, ctx, targets, region.formula, target_vars, fs
+            )
+
+        # ---------------- Counter-example guided loop -----------------
+        p1 = ValidPredicate()
+        iteration = 0
+        status: str | None = None
+        # Persistent FALSE counter-example enumerator: its constraint
+        # set (region AND p1 AND NotOld) only ever grows, so one warm
+        # CDCL instance serves the whole loop.
+        counter_f_enum = IncrementalEnumerator(
+            region.formula, target_vars, fs, self.config, with_box=True
+        )
+        counter_f_unboxed: IncrementalEnumerator | None = None
+        import time as _time
+
+        deadline = (
+            _time.perf_counter() + self.config.timeout_ms / 1000.0
+            if self.config.timeout_ms is not None
+            else None
+        )
+        while iteration < self.config.max_iterations:
+            if deadline is not None and _time.perf_counter() > deadline:
+                status = VALID if not p1.is_trivial else FAILED
+                outcome.detail = outcome.detail or "timeout (section 6.2)"
+                break
+            iteration += 1
+            with timings.track("learning"):
+                p2 = learn(ts, fs, target_vars, self.config, rng)
+            with timings.track("validation"):
+                # The tighter verify budget keeps dense-coefficient
+                # integer feasibility checks from crawling; an unknown
+                # verdict is treated as invalid (sound, section 5.5).
+                valid = verify_implied(
+                    pred, p2, ctx, bnb_budget=self.config.verify_budget
+                )
+            trace = IterationTrace(index=iteration, learned=str(p2), valid=valid)
+            outcome.trace.append(trace)
+            logger.debug(
+                "iteration %d: %s learned %s (|Ts|=%d |Fs|=%d)",
+                iteration,
+                "valid" if valid else "invalid",
+                p2,
+                len(ts),
+                len(fs),
+            )
+
+            if valid:
+                p1.parts.append(p2)
+                with timings.track("validation"):
+                    # Cheap per-iteration pass: the newest predicate most
+                    # often subsumes its immediate predecessor.  A full
+                    # pruning pass runs once at the end of the loop.
+                    p1.prune_dominated(witnesses=fs, recent_only=True)
+                counter_f_enum.add(p2.formula())
+                if counter_f_unboxed is not None:
+                    counter_f_unboxed.add(p2.formula())
+                want = max(1, self.config.samples_per_iteration)
+                new_fs: list[Point] = []
+                with timings.track("generation"):
+                    for _ in range(want):
+                        point = counter_f_enum.next(fs + new_fs)
+                        if point is None:
+                            break
+                        new_fs.append(point)
+                    if not new_fs:
+                        # The sampling box may be exhausted while
+                        # unsatisfaction tuples remain outside it; try
+                        # unboxed before concluding anything.
+                        if counter_f_unboxed is None:
+                            counter_f_unboxed = IncrementalEnumerator(
+                                conj([region.formula, p1.formula()]),
+                                target_vars,
+                                fs,
+                                self.config,
+                                with_box=False,
+                            )
+                        for _ in range(want):
+                            point = counter_f_unboxed.next(fs + new_fs)
+                            if point is None:
+                                break
+                            new_fs.append(point)
+                if not new_fs:
+                    # No *new* witness.  Distinguish optimal from the
+                    # stuck case with a probe WITHOUT NotOld: p1 may
+                    # still accept unsatisfaction tuples that already
+                    # sit in Fs (the SVM is not obliged to classify
+                    # FALSE samples correctly), and NotOld masks
+                    # exactly those witnesses (Lemma 4 needs none).
+                    # Unknown (budget exhausted) counts as sub-optimal:
+                    # never over-claim optimality.
+                    with timings.track("validation"):
+                        sub_optimal = not _implication_holds(
+                            conj([region.formula, p1.formula()]),
+                            self.config.bnb_budget,
+                        )
+                    if sub_optimal:
+                        status = VALID
+                        outcome.detail = (
+                            "stuck: accepted unsatisfaction tuples already in Fs"
+                        )
+                    else:
+                        status = OPTIMAL
+                    break
+                if self.config.samples_per_iteration == 0:
+                    # Single-shot variants (SIA_v1/v2) never iterate; a
+                    # fresh witness just proves sub-optimality.
+                    status = VALID
+                    break
+                trace.new_false = new_fs
+                fs.extend(new_fs)
+            else:
+                want = max(1, self.config.samples_per_iteration)
+                with timings.track("generation"):
+                    # NotOld over the existing TRUE samples is
+                    # redundant here: Learn guarantees p2 accepts every
+                    # point of Ts, and counter-examples must violate
+                    # p2, so they are distinct by construction.  Only
+                    # the points found within this call need blocking.
+                    counter_ts = sampler.sample(
+                        conj([formula, negate(p2.formula())]),
+                        target_vars,
+                        want,
+                        existing=None,
+                        random_attempts=0,
+                    )
+                if not counter_ts.points:
+                    # p implies p2 two-valuedly, yet 3VL verification
+                    # failed: the NULL-semantics gap (see verify.py).
+                    status = VALID if not p1.is_trivial else FAILED
+                    outcome.detail = "no 2VL counter-example: NULL-semantics gap"
+                    break
+                trace.new_true = counter_ts.points
+                ts.extend(counter_ts.points)
+
+        with timings.track("validation"):
+            p1.minimize(witnesses=fs)
+        outcome.iterations = iteration
+        outcome.true_samples = len(ts)
+        outcome.false_samples = len(fs)
+        if status is None:
+            status = VALID if not p1.is_trivial else FAILED
+            if status == FAILED and not outcome.detail:
+                outcome.detail = "iteration budget exhausted without a valid predicate"
+        outcome.status = status
+        logger.debug(
+            "synthesis finished: %s after %d iterations (%s)",
+            status,
+            iteration,
+            ", ".join(col.qualified for col in targets),
+        )
+        if not p1.is_trivial:
+            outcome.predicate = p1.to_pred(ctx)
+        elif status == OPTIMAL:  # pragma: no cover - defensive
+            outcome.status = TRIVIAL
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Finite-domain fallbacks (section 5.3)
+    # ------------------------------------------------------------------
+    def _finite_true_outcome(
+        self,
+        outcome: SynthesisOutcome,
+        ctx: LinearizationContext,
+        targets: list[Column],
+        formula: Formula,
+        target_vars: list[Var],
+    ) -> SynthesisOutcome:
+        with outcome.timings.track("generation"):
+            full = enumerate_all(
+                formula,
+                target_vars,
+                self.config.enumeration_limit,
+                bnb_budget=self.config.bnb_budget,
+            )
+        if not full.exhausted:
+            outcome.status = FAILED
+            outcome.detail = "finite TRUE enumeration exceeded the limit"
+            return outcome
+        outcome.true_samples = len(full.points)
+        if not full.points:
+            # The original predicate is unsatisfiable: FALSE is the
+            # strongest (vacuously valid) reduction.
+            outcome.status = OPTIMAL
+            outcome.predicate = FALSE_PRED
+            return outcome
+        outcome.status = OPTIMAL
+        outcome.predicate = por(
+            [self._equality_pred(point, ctx, targets, target_vars) for point in full.points]
+        )
+        return outcome
+
+    def _finite_false_outcome(
+        self,
+        outcome: SynthesisOutcome,
+        ctx: LinearizationContext,
+        targets: list[Column],
+        region_formula: Formula,
+        target_vars: list[Var],
+        initial: list[Point],
+    ) -> SynthesisOutcome:
+        with outcome.timings.track("generation"):
+            full = enumerate_all(
+                region_formula,
+                target_vars,
+                self.config.enumeration_limit,
+                bnb_budget=self.config.bnb_budget,
+            )
+        if not full.exhausted:
+            outcome.status = FAILED
+            outcome.detail = "finite FALSE enumeration exceeded the limit"
+            return outcome
+        outcome.false_samples = len(full.points)
+        if not full.points:
+            outcome.status = TRIVIAL
+            outcome.detail = "no unsatisfaction tuples; only TRUE is valid"
+            return outcome
+        outcome.status = OPTIMAL
+        outcome.predicate = PNot(
+            por(
+                [
+                    self._equality_pred(point, ctx, targets, target_vars)
+                    for point in full.points
+                ]
+            )
+        )
+        return outcome
+
+    def _equality_pred(
+        self,
+        point: Point,
+        ctx: LinearizationContext,
+        targets: list[Column],
+        target_vars: list[Var],
+    ) -> Pred:
+        parts = []
+        for col, var in zip(targets, target_vars):
+            value = ctx.decode_value(point[var], col)
+            parts.append(Comparison(Col(col), "=", _literal_for(col, value)))
+        return pand(parts)
+
+
+def _literal_for(column: Column, value) -> Lit:
+    if column.ctype == "DATE":
+        return Lit.date(value)
+    if column.ctype == "TIMESTAMP":
+        return Lit.timestamp(value)
+    if column.ctype == DOUBLE:
+        return Lit.double(value)
+    return Lit.integer(value)
+
+
+def synthesize(
+    pred: Pred,
+    target_columns: set[Column] | list[Column],
+    config: SiaConfig = SIA_DEFAULT,
+) -> SynthesisOutcome:
+    """One-shot convenience wrapper around :class:`Synthesizer`."""
+    return Synthesizer(config).synthesize(pred, target_columns)

@@ -1,0 +1,73 @@
+"""Validity checking of learned predicates (section 5.5).
+
+``Verify`` feeds ``T(p) AND NOT T(p1)`` to the solver, where ``T`` is
+the three-valued-logic truth lift of section 5.2 (both the original
+predicate and the learned one are encoded with (value, NULL-flag)
+variable pairs).  Unsatisfiability means every tuple accepted by ``p``
+is accepted by ``p1``, i.e. ``p1`` is a valid dimensionality reduction
+(Def. 2).
+
+Note the outer negation: ``NOT T(p1)`` rather than ``F(p1)``.  A tuple
+on which ``p1`` evaluates to NULL is filtered out by SQL, so it counts
+against validity; this is what makes certain disjunctive predicates
+with NULL-able columns unsynthesizable (tested in
+``tests/core/test_verify_3vl.py``).
+"""
+
+from __future__ import annotations
+
+from ..learn import DisjunctivePredicate, Hyperplane
+from ..predicates import Pred, truth_formula
+from ..predicates.normalize import LinearizationContext
+from ..smt import Formula, Not, conj, disj, is_satisfiable, negate
+
+
+def plane_truth_formula(plane: Hyperplane, ctx: LinearizationContext) -> Formula:
+    """3VL truth of one hyperplane: all touched columns non-NULL and
+    the inequality holds."""
+    non_null = []
+    for var in plane.variables:
+        for column in _columns_of_var(var, ctx):
+            non_null.append(Not(ctx.null_flag(column)))
+    return conj([*non_null, plane.formula()])
+
+
+def learned_truth_formula(
+    learned: DisjunctivePredicate, ctx: LinearizationContext
+) -> Formula:
+    """3VL truth of a disjunction of hyperplanes."""
+    return disj([plane_truth_formula(plane, ctx) for plane in learned.planes])
+
+
+def verify_implied(
+    original: Pred,
+    learned: DisjunctivePredicate,
+    ctx: LinearizationContext,
+    *,
+    bnb_budget: int = 4000,
+) -> bool:
+    """True iff ``original`` implies ``learned`` under three-valued logic.
+
+    Conservative on solver resource exhaustion: an *unknown* answer is
+    reported as "not valid", so Sia can never emit a predicate whose
+    validity was not actually proven.
+    """
+    from ..smt import SolverError
+    from ..smt.theory import SolverBudgetError
+
+    t_p = truth_formula(original, ctx)
+    t_p1 = learned_truth_formula(learned, ctx)
+    try:
+        return not is_satisfiable(conj([t_p, negate(t_p1)]), bnb_budget=bnb_budget)
+    except (SolverError, SolverBudgetError):
+        return False
+
+
+def _columns_of_var(var, ctx: LinearizationContext):
+    column = ctx.column_of_var.get(var)
+    if column is not None:
+        return [column]
+    packed = ctx.packed_expr_of_var.get(var)
+    if packed is not None:
+        return sorted(packed.columns())
+    return []

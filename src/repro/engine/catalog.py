@@ -1,0 +1,32 @@
+"""Catalog: the set of base tables known to the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from ..sql.binder import Schema
+from .table import Table
+
+
+@dataclass
+class Catalog:
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def register(self, table: Table) -> None:
+        self.tables[table.name.lower()] = table
+
+    def get(self, name: str) -> Table:
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return table
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def schema(self) -> Schema:
+        """Binder-compatible schema of every registered table."""
+        return {
+            name: dict(table.schema) for name, table in self.tables.items()
+        }

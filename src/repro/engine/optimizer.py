@@ -1,0 +1,222 @@
+"""Heuristic plan builder with predicate pushdown.
+
+This reproduces the mechanism the paper relies on: a predicate whose
+columns all come from one table can be applied *below* the join,
+shrinking the join input.  The optimizer:
+
+1. splits the WHERE conjunction into equi-join conditions,
+   single-table predicates, and residual multi-table predicates;
+2. builds a left-deep join tree over the FROM tables (joining via any
+   available equi-condition, falling back to an error for cross
+   products -- the paper's workload always joins on keys);
+3. pushes each single-table predicate onto its table's scan when
+   ``pushdown`` is enabled, otherwise applies everything above the
+   final join (the shape Postgres picks for Q1 in Figure 1a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanError
+from ..predicates import Col, Column, Comparison, Pred, TRUE_PRED, pand
+from ..sql.binder import BoundQuery
+from .plan import Aggregate, AggSpec, Filter, HashJoin, Limit, PlanNode, Project, Scan, Sort
+
+
+@dataclass(frozen=True)
+class _JoinCond:
+    left: Column
+    right: Column
+
+
+def split_where(query: BoundQuery) -> tuple[list[_JoinCond], dict[str, list[Pred]], list[Pred]]:
+    """(equi-join conditions, per-table predicates, residual predicates)."""
+    joins: list[_JoinCond] = []
+    per_table: dict[str, list[Pred]] = {table: [] for table in query.tables}
+    residual: list[Pred] = []
+    for conjunct in query.where.conjuncts():
+        if conjunct is TRUE_PRED:
+            continue
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Col)
+            and isinstance(conjunct.right, Col)
+            and conjunct.left.column.table != conjunct.right.column.table
+        ):
+            joins.append(_JoinCond(conjunct.left.column, conjunct.right.column))
+            continue
+        tables = {column.table for column in conjunct.columns()}
+        if len(tables) == 1:
+            per_table[next(iter(tables))].append(conjunct)
+        else:
+            residual.append(conjunct)
+    return joins, per_table, residual
+
+
+def build_plan(
+    query: BoundQuery,
+    *,
+    pushdown: bool = True,
+    stats: "dict[str, object] | None" = None,
+) -> PlanNode:
+    """Logical plan for a bound query.
+
+    ``stats`` (table name -> :class:`~repro.engine.statistics.TableStats`)
+    enables cost-based join ordering: the join tree starts from the
+    table with the smallest estimated post-filter cardinality and grows
+    by the cheapest connectable table.  Without stats, the FROM-clause
+    order is kept (the paper's two-table workload does not need more).
+    """
+    if not query.tables:
+        raise PlanError("query has no tables")
+    joins, per_table, residual = split_where(query)
+
+    def scan_for(table: str) -> PlanNode:
+        node: PlanNode = Scan(table)
+        if pushdown and per_table[table]:
+            node = Filter(node, pand(list(per_table[table])))
+        return node
+
+    table_order = list(query.tables)
+    if stats is not None and len(table_order) > 1:
+        table_order = _order_by_cardinality(
+            query.tables, per_table, stats, pushdown
+        )
+
+    node = scan_for(table_order[0])
+    joined = {table_order[0]}
+    pending = list(table_order[1:])
+    remaining_joins = list(joins)
+
+    while pending:
+        progress = False
+        for table in list(pending):
+            cond = _find_join(remaining_joins, joined, table)
+            if cond is None:
+                continue
+            left_key, right_key = cond
+            node = HashJoin(node, scan_for(table), left_key, right_key)
+            joined.add(table)
+            pending.remove(table)
+            remaining_joins = [
+                j
+                for j in remaining_joins
+                if not (
+                    {j.left.table, j.right.table} == {left_key.table, right_key.table}
+                    and {j.left, j.right} == {left_key, right_key}
+                )
+            ]
+            progress = True
+            break
+        if not progress:
+            raise PlanError(
+                f"no equi-join condition connects {pending} to {sorted(joined)}"
+            )
+
+    # Leftover equi-joins between already-joined tables act as filters.
+    top_filters: list[Pred] = [
+        Comparison(Col(j.left), "=", Col(j.right)) for j in remaining_joins
+    ]
+    top_filters.extend(residual)
+    if not pushdown:
+        for table in table_order:
+            top_filters.extend(per_table[table])
+    if top_filters:
+        node = Filter(node, pand(top_filters))
+
+    if query.aggregates or query.group_by:
+        specs = tuple(
+            AggSpec(func, column) for func, column in query.aggregates
+        )
+        node = Aggregate(node, tuple(query.group_by), specs)
+    if query.order_by:
+        node = Sort(node, tuple(query.order_by))
+    if query.projections is not None and not (query.aggregates or query.group_by):
+        node = Project(node, tuple(query.projections))
+    if query.limit is not None:
+        node = Limit(node, query.limit)
+    return node
+
+
+def _order_by_cardinality(
+    tables: list[str],
+    per_table: dict[str, list[Pred]],
+    stats: dict[str, object],
+    pushdown: bool,
+) -> list[str]:
+    """Greedy smallest-first ordering by estimated filtered rows."""
+    from .statistics import TableStats, estimate_rows
+
+    def estimated(table: str) -> float:
+        table_stats = stats.get(table)
+        if not isinstance(table_stats, TableStats):
+            return float("inf")
+        predicates = per_table.get(table, []) if pushdown else []
+        if predicates:
+            return estimate_rows(pand(list(predicates)), table_stats)
+        return table_stats.row_count
+
+    return sorted(tables, key=lambda table: (estimated(table), tables.index(table)))
+
+
+def push_filter_below_aggregate(plan: PlanNode) -> PlanNode:
+    """The paper's second predicate-centric rule (section 1): a filter
+    above a grouped aggregation may move below it when every column it
+    references is in the GROUP BY set (groups are filtered wholesale,
+    so pre-filtering the input removes exactly the same groups).
+
+    Applied recursively; conjuncts that qualify move down while the
+    rest stay above the aggregate.
+    """
+    if isinstance(plan, Filter) and isinstance(plan.child, Aggregate):
+        aggregate = plan.child
+        group_columns = set(aggregate.group_by)
+        movable: list[Pred] = []
+        stuck: list[Pred] = []
+        for conjunct in plan.predicate.conjuncts():
+            if conjunct.columns() <= group_columns:
+                movable.append(conjunct)
+            else:
+                stuck.append(conjunct)
+        if movable:
+            pushed_child = Filter(
+                push_filter_below_aggregate(aggregate.child), pand(movable)
+            )
+            new_aggregate = Aggregate(
+                pushed_child, aggregate.group_by, aggregate.aggregates
+            )
+            if stuck:
+                return Filter(new_aggregate, pand(stuck))
+            return new_aggregate
+    # Recurse structurally.
+    if isinstance(plan, Filter):
+        return Filter(push_filter_below_aggregate(plan.child), plan.predicate)
+    if isinstance(plan, HashJoin):
+        return HashJoin(
+            push_filter_below_aggregate(plan.left),
+            push_filter_below_aggregate(plan.right),
+            plan.left_key,
+            plan.right_key,
+        )
+    if isinstance(plan, Project):
+        return Project(push_filter_below_aggregate(plan.child), plan.columns)
+    if isinstance(plan, Aggregate):
+        return Aggregate(
+            push_filter_below_aggregate(plan.child), plan.group_by, plan.aggregates
+        )
+    return plan
+
+
+def _find_join(
+    joins: list[_JoinCond], joined: set[str], candidate: str
+) -> tuple[Column, Column] | None:
+    """A join condition linking the joined set to ``candidate``;
+    returned as (key-in-joined-side, key-in-candidate-side)."""
+    for cond in joins:
+        if cond.left.table in joined and cond.right.table == candidate:
+            return cond.left, cond.right
+        if cond.right.table in joined and cond.left.table == candidate:
+            return cond.right, cond.left
+    return None

@@ -1,0 +1,138 @@
+"""Logical query plans.
+
+The plan language covers what the paper's evaluation needs: scans,
+filters, hash equi-joins, projections and (for completeness of the
+substrate) grouped aggregation.  Plans are immutable trees; the
+executor walks them bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..predicates import Column, Pred
+
+
+class PlanNode:
+    """Base class of logical plan operators."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self, indent: int = 0) -> str:
+        """EXPLAIN-style rendering."""
+        line = " " * indent + self._label()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.describe(indent + 2))
+        return "\n".join(parts)
+
+    def _label(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    table: str
+
+    def _label(self) -> str:
+        return f"Scan({self.table})"
+
+
+@dataclass(frozen=True)
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Pred
+
+    def children(self):
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class HashJoin(PlanNode):
+    """Inner equi-join; build side is ``left``."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: Column
+    right_key: Column
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _label(self) -> str:
+        return f"HashJoin({self.left_key.qualified} = {self.right_key.qualified})"
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    child: PlanNode
+    columns: tuple[Column, ...]
+
+    def children(self):
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Project({', '.join(c.qualified for c in self.columns)})"
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: func in COUNT/SUM/AVG/MIN/MAX; column None for COUNT(*)."""
+
+    func: str
+    column: Column | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise ValueError(f"unknown aggregate {self.func!r}")
+        if self.func != "COUNT" and self.column is None:
+            raise ValueError(f"{self.func} needs a column")
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    child: PlanNode
+    group_by: tuple[Column, ...]
+    aggregates: tuple[AggSpec, ...] = field(default=())
+
+    def children(self):
+        return (self.child,)
+
+    def _label(self) -> str:
+        keys = ", ".join(c.qualified for c in self.group_by) or "<all>"
+        return f"Aggregate(group by {keys})"
+
+
+@dataclass(frozen=True)
+class Sort(PlanNode):
+    """Stable multi-key sort; keys are (column, ascending) pairs."""
+
+    child: PlanNode
+    keys: tuple[tuple[Column, bool], ...]
+
+    def children(self):
+        return (self.child,)
+
+    def _label(self) -> str:
+        rendered = ", ".join(
+            f"{col.qualified} {'ASC' if asc else 'DESC'}" for col, asc in self.keys
+        )
+        return f"Sort({rendered})"
+
+
+@dataclass(frozen=True)
+class Limit(PlanNode):
+    child: PlanNode
+    count: int
+
+    def children(self):
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Limit({self.count})"

@@ -1,0 +1,51 @@
+"""Execution statistics and the tuple-flow cost model.
+
+Absolute wall-clock depends on the host, so the benchmarks also report
+``tuples_processed`` -- the number of tuples entering each operator --
+which is the quantity predicate pushdown actually reduces and tracks
+the paper's Postgres timings in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperatorStats:
+    label: str
+    rows_in: int
+    rows_out: int
+    elapsed_ms: float
+
+
+@dataclass
+class ExecutionStats:
+    operators: list[OperatorStats] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+    peak_bytes: int = 0
+
+    def record(self, label: str, rows_in: int, rows_out: int, elapsed_ms: float) -> None:
+        self.operators.append(OperatorStats(label, rows_in, rows_out, elapsed_ms))
+
+    def note_bytes(self, nbytes: int) -> None:
+        self.peak_bytes = max(self.peak_bytes, nbytes)
+
+    @property
+    def tuples_processed(self) -> int:
+        """Sum of tuples entering every operator (the cost proxy)."""
+        return sum(op.rows_in for op in self.operators)
+
+    @property
+    def join_input_tuples(self) -> int:
+        return sum(
+            op.rows_in for op in self.operators if op.label.startswith("HashJoin")
+        )
+
+    def summary(self) -> str:
+        lines = [f"total {self.elapsed_ms:.1f} ms, {self.tuples_processed} tuples"]
+        for op in self.operators:
+            lines.append(
+                f"  {op.label}: in={op.rows_in} out={op.rows_out} ({op.elapsed_ms:.1f} ms)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParseError(ReproError):
+    """Malformed SQL input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class TypeCheckError(ReproError):
+    """A predicate or expression violates the type rules of section 4.1."""
+
+
+class UnsupportedPredicateError(ReproError):
+    """The predicate falls outside the fragment Sia supports.
+
+    Examples: TEXT-typed comparisons, or a non-linear product of
+    columns that also occur elsewhere in the predicate (section 5.2's
+    packing trick does not apply there).
+    """
+
+
+class SynthesisError(ReproError):
+    """The synthesis pipeline failed in an unexpected way."""
+
+
+class CatalogError(ReproError):
+    """Unknown table or column, or a schema mismatch in the engine."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or cannot be executed."""

@@ -1,0 +1,14 @@
+"""Learning substrate: linear SVM and exact hyperplane predicates."""
+
+from .hyperplane import DisjunctivePredicate, Hyperplane, hyperplane_from_floats
+from .rationalize import rationalize_weights
+from .svm import SvmModel, train_linear_svm
+
+__all__ = [
+    "DisjunctivePredicate",
+    "Hyperplane",
+    "SvmModel",
+    "hyperplane_from_floats",
+    "rationalize_weights",
+    "train_linear_svm",
+]

@@ -1,0 +1,88 @@
+"""Typed SQL predicate IR, encodings and evaluators.
+
+See DESIGN.md section 3.  The IR (:mod:`repro.predicates.expr`) is
+shared by the parser, the synthesizer, the rewriter and the engine.
+"""
+
+from .dates import (
+    EPOCH_DATE,
+    EPOCH_TS,
+    date_to_days,
+    days_to_date,
+    seconds_to_timestamp,
+    timestamp_to_seconds,
+)
+from .encode import falsity_formula, truth_formula
+from .eval import (
+    eval_expr_numpy,
+    eval_expr_py,
+    eval_pred_numpy,
+    eval_pred_py,
+    selectivity,
+)
+from .expr import (
+    COLUMN_TYPES,
+    DATE,
+    DOUBLE,
+    FALSE_PRED,
+    INTEGER,
+    TIMESTAMP,
+    TRUE_PRED,
+    Arith,
+    Col,
+    Column,
+    Comparison,
+    Expr,
+    IsNull,
+    Lit,
+    PAnd,
+    PNot,
+    POr,
+    Pred,
+    pand,
+    por,
+    walk_comparisons,
+)
+from .normalize import LinearizationContext, linearize_expr, lower_predicate
+from .simplify import simplify_conjunction
+
+__all__ = [
+    "Arith",
+    "Col",
+    "Column",
+    "COLUMN_TYPES",
+    "Comparison",
+    "DATE",
+    "DOUBLE",
+    "EPOCH_DATE",
+    "EPOCH_TS",
+    "Expr",
+    "FALSE_PRED",
+    "INTEGER",
+    "IsNull",
+    "LinearizationContext",
+    "Lit",
+    "PAnd",
+    "PNot",
+    "POr",
+    "Pred",
+    "TIMESTAMP",
+    "TRUE_PRED",
+    "date_to_days",
+    "days_to_date",
+    "eval_expr_numpy",
+    "eval_expr_py",
+    "eval_pred_numpy",
+    "eval_pred_py",
+    "falsity_formula",
+    "linearize_expr",
+    "lower_predicate",
+    "pand",
+    "por",
+    "seconds_to_timestamp",
+    "selectivity",
+    "simplify_conjunction",
+    "timestamp_to_seconds",
+    "truth_formula",
+    "walk_comparisons",
+]

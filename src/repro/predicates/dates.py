@@ -1,0 +1,37 @@
+"""Date and timestamp <-> integer conversions.
+
+Section 3.2/5.2 of the paper: DATE columns are converted to INTEGER by
+choosing an *origin* date (zero) and encoding every other date as the
+signed number of days from the origin; TIMESTAMP uses seconds.  The
+execution engine uses a fixed global epoch (1970-01-01) for its int64
+column storage, while the SMT lowering picks the smallest date literal
+of the predicate as origin so that sample magnitudes stay small (this
+matches the paper, which uses 1993-06-01 for its running example).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+EPOCH_DATE = _dt.date(1970, 1, 1)
+EPOCH_TS = _dt.datetime(1970, 1, 1)
+
+
+def date_to_days(value: _dt.date, origin: _dt.date = EPOCH_DATE) -> int:
+    """Signed day count from ``origin`` to ``value``."""
+    return (value - origin).days
+
+
+def days_to_date(days: int, origin: _dt.date = EPOCH_DATE) -> _dt.date:
+    """Inverse of :func:`date_to_days`."""
+    return origin + _dt.timedelta(days=days)
+
+
+def timestamp_to_seconds(value: _dt.datetime, origin: _dt.datetime = EPOCH_TS) -> int:
+    """Signed second count from ``origin`` to ``value``."""
+    return int((value - origin).total_seconds())
+
+
+def seconds_to_timestamp(seconds: int, origin: _dt.datetime = EPOCH_TS) -> _dt.datetime:
+    """Inverse of :func:`timestamp_to_seconds`."""
+    return origin + _dt.timedelta(seconds=seconds)

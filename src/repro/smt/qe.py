@@ -1,0 +1,189 @@
+"""Quantifier elimination by Fourier-Motzkin projection.
+
+Sia's FALSE training samples are *unsatisfaction tuples* (Def. 4): an
+assignment to the kept columns such that **no** extension to the
+remaining columns satisfies the original predicate ``p``.  The set of
+such tuples is ``not exists y . p(x, y)``, a formula with one
+quantifier alternation.  We compute it by:
+
+1. expanding ``p`` to DNF (cheap -- the paper's workload predicates are
+   conjunctions),
+2. eliminating the quantified variables from each cube with equality
+   substitution + Fourier-Motzkin,
+3. negating the resulting quantifier-free disjunction.
+
+Over the reals the projection is exact.  Over the integers the real
+shadow *over-approximates* ``exists y``, so its negation
+*under-approximates* the unsatisfaction region -- every sample drawn
+from it is still a genuine unsatisfaction tuple (soundness is never at
+risk), but optimality detection can be conservative.  The projection is
+exact over the integers whenever each eliminated variable occurs with
+coefficient +-1 in every atom, which covers the paper's entire TPC-H
+workload grammar; :class:`EliminationResult.exact` reports this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .formula import (
+    EQ,
+    FALSE,
+    LE,
+    LT,
+    TRUE,
+    Atom,
+    Formula,
+    conj,
+    disj,
+    fold_atom,
+    negate,
+    to_dnf,
+)
+from .terms import LinExpr, Var
+from .theory import tighten
+
+
+@dataclass
+class EliminationResult:
+    """Outcome of quantifier elimination.
+
+    ``formula`` is quantifier-free over the kept variables; ``exact``
+    reports whether integer elimination was exact (unit coefficients /
+    equality substitutions all the way down).
+    """
+
+    formula: Formula
+    exact: bool
+
+
+def eliminate_exists(formula: Formula, elim_vars: set[Var]) -> EliminationResult:
+    """Quantifier-free equivalent (over reals) of ``exists elim_vars . formula``."""
+    cubes = to_dnf(formula)
+    exact = True
+    projected: list[Formula] = []
+    for cube in cubes:
+        result = _project_cube(cube, elim_vars)
+        if result is None:
+            continue  # infeasible cube
+        atoms, cube_exact = result
+        exact = exact and cube_exact
+        projected.append(conj(atoms))
+    return EliminationResult(disj(projected), exact)
+
+
+def unsat_region(formula: Formula, keep_vars: set[Var]) -> EliminationResult:
+    """The unsatisfaction-tuple region ``not exists y . formula``.
+
+    ``keep_vars`` are the columns of the synthesized predicate; all
+    other variables of ``formula`` are eliminated.  For integer sorts
+    the result under-approximates the true region unless ``exact``.
+    """
+    elim = formula.variables() - keep_vars
+    exists = eliminate_exists(formula, elim)
+    return EliminationResult(negate(exists.formula), exists.exact)
+
+
+# ----------------------------------------------------------------------
+# Cube projection
+# ----------------------------------------------------------------------
+def _project_cube(
+    cube: list[Atom], elim_vars: set[Var]
+) -> tuple[list[Formula], bool] | None:
+    """Eliminate ``elim_vars`` from a conjunction of atoms.
+
+    Returns (atoms over the kept variables, exactness flag), or None if
+    the cube is detected infeasible during projection.
+    """
+    atoms: list[Atom] = []
+    for atom in cube:
+        tightened = tighten(atom)
+        if tightened is False:
+            return None
+        if tightened is True:
+            continue
+        atoms.append(tightened)
+
+    exact = True
+    # Eliminate one variable at a time; order by fewest occurrences to
+    # keep intermediate systems small.
+    remaining = sorted(
+        (var for var in elim_vars),
+        key=lambda v: (sum(1 for a in atoms if v in a.expr.coeffs), v.name),
+    )
+    for var in remaining:
+        step = _eliminate_var(atoms, var)
+        if step is None:
+            return None
+        atoms, step_exact = step
+        exact = exact and step_exact
+    return list(atoms), exact
+
+
+def _eliminate_var(
+    atoms: list[Atom], var: Var
+) -> tuple[list[Atom], bool] | None:
+    touching = [a for a in atoms if var in a.expr.coeffs]
+    if not touching:
+        return atoms, True
+    others = [a for a in atoms if var not in a.expr.coeffs]
+
+    # Prefer substitution through an equality (exact when coeff is +-1,
+    # or when the variable is real-sorted).
+    for atom in touching:
+        if atom.op != EQ:
+            continue
+        coeff = atom.expr.coeffs[var]
+        # atom: coeff*var + rest = 0  =>  var = -rest/coeff
+        replacement = -(atom.expr - LinExpr.var(var) * coeff) / coeff
+        exact = (not var.is_int) or abs(coeff) == 1
+        new_atoms: list[Atom] = []
+        for other in touching:
+            if other is atom:
+                continue
+            folded = fold_atom(Atom(other.expr.substitute(var, replacement), other.op))
+            if folded is FALSE:
+                return None
+            if folded is TRUE:
+                continue
+            assert isinstance(folded, Atom)
+            new_atoms.append(folded)
+        return others + new_atoms, exact
+
+    # Fourier-Motzkin over the inequalities.
+    uppers: list[Atom] = []  # coeff > 0: var bounded above
+    lowers: list[Atom] = []  # coeff < 0: var bounded below
+    for atom in touching:
+        if atom.expr.coeffs[var] > 0:
+            uppers.append(atom)
+        else:
+            lowers.append(atom)
+    if not uppers or not lowers:
+        # Unbounded on one side: the touching constraints are always
+        # satisfiable by pushing var far enough; drop them.
+        return others, True
+
+    exact = True
+    combined: list[Atom] = []
+    for up in uppers:
+        a_up = up.expr.coeffs[var]
+        for low in lowers:
+            a_low = low.expr.coeffs[var]  # negative
+            if var.is_int and not (a_up == 1 or a_low == -1):
+                exact = False
+            op = LT if (up.op == LT or low.op == LT) else LE
+            # (-a_low) * up.expr + a_up * low.expr has var cancelled.
+            merged_expr = up.expr * (-a_low) + low.expr * a_up
+            folded = fold_atom(Atom(merged_expr, op))
+            if folded is FALSE:
+                return None
+            if folded is TRUE:
+                continue
+            assert isinstance(folded, Atom)
+            tightened = tighten(folded)
+            if tightened is False:
+                return None
+            if tightened is True:
+                continue
+            combined.append(tightened)
+    return others + combined, exact

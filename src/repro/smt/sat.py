@@ -1,0 +1,340 @@
+"""A CDCL SAT solver.
+
+This is the propositional core of the SMT substrate: conflict-driven
+clause learning with two-literal watching, first-UIP learning, VSIDS
+branching, phase saving and Luby restarts.  The DPLL(T) driver adds
+theory lemmas and blocking clauses between ``solve()`` calls, so the
+solver supports incremental clause addition and assumption literals.
+
+Literals follow the DIMACS convention: variable ``v >= 1``, positive
+literal ``v``, negative literal ``-v``.
+"""
+
+from __future__ import annotations
+
+UNASSIGNED = -1
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """Incremental CDCL solver."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        # watches[lit] holds indices of clauses that currently watch `lit`.
+        self.watches: dict[int, list[int]] = {}
+        self.assign: list[int] = [UNASSIGNED]  # index 0 unused
+        self.level: list[int] = [0]
+        self.reason: list[int | None] = [None]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.activity: list[float] = [0.0]
+        self.phase: list[bool] = [False]
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.ok = True
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    # Variable / clause management
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        return self.num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.new_var()
+
+    def value(self, lit: int) -> int:
+        """0 = false, 1 = true, UNASSIGNED otherwise (under current trail)."""
+        val = self.assign[abs(lit)]
+        if val == UNASSIGNED:
+            return UNASSIGNED
+        return val if lit > 0 else 1 - val
+
+    def add_clause(self, lits: list[int]) -> bool:
+        """Add a clause; returns False if the instance became unsat.
+
+        The solver backtracks to decision level 0 first, so clauses can
+        be added at any time between ``solve()`` calls.
+        """
+        if not self.ok:
+            return False
+        self._cancel_until(0)
+        for lit in lits:
+            self.ensure_vars(abs(lit))
+        # Remove duplicates / detect tautologies, drop false literals.
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self.value(lit)
+            if val == 1:
+                return True  # already satisfied at level 0
+            if val == 0:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return False
+            return True
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self._watch(out[0], idx)
+        self._watch(out[1], idx)
+        return True
+
+    def _watch(self, lit: int, clause_idx: int) -> None:
+        self.watches.setdefault(lit, []).append(clause_idx)
+
+    # ------------------------------------------------------------------
+    # Trail management
+    # ------------------------------------------------------------------
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason: int | None) -> None:
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else 0
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        bound = self.trail_lim[target_level]
+        for lit in reversed(self.trail[bound:]):
+            var = abs(lit)
+            self.assign[var] = UNASSIGNED
+            self.reason[var] = None
+        del self.trail[bound:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            falsified = -lit
+            watchers = self.watches.get(falsified)
+            if not watchers:
+                continue
+            keep: list[int] = []
+            i = 0
+            conflict: int | None = None
+            while i < len(watchers):
+                ci = watchers[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self.value(first) == 1:
+                    keep.append(ci)
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self.value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(ci)
+                if self.value(first) == 0:
+                    # Conflict: keep remaining watchers, report.
+                    keep.extend(watchers[i:])
+                    conflict = ci
+                    break
+                self._enqueue(first, ci)
+            self.watches[falsified] = keep
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """Returns (learnt clause, backjump level)."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        clause = self.clauses[conflict]
+        index = len(self.trail)
+        current = self._decision_level()
+        while True:
+            for q in clause if lit == 0 else clause[1:]:
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick the next literal on the trail to resolve on.
+            while True:
+                index -= 1
+                lit = self.trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            seen[abs(lit)] = False
+            if counter == 0:
+                break
+            reason = self.reason[abs(lit)]
+            assert reason is not None, "resolved literal must have a reason"
+            clause = self.clauses[reason]
+            # The enqueued literal of a reason clause is kept at position
+            # 0 by propagation; a position-1 swap keeps both watches valid.
+            if clause[0] != lit:
+                assert clause[1] == lit, "reason clause lost its asserting literal"
+                clause[0], clause[1] = clause[1], clause[0]
+        learnt[0] = -lit
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self.level[abs(learnt[i])] > self.level[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == UNASSIGNED and self.activity[var] > best_act:
+                best_act = self.activity[var]
+                best_var = var
+        if best_var == 0:
+            return 0
+        return best_var if self.phase[best_var] else -best_var
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: list[int] | None = None) -> bool:
+        """Search for a model extending the assumptions."""
+        if not self.ok:
+            return False
+        assumptions = list(assumptions or [])
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return False
+
+        restart_count = 0
+        conflict_budget = 100 * _luby(restart_count + 1)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                if len(learnt) == 1:
+                    if self.value(learnt[0]) == UNASSIGNED:
+                        self._enqueue(learnt[0], None)
+                    elif self.value(learnt[0]) == 0:
+                        self.ok = False
+                        return False
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self._watch(learnt[0], idx)
+                    self._watch(learnt[1], idx)
+                    self._enqueue(learnt[0], idx)
+                self.var_inc /= self.var_decay
+                continue
+
+            if conflicts_here >= conflict_budget:
+                restart_count += 1
+                conflict_budget = 100 * _luby(restart_count + 1)
+                conflicts_here = 0
+                self._cancel_until(len(assumptions))
+                continue
+
+            # Apply pending assumptions as decisions.
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                val = self.value(lit)
+                if val == 0:
+                    self._cancel_until(0)
+                    return False
+                self.trail_lim.append(len(self.trail))
+                if val == UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+
+            branch = self._pick_branch()
+            if branch == 0:
+                return True  # full assignment found
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(branch, None)
+
+    def model(self) -> list[bool]:
+        """Model after a successful solve: ``model()[v]`` for variable v."""
+        return [val == 1 for val in self.assign]
+
+    def finish(self) -> None:
+        """Return to level 0, keeping learnt clauses (call between solves)."""
+        self._cancel_until(0)

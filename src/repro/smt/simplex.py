@@ -1,0 +1,397 @@
+"""General simplex for linear rational arithmetic with strict bounds.
+
+This follows the classic Dutertre--de Moura construction used inside
+DPLL(T) solvers: every distinct linear form gets a *slack* variable,
+asserted constraints become bounds on slack variables, and a
+Bland's-rule pivoting loop either finds an assignment within all bounds
+or reports a minimal-ish infeasible set of constraint tags.
+
+Strict inequalities are handled symbolically with *delta-rationals*
+``r + k * delta`` where ``delta`` is an infinitesimal; a concrete
+positive value for ``delta`` is computed after a satisfying assignment
+is found (:func:`concretize_delta`).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Iterable, Mapping
+
+from .formula import EQ, LE, LT, Atom
+from .terms import LinExpr, Var
+
+Tag = Hashable
+
+
+@dataclass(frozen=True)
+class DeltaRational:
+    """A value ``real + k * delta`` for an infinitesimal ``delta > 0``."""
+
+    real: Fraction
+    k: Fraction = Fraction(0)
+
+    def __add__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.real + other.real, self.k + other.k)
+
+    def __sub__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.real - other.real, self.k - other.k)
+
+    def scale(self, factor: Fraction) -> "DeltaRational":
+        return DeltaRational(self.real * factor, self.k * factor)
+
+    def __lt__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.k) < (other.real, other.k)
+
+    def __le__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.k) <= (other.real, other.k)
+
+    def __gt__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.k) > (other.real, other.k)
+
+    def __ge__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.k) >= (other.real, other.k)
+
+    def __repr__(self) -> str:
+        if self.k == 0:
+            return str(self.real)
+        return f"{self.real}{'+' if self.k > 0 else '-'}{abs(self.k)}d"
+
+
+DR_ZERO = DeltaRational(Fraction(0))
+
+
+def _dr(real: Fraction | int, k: Fraction | int = 0) -> DeltaRational:
+    return DeltaRational(Fraction(real), Fraction(k))
+
+
+@functools.lru_cache(maxsize=262_144)
+def _describe_atom(atom: Atom):
+    """Per-atom assertion preprocessing, memoised across Simplex
+    instances (the DPLL(T) loop rebuilds the tableau every round, but
+    the exact-rational normalisation of each atom never changes).
+
+    Returns ``("const", holds)`` for constant atoms, else
+    ``("bound", scale, rhs, strict)`` where the constraint is
+    ``slack_form op rhs`` after dividing by ``scale``.
+    """
+    expr = atom.expr
+    if expr.is_constant:
+        return ("const", atom.holds(expr.const))
+    if atom.op not in (LE, LT, EQ):
+        raise ValueError(f"simplex cannot assert op {atom.op!r} directly")
+    scale = Fraction(1)
+    if len(expr.coeffs) == 1:
+        (var,) = expr.coeffs
+        scale = expr.coeffs[var]
+    rhs = -expr.const / scale if scale != 1 else -expr.const
+    return ("bound", scale, rhs, atom.op == LT)
+
+
+class TheoryConflict(Exception):
+    """An asserted constraint set is infeasible; carries the core tags."""
+
+    def __init__(self, core: frozenset[Tag]) -> None:
+        super().__init__(f"theory conflict: {sorted(map(str, core))}")
+        self.core = core
+
+
+@dataclass
+class _Bound:
+    value: DeltaRational
+    tag: Tag
+
+
+class Simplex:
+    """Feasibility checker for conjunctions of linear constraints.
+
+    Usage::
+
+        s = Simplex()
+        s.assert_atom(Atom(expr, LE), tag="c1")
+        model = s.check()          # {Var: DeltaRational} or TheoryConflict
+
+    Constraints are expressed as atoms ``expr op 0`` with op in
+    ``<=, <, =``.  Asserted-false atoms must be negated by the caller
+    before being fed here.
+    """
+
+    def __init__(self) -> None:
+        self._order: dict[Var, int] = {}  # Bland's rule ordering
+        self._slack_count = 0
+        self._slack_of_form: dict[frozenset[tuple[Var, Fraction]], Var] = {}
+        # rows: basic -> {nonbasic: coeff}; basic = sum coeff * nonbasic
+        self.rows: dict[Var, dict[Var, Fraction]] = {}
+        self.lower: dict[Var, _Bound] = {}
+        self.upper: dict[Var, _Bound] = {}
+        self.beta: dict[Var, DeltaRational] = {}
+        self._strict_atoms: list[tuple[LinExpr, Tag]] = []
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def _intern(self, var: Var) -> Var:
+        if var not in self._order:
+            self._order[var] = len(self._order)
+            self.beta[var] = DR_ZERO
+        return var
+
+    def _slack_for(self, expr: LinExpr) -> Var:
+        """Slack variable for the homogeneous part of ``expr``.
+
+        Two constraints over the same linear form (up to the constant)
+        share a slack variable, which is what lets the tableau detect
+        their interaction.
+        """
+        key = frozenset(expr.coeffs.items())
+        slack = self._slack_of_form.get(key)
+        if slack is not None:
+            return slack
+        if len(expr.coeffs) == 1:
+            # A single-variable form c*x needs no slack row: bounds are
+            # asserted directly on x after dividing by c.
+            (var,) = expr.coeffs
+            self._intern(var)
+            self._slack_of_form[key] = var
+            return var
+        self._slack_count += 1
+        slack = Var(f"__slack{self._slack_count}", "real")
+        self._intern(slack)
+        row: dict[Var, Fraction] = {}
+        for var, coeff in expr.coeffs.items():
+            self._intern(var)
+            row[var] = coeff
+        self.rows[slack] = row
+        self.beta[slack] = self._row_value(row)
+        self._slack_of_form[key] = slack
+        return slack
+
+    def _row_value(self, row: Mapping[Var, Fraction]) -> DeltaRational:
+        total = DR_ZERO
+        for var, coeff in row.items():
+            total = total + self.beta[var].scale(coeff)
+        return total
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+    def assert_atom(self, atom: Atom, tag: Tag) -> None:
+        """Assert ``atom.expr atom.op 0``.  Raises TheoryConflict."""
+        descriptor = _describe_atom(atom)
+        if descriptor[0] == "const":
+            if not descriptor[1]:
+                raise TheoryConflict(frozenset([tag]))
+            return
+        _, scale, rhs, strict = descriptor
+        expr = atom.expr
+        slack = self._slack_for(expr)
+        if strict:
+            self._strict_atoms.append((expr, tag))
+        if atom.op == EQ:
+            self._assert_upper(slack, _dr(rhs), tag)
+            self._assert_lower(slack, _dr(rhs), tag)
+        elif scale > 0:
+            bound = _dr(rhs, -1 if strict else 0)
+            self._assert_upper(slack, bound, tag)
+        else:
+            # Dividing by a negative scale flips the inequality.
+            bound = _dr(rhs, 1 if strict else 0)
+            self._assert_lower(slack, bound, tag)
+
+    def _assert_upper(self, var: Var, value: DeltaRational, tag: Tag) -> None:
+        low = self.lower.get(var)
+        if low is not None and value < low.value:
+            raise TheoryConflict(frozenset([tag, low.tag]))
+        up = self.upper.get(var)
+        if up is not None and up.value <= value:
+            return
+        self.upper[var] = _Bound(value, tag)
+        if var not in self.rows and self.beta[var] > value:
+            self._update(var, value)
+
+    def _assert_lower(self, var: Var, value: DeltaRational, tag: Tag) -> None:
+        up = self.upper.get(var)
+        if up is not None and up.value < value:
+            raise TheoryConflict(frozenset([tag, up.tag]))
+        low = self.lower.get(var)
+        if low is not None and low.value >= value:
+            return
+        self.lower[var] = _Bound(value, tag)
+        if var not in self.rows and self.beta[var] < value:
+            self._update(var, value)
+
+    # ------------------------------------------------------------------
+    # Pivoting
+    # ------------------------------------------------------------------
+    def _update(self, nonbasic: Var, value: DeltaRational) -> None:
+        delta = value - self.beta[nonbasic]
+        for basic, row in self.rows.items():
+            coeff = row.get(nonbasic)
+            if coeff:
+                self.beta[basic] = self.beta[basic] + delta.scale(coeff)
+        self.beta[nonbasic] = value
+
+    def _pivot_and_update(self, basic: Var, nonbasic: Var, value: DeltaRational) -> None:
+        row = self.rows[basic]
+        a = row[nonbasic]
+        theta = (value - self.beta[basic]).scale(Fraction(1) / a)
+        self.beta[basic] = value
+        self.beta[nonbasic] = self.beta[nonbasic] + theta
+        for other_basic, other_row in self.rows.items():
+            if other_basic is basic:
+                continue
+            coeff = other_row.get(nonbasic)
+            if coeff:
+                self.beta[other_basic] = self.beta[other_basic] + theta.scale(coeff)
+        self._pivot(basic, nonbasic)
+
+    def _pivot(self, basic: Var, nonbasic: Var) -> None:
+        """Swap roles of ``basic`` (leaves) and ``nonbasic`` (enters basis)."""
+        row = self.rows.pop(basic)
+        a = row.pop(nonbasic)
+        # nonbasic = (basic - sum(other coeffs)) / a
+        new_row: dict[Var, Fraction] = {basic: Fraction(1) / a}
+        for var, coeff in row.items():
+            new_row[var] = -coeff / a
+        self.rows[nonbasic] = new_row
+        for other_basic in list(self.rows):
+            if other_basic is nonbasic:
+                continue
+            other_row = self.rows[other_basic]
+            coeff = other_row.pop(nonbasic, None)
+            if coeff is None or coeff == 0:
+                continue
+            for var, sub_coeff in new_row.items():
+                merged = other_row.get(var, Fraction(0)) + coeff * sub_coeff
+                if merged == 0:
+                    other_row.pop(var, None)
+                else:
+                    other_row[var] = merged
+
+    # ------------------------------------------------------------------
+    # Main check loop
+    # ------------------------------------------------------------------
+    def check(self) -> dict[Var, DeltaRational]:
+        """Find an assignment within all bounds or raise TheoryConflict."""
+        while True:
+            violating = self._find_violating_basic()
+            if violating is None:
+                return {
+                    var: self.beta[var]
+                    for var in self._order
+                    if not var.name.startswith("__slack")
+                }
+            basic, needs_increase = violating
+            target = (
+                self.lower[basic].value if needs_increase else self.upper[basic].value
+            )
+            entering = self._find_entering(basic, needs_increase)
+            if entering is None:
+                raise TheoryConflict(self._conflict_core(basic, needs_increase))
+            self._pivot_and_update(basic, entering, target)
+
+    def _find_violating_basic(self) -> tuple[Var, bool] | None:
+        best: tuple[int, Var, bool] | None = None
+        for basic in self.rows:
+            value = self.beta[basic]
+            low = self.lower.get(basic)
+            if low is not None and value < low.value:
+                cand = (self._order[basic], basic, True)
+                if best is None or cand[0] < best[0]:
+                    best = cand
+                continue
+            up = self.upper.get(basic)
+            if up is not None and value > up.value:
+                cand = (self._order[basic], basic, False)
+                if best is None or cand[0] < best[0]:
+                    best = cand
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _find_entering(self, basic: Var, needs_increase: bool) -> Var | None:
+        """Bland's rule: smallest-index nonbasic that can move ``basic``."""
+        row = self.rows[basic]
+        best: tuple[int, Var] | None = None
+        for nonbasic, coeff in row.items():
+            if coeff == 0:
+                continue
+            if needs_increase:
+                movable = (coeff > 0 and self._can_increase(nonbasic)) or (
+                    coeff < 0 and self._can_decrease(nonbasic)
+                )
+            else:
+                movable = (coeff > 0 and self._can_decrease(nonbasic)) or (
+                    coeff < 0 and self._can_increase(nonbasic)
+                )
+            if movable:
+                cand = (self._order[nonbasic], nonbasic)
+                if best is None or cand[0] < best[0]:
+                    best = cand
+        return None if best is None else best[1]
+
+    def _can_increase(self, var: Var) -> bool:
+        up = self.upper.get(var)
+        return up is None or self.beta[var] < up.value
+
+    def _can_decrease(self, var: Var) -> bool:
+        low = self.lower.get(var)
+        return low is None or self.beta[var] > low.value
+
+    def _conflict_core(self, basic: Var, needs_increase: bool) -> frozenset[Tag]:
+        row = self.rows[basic]
+        tags: set[Tag] = set()
+        if needs_increase:
+            tags.add(self.lower[basic].tag)
+            for nonbasic, coeff in row.items():
+                if coeff > 0:
+                    tags.add(self.upper[nonbasic].tag)
+                elif coeff < 0:
+                    tags.add(self.lower[nonbasic].tag)
+        else:
+            tags.add(self.upper[basic].tag)
+            for nonbasic, coeff in row.items():
+                if coeff > 0:
+                    tags.add(self.lower[nonbasic].tag)
+                elif coeff < 0:
+                    tags.add(self.upper[nonbasic].tag)
+        return frozenset(tags)
+
+
+def concretize_delta(
+    assignment: Mapping[Var, DeltaRational],
+    strict_exprs: Iterable[LinExpr],
+) -> Fraction:
+    """A concrete positive value for delta validating all strict atoms.
+
+    Given a delta-rational assignment that satisfies every asserted
+    constraint symbolically, every ``expr < 0`` atom evaluates to
+    ``r + k*delta`` with either ``r < 0`` or (``r == 0`` and ``k < 0``).
+    Any delta below ``min(-r/k)`` over atoms with ``k > 0`` works; we
+    also cap at 1.
+    """
+    bound = Fraction(1)
+    for expr in strict_exprs:
+        real = expr.const
+        k = Fraction(0)
+        for var, coeff in expr.coeffs.items():
+            value = assignment[var]
+            real += coeff * value.real
+            k += coeff * value.k
+        if k > 0:
+            # real + k*delta < 0 requires delta < -real/k (real < 0 here).
+            limit = -real / k
+            if limit <= 0:
+                raise AssertionError("strict atom infeasible at concretization")
+            bound = min(bound, limit / 2)
+    return bound
+
+
+def concrete_model(
+    assignment: Mapping[Var, DeltaRational],
+    strict_exprs: Iterable[LinExpr],
+) -> dict[Var, Fraction]:
+    """Substitute a concrete delta into a delta-rational assignment."""
+    delta = concretize_delta(assignment, strict_exprs)
+    return {var: value.real + value.k * delta for var, value in assignment.items()}

@@ -1,0 +1,406 @@
+"""Lazy DPLL(T) solver facade.
+
+This is the ``z3``-shaped surface the rest of the system talks to: add
+formulas, call :meth:`Solver.check`, read back a model.  Internally it
+runs the classic lazy loop:
+
+1. Tseitin-encode all asserted formulas into a CDCL SAT solver.
+2. Ask the SAT core for a boolean model.
+3. Collect the arithmetic atoms the model asserts (positively or
+   negatively) and check their conjunction with the LRA/LIA theory
+   solver.
+4. On theory conflict, add the blocking clause over the conflicting
+   atom literals and repeat.
+
+Disequalities arising from *negated equality atoms* are resolved with a
+splitting lemma ``~(e = 0) -> (e < 0 | e > 0)`` added on demand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable
+
+from .cnf import CnfBuilder
+from .formula import LT, NE, Atom, BVar, Formula
+from .sat import SatSolver
+from .simplex import TheoryConflict
+from .terms import LinExpr, Var
+from .theory import SolverBudgetError, check_conjunction
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+@dataclass
+class Model:
+    """A first-order model: rational values plus boolean assignments."""
+
+    values: dict[Var, Fraction] = field(default_factory=dict)
+    booleans: dict[BVar, bool] = field(default_factory=dict)
+
+    def value(self, var: Var) -> Fraction:
+        """Value of an arithmetic variable (0 if unconstrained)."""
+        return self.values.get(var, Fraction(0))
+
+    def int_value(self, var: Var) -> int:
+        value = self.value(var)
+        if value.denominator != 1:
+            raise ValueError(f"{var} has non-integral value {value}")
+        return int(value)
+
+    def evaluate(self, expr: LinExpr) -> Fraction:
+        total = expr.const
+        for var, coeff in expr.coeffs.items():
+            total += coeff * self.value(var)
+        return total
+
+    def satisfies(self, formula: Formula) -> bool:
+        assignment = {var: self.value(var) for var in formula.variables()}
+        booleans = {bv: self.booleans.get(bv, False) for bv in formula.bool_variables()}
+        return formula.evaluate(assignment, booleans)
+
+
+class SolverError(Exception):
+    """The lazy loop failed to converge within its round budget."""
+
+
+class Solver:
+    """Incremental SMT solver for linear integer/real arithmetic.
+
+    Assertions accumulate; :meth:`check` may be called repeatedly with
+    more assertions added in between (the pattern used by the
+    sample-generation loop with its growing ``NotOld`` constraint).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_rounds: int = 50_000,
+        bnb_budget: int = 4000,
+        ordering_lemmas: bool = True,
+    ) -> None:
+        self._builder = CnfBuilder()
+        self._sat = SatSolver()
+        self._clauses_sent = 0
+        self._max_rounds = max_rounds
+        self._bnb_budget = bnb_budget
+        self._ordering_lemmas = ordering_lemmas
+        self._model: Model | None = None
+        self._eq_split: set[Atom] = set()
+        self._budget_events = 0
+        self._lemma_atom_count = 0
+        self._emitted_lemmas: set[tuple[int, ...]] = set()
+        # var -> sorted bound chains for incremental ordering lemmas.
+        self._chains: dict[Var, dict[str, list]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, *formulas: Formula) -> None:
+        for formula in formulas:
+            self._builder.assert_formula(formula)
+        self._sync_clauses()
+
+    def _sync_clauses(self) -> None:
+        result = self._builder.result
+        self._sat.ensure_vars(result.num_vars)
+        while self._clauses_sent < len(result.clauses):
+            clause = result.clauses[self._clauses_sent]
+            self._clauses_sent += 1
+            if not clause:
+                self._sat.ok = False
+                continue
+            self._sat.add_clause(list(clause))
+
+    # ------------------------------------------------------------------
+    def check(self, assumptions: list[Formula] | None = None) -> str:
+        """Run the lazy DPLL(T) loop; returns ``"sat"`` or ``"unsat"``.
+
+        ``assumptions`` are literal-shaped formulas (atoms, negated
+        atoms, or boolean variables) asserted only for this call --
+        the MiniSat-style incremental interface.  Clauses learned
+        during an assuming check remain globally sound (theory
+        conflicts do not depend on why their literals were asserted),
+        so the solver stays warm across differently-assumed calls.
+        """
+        self._model = None
+        self._budget_events = 0
+        if self._builder.result.trivially_false or not self._sat.ok:
+            return UNSAT
+        assumption_lits = (
+            [self._literal(formula) for formula in assumptions]
+            if assumptions
+            else []
+        )
+        self._add_bound_lemmas()
+        for _ in range(self._max_rounds):
+            self._sat.finish()
+            if not self._sat.solve(assumptions=assumption_lits):
+                return UNSAT
+            sat_model = self._sat.model()
+            outcome = self._theory_round(sat_model)
+            if outcome is not None:
+                self._model = outcome
+                return SAT
+        raise SolverError(f"lazy SMT loop exceeded {self._max_rounds} rounds")
+
+    def _literal(self, formula: Formula) -> int:
+        """SAT literal for a literal-shaped formula (used by assumptions)."""
+        negated = False
+        from .formula import Not as FNot
+
+        if isinstance(formula, FNot):
+            formula = formula.arg
+            negated = True
+        if isinstance(formula, (Atom, BVar)):
+            if isinstance(formula, Atom):
+                complement = formula.negated()
+                if complement in self._builder.result.var_of_atom:
+                    lit = -self._builder.result.var_of_atom[complement]
+                else:
+                    lit = self._builder.var_for(formula)
+            else:
+                lit = self._builder.var_for(formula)
+            self._sync_clauses()
+            self._sat.ensure_vars(self._builder.result.num_vars)
+            return -lit if negated else lit
+        raise SolverError(
+            f"assumptions must be atoms or boolean variables, got {formula!r}"
+        )
+
+    def _theory_round(self, sat_model: list[bool]) -> Model | None:
+        """One theory check; adds lemmas and returns a model on success."""
+        atom_of_var = self._builder.result.atom_of_var
+        constraints: list[tuple[Atom, int]] = []
+        booleans: dict[BVar, bool] = {}
+        pending_splits: list[tuple[Atom, int]] = []
+
+        for sat_var, leaf in atom_of_var.items():
+            asserted = sat_model[sat_var]
+            if isinstance(leaf, BVar):
+                booleans[leaf] = asserted
+                continue
+            if asserted:
+                constraints.append((leaf, sat_var))
+            else:
+                negated = leaf.negated()
+                if negated.op == NE:
+                    if leaf not in self._eq_split:
+                        pending_splits.append((leaf, sat_var))
+                    continue
+                constraints.append((negated, -sat_var))
+
+        if pending_splits:
+            for eq_atom, sat_var in pending_splits:
+                self._add_eq_split(eq_atom, sat_var)
+            self._sync_clauses()
+            return None
+
+        try:
+            values = check_conjunction(constraints, max_nodes=self._bnb_budget)
+        except TheoryConflict as conflict:
+            blocking = [-lit for lit in conflict.core]
+            if not blocking:
+                self._sat.ok = False
+                return None
+            self._sat.finish()
+            self._sat.add_clause(blocking)
+            return None
+        except SolverBudgetError:
+            # Unknown on this boolean branch: block the exact atom
+            # assignment and let the search move on.  This keeps the
+            # solver sound (never claims unsat wrongly) at the price of
+            # completeness on pathological integer instances.  A cap on
+            # such events keeps one query from crawling through
+            # thousands of expensive branch-and-bound walls.
+            self._budget_events += 1
+            if self._budget_events > 8:
+                raise
+            blocking = [
+                (-sat_var if sat_model[sat_var] else sat_var)
+                for sat_var, leaf in atom_of_var.items()
+                if isinstance(leaf, Atom)
+            ]
+            if not blocking:
+                raise
+            self._sat.finish()
+            self._sat.add_clause(blocking)
+            return None
+
+        return Model(values=dict(values), booleans=booleans)
+
+    # ------------------------------------------------------------------
+    # Static theory-propagation lemmas
+    # ------------------------------------------------------------------
+    def _add_bound_lemmas(self) -> None:
+        """Implication/conflict lemmas between single-variable atoms.
+
+        The sample-generation workload asserts hundreds of interval
+        atoms over the same column (the ``NotOld`` disequalities split
+        into ``x < v`` / ``x > v``).  Without these lemmas the lazy
+        loop discovers each pairwise interaction as a separate theory
+        conflict; with them, bound reasoning happens inside CDCL as
+        unit propagation.  All lemmas are sound implications of linear
+        arithmetic, so they never change satisfiability.
+
+        Insertion is incremental: each new atom links into its
+        variable's sorted bound chain (implications to its neighbours)
+        and gets one conflict clause against the weakest incompatible
+        opposite bound -- O(log n) work per new atom, so repeated
+        ``check()`` calls during model enumeration stay cheap.
+        """
+        if not self._ordering_lemmas:
+            return
+        atom_map = self._builder.result.atom_of_var
+        if len(atom_map) == self._lemma_atom_count:
+            return
+        new_items = list(atom_map.items())[self._lemma_atom_count:]
+        self._lemma_atom_count = len(atom_map)
+
+        for sat_var, leaf in new_items:
+            if not isinstance(leaf, Atom) or len(leaf.expr.coeffs) != 1:
+                continue
+            ((var, coeff),) = leaf.expr.coeffs.items()
+            bound = -leaf.expr.const / coeff
+            chains = self._chains.setdefault(
+                var, {"upper": [], "lower": [], "eq": []}
+            )
+            if leaf.op == "=":
+                self._insert_eq(chains, bound, sat_var)
+            elif leaf.op != "!=":
+                strict = leaf.op == "<"
+                side = "upper" if coeff > 0 else "lower"
+                self._insert_bound(chains, side, bound, strict, sat_var)
+        self._sync_clauses()
+
+    def _insert_bound(self, chains, side: str, bound, strict: bool, sat_var: int) -> None:
+        import bisect
+
+        # Strength keys: uppers ascend (smaller bound stronger), lowers
+        # descend (larger bound stronger); strict beats non-strict.
+        key = (bound, not strict) if side == "upper" else (-bound, not strict)
+        chain = chains[side]
+        index = bisect.bisect_left(chain, key, key=lambda t: (t[0], t[1]))
+        entry = (key[0], key[1], bound, strict, sat_var)
+        chain.insert(index, entry)
+        if index > 0:
+            self._lemma([-chain[index - 1][4], sat_var])  # stronger -> this
+        if index + 1 < len(chain):
+            self._lemma([-sat_var, chain[index + 1][4]])  # this -> weaker
+
+        # Conflict with the weakest incompatible bound on the other side.
+        other = chains["lower" if side == "upper" else "upper"]
+        weakest = None
+        for candidate in other:  # sorted strongest -> weakest
+            if self._incompatible(side, bound, strict, candidate[2], candidate[3]):
+                weakest = candidate
+            else:
+                break
+        if weakest is not None:
+            self._lemma([-sat_var, -weakest[4]])
+        for value, eq_var in chains["eq"]:
+            self._link_eq_to_bound(value, eq_var, side, bound, strict, sat_var)
+
+    @staticmethod
+    def _incompatible(side: str, bound, strict: bool, other_bound, other_strict) -> bool:
+        upper_b, upper_s = (bound, strict) if side == "upper" else (other_bound, other_strict)
+        lower_b, lower_s = (other_bound, other_strict) if side == "upper" else (bound, strict)
+        return upper_b < lower_b or (upper_b == lower_b and (upper_s or lower_s))
+
+    def _insert_eq(self, chains, value, sat_var: int) -> None:
+        for other_value, other_var in chains["eq"]:
+            if other_value != value:
+                self._lemma([-sat_var, -other_var])
+        chains["eq"].append((value, sat_var))
+        for entry in chains["upper"]:
+            self._link_eq_to_bound(value, sat_var, "upper", entry[2], entry[3], entry[4])
+        for entry in chains["lower"]:
+            self._link_eq_to_bound(value, sat_var, "lower", entry[2], entry[3], entry[4])
+
+    def _link_eq_to_bound(
+        self, value, eq_var: int, side: str, bound, strict: bool, bound_var: int
+    ) -> None:
+        """x = value either satisfies the bound (implication) or not
+        (conflict)."""
+        if side == "upper":
+            satisfied = value < bound or (value == bound and not strict)
+        else:
+            satisfied = value > bound or (value == bound and not strict)
+        if satisfied:
+            self._lemma([-eq_var, bound_var])
+        else:
+            self._lemma([-eq_var, -bound_var])
+
+    def _lemma(self, clause: list[int]) -> None:
+        key = tuple(sorted(clause))
+        if key in self._emitted_lemmas:
+            return
+        self._emitted_lemmas.add(key)
+        self._builder.add_clause(clause)
+
+    def _add_eq_split(self, eq_atom: Atom, eq_sat_var: int) -> None:
+        """Lemma: ~(e = 0) -> (e < 0 | -e < 0)."""
+        self._eq_split.add(eq_atom)
+        lt_var = self._builder.var_for(Atom(eq_atom.expr, LT))
+        gt_var = self._builder.var_for(Atom(-eq_atom.expr, LT))
+        self._builder.add_clause([eq_sat_var, lt_var, gt_var])
+
+    # ------------------------------------------------------------------
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("model() called without a preceding sat check()")
+        return self._model
+
+
+# ----------------------------------------------------------------------
+# Convenience helpers used across the code base
+# ----------------------------------------------------------------------
+def is_satisfiable(*formulas: Formula, bnb_budget: int = 4000) -> bool:
+    """One-shot satisfiability of the conjunction of ``formulas``."""
+    solver = Solver(bnb_budget=bnb_budget)
+    solver.add(*formulas)
+    return solver.check() == SAT
+
+
+def get_model(*formulas: Formula, bnb_budget: int = 4000) -> Model | None:
+    """One-shot model of the conjunction, or None when unsat."""
+    solver = Solver(bnb_budget=bnb_budget)
+    solver.add(*formulas)
+    if solver.check() == SAT:
+        return solver.model()
+    return None
+
+
+def implies(antecedent: Formula, consequent: Formula) -> bool:
+    """Whether ``antecedent => consequent`` is valid (2-valued)."""
+    from .formula import conj, negate
+
+    return not is_satisfiable(conj([antecedent, negate(consequent)]))
+
+
+def all_models(
+    formula: Formula,
+    variables: list[Var],
+    *,
+    limit: int = 1_000,
+) -> Iterable[Model]:
+    """Enumerate models projected onto ``variables`` (up to ``limit``).
+
+    After each model, a blocking constraint excludes that exact
+    projection, mirroring the paper's ``NotOld`` construction.
+    """
+    from .formula import Atom as FAtom
+    from .formula import NE, conj, disj
+
+    solver = Solver()
+    solver.add(formula)
+    for _ in itertools.islice(itertools.count(), limit):
+        if solver.check() != SAT:
+            return
+        model = solver.model()
+        yield model
+        differs = disj(
+            [FAtom(LinExpr.var(var) - model.value(var), NE) for var in variables]
+        )
+        solver.add(differs)

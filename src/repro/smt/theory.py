@@ -1,0 +1,218 @@
+"""Linear integer arithmetic on top of the rational simplex.
+
+Two standard ingredients:
+
+* **Integer tightening** -- constraints whose variables are all
+  integer-sorted are normalised to integer coefficients, divided by
+  their content (coefficient gcd) and rounded: ``e < b`` becomes
+  ``e <= ceil(b) - 1``, ``e <= b`` becomes ``e <= floor(b)``, and an
+  equality whose content does not divide the constant is immediately
+  infeasible.
+
+* **Branch and bound** -- if the rational relaxation is feasible but
+  assigns a fractional value ``v`` to an integer variable ``x``, the
+  problem splits into ``x <= floor(v)`` and ``x >= ceil(v)``.
+
+The conflict core of an integer-infeasible problem is the union of the
+cores of both branches with the branching bounds removed; this is sound
+because every integer point satisfies one of the two branch bounds.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Sequence
+
+from .formula import EQ, LE, LT, Atom
+from .simplex import Simplex, TheoryConflict, concrete_model
+from .terms import LinExpr, Var
+
+Tag = Hashable
+
+
+class SolverBudgetError(Exception):
+    """Branch-and-bound exceeded its node budget; result is unknown."""
+
+
+@dataclass(frozen=True)
+class _BranchTag:
+    """Pseudo-tag for branching bounds (filtered out of conflict cores)."""
+
+    depth: int
+    side: str
+
+
+def _is_pure_int(expr: LinExpr) -> bool:
+    return all(var.is_int for var in expr.coeffs)
+
+
+@functools.lru_cache(maxsize=262_144)
+def tighten(atom: Atom) -> Atom | bool:
+    """Integer-tighten an atom; returns True/False when it folds.
+
+    Only applies to atoms over integer variables; mixed or real atoms
+    are returned unchanged.  Memoised: the lazy DPLL(T) loop re-checks
+    the same atoms on every round, and the exact-rational
+    normalisation dominated profiles before caching.
+    """
+    expr = atom.expr
+    if expr.is_constant:
+        return atom.holds(expr.const)
+    if not _is_pure_int(expr):
+        return atom
+    expr = expr.scaled_integral()
+    content = expr.content()
+    if content == 0:
+        return atom.holds(expr.const)
+    homogeneous = LinExpr(expr.coeffs)  # drop constant
+    bound = -expr.const  # constraint is homogeneous op bound
+
+    if atom.op == EQ:
+        if bound % content != 0:
+            return False
+        return Atom(homogeneous / content - bound / content, EQ)
+    if atom.op == LT:
+        # homogeneous < bound  <=>  homogeneous <= ceil(bound) - 1
+        tight = math.ceil(bound) - 1
+        op = LE
+    elif atom.op == LE:
+        tight = math.floor(bound)
+        op = LE
+    else:
+        raise ValueError(f"cannot tighten op {atom.op!r}")
+    # Divide by content: h <= t  <=>  h/c <= floor(t/c)
+    tight = math.floor(Fraction(tight) / content)
+    return Atom(homogeneous / content - tight, op)
+
+
+def check_conjunction(
+    constraints: Sequence[tuple[Atom, Tag]],
+    *,
+    max_nodes: int = 4000,
+) -> dict[Var, Fraction]:
+    """Feasibility of a conjunction over mixed integer/real variables.
+
+    Returns a model mapping every variable of the constraints to a
+    rational value (integral for integer-sorted variables).  Raises
+    :class:`TheoryConflict` with a core of input tags when infeasible,
+    or :class:`SolverBudgetError` when branch and bound gives up.
+    """
+    prepared: list[tuple[Atom, Tag]] = []
+    for atom, tag in constraints:
+        tightened = tighten(atom)
+        if tightened is True:
+            continue
+        if tightened is False:
+            raise TheoryConflict(frozenset([tag]))
+        prepared.append((tightened, tag))
+    return _branch_and_bound(prepared, max_nodes)
+
+
+def _lra_check(
+    constraints: list[tuple[Atom, Tag]],
+) -> dict[Var, Fraction]:
+    """One rational-relaxation feasibility check."""
+    simplex = Simplex()
+    strict_exprs: list[LinExpr] = []
+    for atom, tag in constraints:
+        if atom.op == LT:
+            strict_exprs.append(atom.expr)
+        simplex.assert_atom(atom, tag)
+    assignment = simplex.check()
+    return concrete_model(assignment, strict_exprs)
+
+
+def _branch_and_bound(
+    base: list[tuple[Atom, Tag]],
+    max_nodes: int,
+) -> dict[Var, Fraction]:
+    """Iterative depth-first branch and bound.
+
+    An explicit stack (rather than recursion) keeps deep branching
+    chains -- e.g. thin rational slivers with no integer points -- from
+    blowing the interpreter's recursion limit.  When a subproblem is
+    integer-infeasible, the conflict core is the union of both
+    branches' cores with the branch bounds themselves removed (every
+    integer point satisfies one of the two bounds).
+    """
+    # Each stack frame: (branch constraints, parent frame index,
+    # accumulated child cores).
+    frames: list[dict] = [{"extra": [], "parent": -1, "cores": [], "pending": 2}]
+    stack: list[int] = [0]
+    nodes = 0
+
+    def fail_upward(index: int, core: frozenset[Tag]) -> dict[Var, Fraction]:
+        """Record a core; raise when both branches of an ancestor failed."""
+        while True:
+            frame = frames[index]
+            frame["cores"].append(core)
+            frame["pending"] -= 1
+            if frame["pending"] > 0:
+                return {}
+            merged = frozenset(
+                tag
+                for child_core in frame["cores"]
+                for tag in child_core
+                if not isinstance(tag, _BranchTag)
+            )
+            if frame["parent"] < 0:
+                raise TheoryConflict(merged)
+            index = frame["parent"]
+            core = merged
+
+    while stack:
+        if nodes >= max_nodes:
+            raise SolverBudgetError("branch-and-bound node budget exhausted")
+        nodes += 1
+        index = stack.pop()
+        frame = frames[index]
+        constraints = base + frame["extra"]
+        try:
+            model = _lra_check(constraints)
+        except TheoryConflict as conflict:
+            if frame["parent"] < 0:
+                raise
+            fail_upward(frame["parent"], conflict.core)
+            continue
+        branch_var, value = _fractional_int_var(model)
+        if branch_var is None:
+            return model
+        floor_v = math.floor(value)
+        depth = len(frame["extra"])
+        low = (Atom(LinExpr.var(branch_var) - floor_v, LE), _BranchTag(nodes, "le"))
+        high = (
+            Atom((floor_v + 1) - LinExpr.var(branch_var), LE),
+            _BranchTag(nodes, "ge"),
+        )
+        frame["pending"] = 2
+        frame["cores"] = []
+        for atom, tag in (high, low):
+            frames.append(
+                {"extra": frame["extra"] + [(atom, tag)], "parent": index,
+                 "cores": [], "pending": 2}
+            )
+            stack.append(len(frames) - 1)
+        del depth
+    # All branches failed; the root's fail_upward raised already --
+    # reaching here means the root itself was the failing frame.
+    raise TheoryConflict(frozenset())  # pragma: no cover - defensive
+
+
+def _fractional_int_var(
+    model: dict[Var, Fraction],
+) -> tuple[Var | None, Fraction]:
+    """The integer variable whose value is most fractional, if any."""
+    best: tuple[Fraction, Var, Fraction] | None = None
+    for var, value in sorted(model.items(), key=lambda item: item[0].name):
+        if not var.is_int or value.denominator == 1:
+            continue
+        frac = value - math.floor(value)
+        distance = abs(frac - Fraction(1, 2))
+        if best is None or distance < best[0]:
+            best = (distance, var, value)
+    if best is None:
+        return None, Fraction(0)
+    return best[1], best[2]

@@ -1,0 +1,38 @@
+"""SQL frontend: lexer, parser, binder and printer.
+
+Replaces the Calcite frontend of the original system (DESIGN.md,
+substitution table): Sia only needs the WHERE predicate and table
+metadata of a SELECT-FROM-WHERE query, which this fragment covers.
+"""
+
+from .ast import SelectStmt
+from .binder import (
+    Binder,
+    BoundQuery,
+    Schema,
+    bind_select,
+    parse_bound_predicate,
+    parse_query,
+)
+from .lexer import Token, tokenize
+from .parser import Parser, parse_predicate, parse_select
+from .printer import render_expr, render_literal, render_pred, render_query
+
+__all__ = [
+    "Binder",
+    "BoundQuery",
+    "Parser",
+    "Schema",
+    "SelectStmt",
+    "Token",
+    "bind_select",
+    "parse_bound_predicate",
+    "parse_predicate",
+    "parse_query",
+    "parse_select",
+    "render_expr",
+    "render_literal",
+    "render_pred",
+    "render_query",
+    "tokenize",
+]

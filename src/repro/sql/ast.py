@@ -1,0 +1,159 @@
+"""Raw (unbound) SQL AST produced by the parser.
+
+Names are unresolved: the binder (:mod:`repro.sql.binder`) turns this
+into the typed predicate IR of :mod:`repro.predicates` with the help of
+a schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class of raw AST nodes."""
+
+    __slots__ = ()
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Name(Node):
+    """A possibly-qualified column reference (``t.c`` or ``c``)."""
+
+    parts: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class NumberLit(Node):
+    text: str  # preserved verbatim; the binder decides int vs decimal
+
+
+@dataclass(frozen=True)
+class StringLit(Node):
+    value: str
+
+
+@dataclass(frozen=True)
+class DateLit(Node):
+    """``DATE 'YYYY-MM-DD'``."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class TimestampLit(Node):
+    """``TIMESTAMP 'YYYY-MM-DD HH:MM:SS'``."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class IntervalLit(Node):
+    """``INTERVAL 'n' DAY`` (days) or ``... SECOND`` (seconds)."""
+
+    amount: int
+    unit: str  # "DAY" or "SECOND"
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str  # + - * /
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Neg(Node):
+    arg: Node
+
+
+# ----------------------------------------------------------------------
+# Boolean expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompareExpr(Node):
+    left: Node
+    op: str
+    right: Node
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Node):
+    subject: Node
+    low: Node
+    high: Node
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AndExpr(Node):
+    args: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class OrExpr(Node):
+    args: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class NotExpr(Node):
+    arg: Node
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Node):
+    arg: Node
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolLit(Node):
+    value: bool
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableRef(Node):
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Node):
+    """An aggregate in the SELECT list: COUNT(*) / SUM(col) / ..."""
+
+    func: str  # COUNT, SUM, AVG, MIN, MAX
+    arg: Name | None = None  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    name: Name
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStmt(Node):
+    """``SELECT items FROM tables [JOIN ...] WHERE where`` plus
+    optional GROUP BY / ORDER BY / LIMIT.
+
+    ``projections`` is None for ``SELECT *``; items may be plain column
+    names or aggregate calls.  Explicit joins are folded into
+    ``tables`` with their ON conditions appended to ``where`` by the
+    parser (the paper's queries use comma joins).
+    """
+
+    tables: tuple[TableRef, ...]
+    projections: tuple["Name | FuncCall", ...] | None = None
+    where: Node | None = None
+    group_by: tuple[Name, ...] = field(default=())
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None

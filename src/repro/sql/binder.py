@@ -1,0 +1,260 @@
+"""Name resolution and typing: raw AST -> typed predicate IR.
+
+The binder needs a schema: ``{table: {column: ctype}}`` with the types
+of :mod:`repro.predicates.expr`.  String literals are typed from
+context (a string compared against a DATE column becomes a DATE
+literal), matching how the paper's TPC-H queries write dates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..errors import CatalogError, TypeCheckError
+from ..predicates import (
+    DATE,
+    DOUBLE,
+    FALSE_PRED,
+    INTEGER,
+    TIMESTAMP,
+    TRUE_PRED,
+    Arith,
+    Col,
+    Column,
+    Comparison,
+    Expr,
+    IsNull,
+    Lit,
+    Pred,
+    pand,
+    por,
+)
+from . import ast
+
+Schema = dict[str, dict[str, str]]
+
+
+@dataclass
+class BoundQuery:
+    """A typed SELECT: resolved tables, projections, WHERE and the
+    optional aggregation/ordering clauses."""
+
+    tables: list[str]
+    where: Pred
+    projections: list[Column] | None = None  # None = SELECT *
+    group_by: list[Column] = field(default_factory=list)
+    # Aggregates from the SELECT list: (func, column or None for COUNT(*)).
+    aggregates: list[tuple[str, Column | None]] = field(default_factory=list)
+    order_by: list[tuple[Column, bool]] = field(default_factory=list)  # (col, asc)
+    limit: int | None = None
+
+    def columns_of(self, table: str) -> set[Column]:
+        return {col for col in self.where.columns() if col.table == table}
+
+
+@dataclass(frozen=True)
+class _PendingString:
+    """A string literal whose type is not yet known."""
+
+    value: str
+
+
+class Binder:
+    """Resolves and types a raw AST against a schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = {
+            table.lower(): {col.lower(): ctype for col, ctype in cols.items()}
+            for table, cols in schema.items()
+        }
+
+    # ------------------------------------------------------------------
+    def bind_select(self, stmt: ast.SelectStmt) -> BoundQuery:
+        scope: dict[str, str] = {}  # alias/table -> table
+        tables: list[str] = []
+        for ref in stmt.tables:
+            table = ref.name.lower()
+            if table not in self.schema:
+                raise CatalogError(f"unknown table {ref.name!r}")
+            tables.append(table)
+            scope[table] = table
+            if ref.alias:
+                scope[ref.alias.lower()] = table
+        where = TRUE_PRED if stmt.where is None else self.bind_predicate(stmt.where, scope)
+        projections: list[Column] | None = None
+        aggregates: list[tuple[str, Column | None]] = []
+        if stmt.projections is not None:
+            projections = []
+            for item in stmt.projections:
+                if isinstance(item, ast.FuncCall):
+                    arg = (
+                        None
+                        if item.arg is None
+                        else self._resolve_column(item.arg, scope)
+                    )
+                    aggregates.append((item.func, arg))
+                else:
+                    projections.append(self._resolve_column(item, scope))
+        group_by = [self._resolve_column(name, scope) for name in stmt.group_by]
+        if aggregates and projections:
+            stray = [col for col in projections if col not in group_by]
+            if stray:
+                raise TypeCheckError(
+                    "non-aggregated columns must appear in GROUP BY: "
+                    + ", ".join(col.qualified for col in stray)
+                )
+        order_by = [
+            (self._resolve_column(item.name, scope), item.ascending)
+            for item in stmt.order_by
+        ]
+        return BoundQuery(
+            tables=tables,
+            where=where,
+            projections=projections,
+            group_by=group_by,
+            aggregates=aggregates,
+            order_by=order_by,
+            limit=stmt.limit,
+        )
+
+    # ------------------------------------------------------------------
+    def bind_predicate(self, node: ast.Node, scope: dict[str, str]) -> Pred:
+        if isinstance(node, ast.BoolLit):
+            return TRUE_PRED if node.value else FALSE_PRED
+        if isinstance(node, ast.AndExpr):
+            return pand([self.bind_predicate(arg, scope) for arg in node.args])
+        if isinstance(node, ast.OrExpr):
+            return por([self.bind_predicate(arg, scope) for arg in node.args])
+        if isinstance(node, ast.NotExpr):
+            inner = self.bind_predicate(node.arg, scope)
+            if isinstance(inner, IsNull):
+                return IsNull(inner.expr, negated=not inner.negated)
+            from ..predicates import PNot
+
+            return PNot(inner)
+        if isinstance(node, ast.CompareExpr):
+            left = self._bind_expr(node.left, scope)
+            right = self._bind_expr(node.right, scope)
+            left, right = self._coerce_pair(left, right)
+            return Comparison(left, node.op, right)
+        if isinstance(node, ast.BetweenExpr):
+            subject = self._bind_expr(node.subject, scope)
+            low = self._bind_expr(node.low, scope)
+            high = self._bind_expr(node.high, scope)
+            s1, low = self._coerce_pair(subject, low)
+            s2, high = self._coerce_pair(subject, high)
+            both = pand([Comparison(s1, ">=", low), Comparison(s2, "<=", high)])
+            if node.negated:
+                from ..predicates import PNot
+
+                return PNot(both)
+            return both
+        if isinstance(node, ast.IsNullExpr):
+            expr = self._bind_expr(node.arg, scope)
+            if isinstance(expr, _PendingString):
+                raise TypeCheckError("IS NULL on a bare string literal")
+            return IsNull(expr, node.negated)
+        raise TypeCheckError(f"expected a boolean expression, got {node!r}")
+
+    # ------------------------------------------------------------------
+    def _bind_expr(self, node: ast.Node, scope: dict[str, str]):
+        if isinstance(node, ast.Name):
+            return Col(self._resolve_column(node, scope))
+        if isinstance(node, ast.NumberLit):
+            if "." in node.text:
+                return Lit(Fraction(node.text), DOUBLE)
+            return Lit.integer(int(node.text))
+        if isinstance(node, ast.StringLit):
+            return _PendingString(node.value)
+        if isinstance(node, ast.DateLit):
+            return Lit.date(node.value)
+        if isinstance(node, ast.TimestampLit):
+            return Lit.timestamp(node.value.replace(" ", "T"))
+        if isinstance(node, ast.IntervalLit):
+            return Lit.integer(node.amount)
+        if isinstance(node, ast.Neg):
+            inner = self._bind_expr(node.arg, scope)
+            if isinstance(inner, Lit) and inner.ltype in (INTEGER, DOUBLE):
+                return Lit(-inner.value, inner.ltype)
+            if isinstance(inner, _PendingString):
+                raise TypeCheckError("cannot negate a string literal")
+            return Arith("-", Lit.integer(0), inner)
+        if isinstance(node, ast.BinOp):
+            left = self._bind_expr(node.left, scope)
+            right = self._bind_expr(node.right, scope)
+            left, right = self._coerce_pair(left, right)
+            return Arith(node.op, left, right)
+        raise TypeCheckError(f"expected an arithmetic expression, got {node!r}")
+
+    def _coerce_pair(self, left, right) -> tuple[Expr, Expr]:
+        """Resolve pending string literals against the other side's type."""
+        if isinstance(left, _PendingString) and isinstance(right, _PendingString):
+            raise TypeCheckError("cannot type a comparison of two string literals")
+        if isinstance(left, _PendingString):
+            return self._coerce_string(left, right.etype), right
+        if isinstance(right, _PendingString):
+            return left, self._coerce_string(right, left.etype)
+        return left, right
+
+    @staticmethod
+    def _coerce_string(pending: _PendingString, target: str) -> Lit:
+        if target == DATE:
+            return Lit.date(pending.value)
+        if target == TIMESTAMP:
+            return Lit.timestamp(pending.value.replace(" ", "T"))
+        raise TypeCheckError(
+            f"string literal {pending.value!r} used where {target} is required "
+            "(TEXT columns are unsupported)"
+        )
+
+    def _resolve_column(self, name: ast.Name, scope: dict[str, str]) -> Column:
+        parts = tuple(part.lower() for part in name.parts)
+        if len(parts) == 2:
+            qualifier, col = parts
+            table = scope.get(qualifier)
+            if table is None:
+                raise CatalogError(f"unknown table or alias {qualifier!r}")
+            ctype = self.schema[table].get(col)
+            if ctype is None:
+                raise CatalogError(f"unknown column {qualifier}.{col}")
+            return Column(table, col, ctype)
+        if len(parts) == 1:
+            col = parts[0]
+            matches = [
+                table
+                for table in dict.fromkeys(scope.values())
+                if col in self.schema[table]
+            ]
+            if not matches:
+                raise CatalogError(f"unknown column {col!r}")
+            if len(matches) > 1:
+                raise CatalogError(f"ambiguous column {col!r}: in {matches}")
+            return Column(matches[0], col, self.schema[matches[0]][col])
+        raise CatalogError(f"cannot resolve name {'.'.join(name.parts)!r}")
+
+
+def bind_select(stmt: ast.SelectStmt, schema: Schema) -> BoundQuery:
+    """Bind a parsed SELECT against ``schema``."""
+    return Binder(schema).bind_select(stmt)
+
+
+def parse_query(sql: str, schema: Schema) -> BoundQuery:
+    """Parse + bind in one step (the usual entry point)."""
+    from .parser import parse_select
+
+    return bind_select(parse_select(sql), schema)
+
+
+def parse_bound_predicate(sql: str, schema: Schema, tables: list[str]) -> Pred:
+    """Parse a standalone predicate against the given tables' scope."""
+    from .parser import parse_predicate
+
+    binder = Binder(schema)
+    scope = {}
+    for table in tables:
+        lowered = table.lower()
+        if lowered not in binder.schema:
+            raise CatalogError(f"unknown table {table!r}")
+        scope[lowered] = lowered
+    return binder.bind_predicate(parse_predicate(sql), scope)

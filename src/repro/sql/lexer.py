@@ -1,0 +1,146 @@
+"""Tokenizer for the SQL fragment Sia targets.
+
+Keywords are case-insensitive; identifiers keep their original case but
+compare case-insensitively downstream.  String literals use single
+quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "IS",
+    "NULL",
+    "DATE",
+    "TIMESTAMP",
+    "INTERVAL",
+    "DAY",
+    "DAYS",
+    "SECOND",
+    "SECONDS",
+    "JOIN",
+    "INNER",
+    "ON",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "BETWEEN",
+    "TRUE",
+    "FALSE",
+    "ASC",
+    "DESC",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+}
+
+# Token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.text == word
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into tokens; raises ParseError on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            saw_dot = False
+            while i < n and (sql[i].isdigit() or (sql[i] == "." and not saw_dot)):
+                if sql[i] == ".":
+                    # A dot not followed by a digit is a qualifier dot.
+                    if i + 1 >= n or not sql[i + 1].isdigit():
+                        break
+                    saw_dot = True
+                i += 1
+            tokens.append(Token(NUMBER, sql[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            tokens.append(Token(STRING, "".join(chunks), start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(PUNCT, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, "", n))
+    return tokens

@@ -1,0 +1,367 @@
+"""Recursive-descent parser for the SELECT-FROM-WHERE fragment.
+
+Grammar (precedence from loosest to tightest)::
+
+    select     := SELECT (STAR | name (, name)*) FROM table_ref (, table_ref)*
+                  (JOIN table_ref ON or_expr)* (WHERE or_expr)?
+                  (GROUP BY name (, name)*)? (;)?
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | bool_prim
+    bool_prim  := additive (cmp additive | IS [NOT] NULL |
+                  [NOT] BETWEEN additive AND additive)?
+                | TRUE | FALSE
+    additive   := multiplicative ((+|-) multiplicative)*
+    multiplicative := unary ((*|/) unary)*
+    unary      := - unary | primary
+    primary    := literal | name | ( or_expr )
+
+Parenthesised boolean expressions are supported by backtracking: a
+``(`` may open either an arithmetic group or a boolean group.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token, tokenize
+
+_COMPARE_OPS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, sql: str) -> None:
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word}, found {token.text!r}", token.pos)
+        return token
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.advance()
+        if token.kind != PUNCT or token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.pos)
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.peek()
+        if token.kind == PUNCT and token.text == text:
+            self.advance()
+            return True
+        return False
+
+    def accept_op(self, *ops: str) -> str | None:
+        token = self.peek()
+        if token.kind == OP and token.text in ops:
+            self.advance()
+            return token.text
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_select(self) -> ast.SelectStmt:
+        self.expect_keyword("SELECT")
+        projections: tuple[ast.Name | ast.FuncCall, ...] | None
+        if self.accept_op("*"):
+            projections = None
+        else:
+            items = [self._parse_select_item()]
+            while self.accept_punct(","):
+                items.append(self._parse_select_item())
+            projections = tuple(items)
+        self.expect_keyword("FROM")
+        tables = [self._parse_table_ref()]
+        join_conditions: list[ast.Node] = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self._parse_table_ref())
+            elif self.peek().is_keyword("JOIN") or self.peek().is_keyword("INNER"):
+                self.accept_keyword("INNER")
+                self.expect_keyword("JOIN")
+                tables.append(self._parse_table_ref())
+                self.expect_keyword("ON")
+                join_conditions.append(self.parse_or_expr())
+            else:
+                break
+        where: ast.Node | None = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_or_expr()
+        group_by: tuple[ast.Name, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            names = [self._parse_name()]
+            while self.accept_punct(","):
+                names.append(self._parse_name())
+            group_by = tuple(names)
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            items = [self._parse_order_item()]
+            while self.accept_punct(","):
+                items.append(self._parse_order_item())
+            order_by = tuple(items)
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != NUMBER or "." in token.text:
+                raise ParseError("expected an integer after LIMIT", token.pos)
+            limit = int(token.text)
+        self.accept_punct(";")
+        token = self.peek()
+        if token.kind != EOF:
+            raise ParseError(f"unexpected trailing input {token.text!r}", token.pos)
+        if join_conditions:
+            parts = list(join_conditions)
+            if where is not None:
+                parts.append(where)
+            where = ast.AndExpr(tuple(parts)) if len(parts) > 1 else parts[0]
+        return ast.SelectStmt(
+            tables=tuple(tables),
+            projections=projections,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    _AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def _parse_select_item(self) -> "ast.Name | ast.FuncCall":
+        token = self.peek()
+        if token.kind == KEYWORD and token.text in self._AGG_FUNCS:
+            self.advance()
+            self.expect_punct("(")
+            if token.text == "COUNT" and self.accept_op("*"):
+                self.expect_punct(")")
+                return ast.FuncCall("COUNT", None)
+            arg = self._parse_name()
+            self.expect_punct(")")
+            return ast.FuncCall(token.text, arg)
+        return self._parse_name()
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        name = self._parse_name()
+        if self.accept_keyword("DESC"):
+            return ast.OrderItem(name, ascending=False)
+        self.accept_keyword("ASC")
+        return ast.OrderItem(name, ascending=True)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        token = self.advance()
+        if token.kind != IDENT:
+            raise ParseError(f"expected table name, found {token.text!r}", token.pos)
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias_token = self.advance()
+            if alias_token.kind != IDENT:
+                raise ParseError("expected alias name", alias_token.pos)
+            alias = alias_token.text
+        elif self.peek().kind == IDENT:
+            alias = self.advance().text
+        return ast.TableRef(token.text, alias)
+
+    def _parse_name(self) -> ast.Name:
+        token = self.advance()
+        if token.kind != IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.pos)
+        parts = [token.text]
+        while self.accept_punct("."):
+            part = self.advance()
+            if part.kind != IDENT:
+                raise ParseError("expected identifier after '.'", part.pos)
+            parts.append(part.text)
+        return ast.Name(tuple(parts))
+
+    # ------------------------------------------------------------------
+    # Boolean expressions
+    # ------------------------------------------------------------------
+    def parse_or_expr(self) -> ast.Node:
+        args = [self.parse_and_expr()]
+        while self.accept_keyword("OR"):
+            args.append(self.parse_and_expr())
+        return args[0] if len(args) == 1 else ast.OrExpr(tuple(args))
+
+    def parse_and_expr(self) -> ast.Node:
+        args = [self.parse_not_expr()]
+        while self.accept_keyword("AND"):
+            args.append(self.parse_not_expr())
+        return args[0] if len(args) == 1 else ast.AndExpr(tuple(args))
+
+    def parse_not_expr(self) -> ast.Node:
+        if self.accept_keyword("NOT"):
+            return ast.NotExpr(self.parse_not_expr())
+        return self.parse_bool_primary()
+
+    def parse_bool_primary(self) -> ast.Node:
+        if self.peek().is_keyword("TRUE"):
+            self.advance()
+            return ast.BoolLit(True)
+        if self.peek().is_keyword("FALSE"):
+            self.advance()
+            return ast.BoolLit(False)
+        # A '(' could open a boolean group: try that first, fall back to
+        # arithmetic on failure.
+        if self.peek().kind == PUNCT and self.peek().text == "(":
+            saved = self.pos
+            try:
+                self.advance()
+                inner = self.parse_or_expr()
+                self.expect_punct(")")
+                if self._looks_boolean(inner) and not self._arith_continues():
+                    return inner
+            except ParseError:
+                pass
+            self.pos = saved
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == OP and token.text in _COMPARE_OPS:
+            self.advance()
+            right = self.parse_additive()
+            return ast.CompareExpr(left, token.text, right)
+        if token.is_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNullExpr(left, negated)
+        if token.is_keyword("BETWEEN") or (
+            token.is_keyword("NOT") and self.peek(1).is_keyword("BETWEEN")
+        ):
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("BETWEEN")
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.BetweenExpr(left, low, high, negated)
+        raise ParseError(
+            f"expected comparison after expression, found {token.text!r}", token.pos
+        )
+
+    @staticmethod
+    def _looks_boolean(node: ast.Node) -> bool:
+        return isinstance(
+            node,
+            (
+                ast.CompareExpr,
+                ast.AndExpr,
+                ast.OrExpr,
+                ast.NotExpr,
+                ast.IsNullExpr,
+                ast.BetweenExpr,
+                ast.BoolLit,
+            ),
+        )
+
+    def _arith_continues(self) -> bool:
+        """After a closing ')', does an arithmetic operator follow?"""
+        token = self.peek()
+        return token.kind == OP and token.text in ("+", "-", "*", "/")
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def parse_additive(self) -> ast.Node:
+        node = self.parse_multiplicative()
+        while True:
+            op = self.accept_op("+", "-")
+            if op is None:
+                return node
+            node = ast.BinOp(op, node, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> ast.Node:
+        node = self.parse_unary()
+        while True:
+            op = self.accept_op("*", "/")
+            if op is None:
+                return node
+            node = ast.BinOp(op, node, self.parse_unary())
+
+    def parse_unary(self) -> ast.Node:
+        if self.accept_op("-"):
+            return ast.Neg(self.parse_unary())
+        if self.accept_op("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Node:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.NumberLit(token.text)
+        if token.kind == STRING:
+            self.advance()
+            return ast.StringLit(token.text)
+        if token.is_keyword("DATE"):
+            self.advance()
+            value = self.advance()
+            if value.kind != STRING:
+                raise ParseError("expected string after DATE", value.pos)
+            return ast.DateLit(value.text)
+        if token.is_keyword("TIMESTAMP"):
+            self.advance()
+            value = self.advance()
+            if value.kind != STRING:
+                raise ParseError("expected string after TIMESTAMP", value.pos)
+            return ast.TimestampLit(value.text)
+        if token.is_keyword("INTERVAL"):
+            self.advance()
+            amount_token = self.advance()
+            if amount_token.kind not in (STRING, NUMBER):
+                raise ParseError("expected amount after INTERVAL", amount_token.pos)
+            unit_token = self.advance()
+            unit = unit_token.text.rstrip("S") if unit_token.kind == KEYWORD else ""
+            if unit not in ("DAY", "SECOND"):
+                raise ParseError("expected DAY or SECOND unit", unit_token.pos)
+            try:
+                amount = int(amount_token.text)
+            except ValueError as exc:
+                raise ParseError(
+                    f"bad interval amount {amount_token.text!r}", amount_token.pos
+                ) from exc
+            return ast.IntervalLit(amount, unit)
+        if token.kind == IDENT:
+            return self._parse_name()
+        if self.accept_punct("("):
+            inner = self.parse_additive()
+            self.expect_punct(")")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r}", token.pos)
+
+
+def parse_select(sql: str) -> ast.SelectStmt:
+    """Parse a single SELECT statement."""
+    return Parser(sql).parse_select()
+
+
+def parse_predicate(sql: str) -> ast.Node:
+    """Parse a standalone boolean expression (e.g. a WHERE body)."""
+    parser = Parser(sql)
+    node = parser.parse_or_expr()
+    parser.accept_punct(";")
+    token = parser.peek()
+    if token.kind != EOF:
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.pos)
+    return node

@@ -1,0 +1,114 @@
+"""Rendering of the typed IR back to SQL text.
+
+Used by the rewriter to emit the rewritten query (original predicate
+plus the synthesized one) and by the examples/benchmarks for display.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from fractions import Fraction
+
+from ..errors import TypeCheckError
+from ..predicates import (
+    DATE,
+    FALSE_PRED,
+    TIMESTAMP,
+    TRUE_PRED,
+    Arith,
+    Col,
+    Comparison,
+    Expr,
+    IsNull,
+    Lit,
+    PAnd,
+    PNot,
+    POr,
+    Pred,
+)
+from .binder import BoundQuery
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def render_expr(expr: Expr, *, parent_prec: int = 0) -> str:
+    """SQL text of an expression (minimal parenthesisation)."""
+    if isinstance(expr, Col):
+        return expr.column.qualified
+    if isinstance(expr, Lit):
+        return render_literal(expr)
+    if isinstance(expr, Arith):
+        prec = _PRECEDENCE[expr.op]
+        left = render_expr(expr.left, parent_prec=prec)
+        # Right side of - and / needs the tighter context.
+        right = render_expr(
+            expr.right, parent_prec=prec + (1 if expr.op in ("-", "/") else 0)
+        )
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeCheckError(f"cannot render expression {expr!r}")
+
+
+def render_literal(lit: Lit) -> str:
+    """SQL literal text (dates as ``DATE '...'`` etc.)."""
+    if lit.ltype == DATE:
+        assert isinstance(lit.value, _dt.date)
+        return f"DATE '{lit.value.isoformat()}'"
+    if lit.ltype == TIMESTAMP:
+        assert isinstance(lit.value, _dt.datetime)
+        return f"TIMESTAMP '{lit.value.isoformat(sep=' ')}'"
+    value = lit.value
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return repr(float(value))
+    return str(value)
+
+
+def render_pred(pred: Pred, *, parent: str = "") -> str:
+    """SQL text of a predicate."""
+    if pred is TRUE_PRED:
+        return "TRUE"
+    if pred is FALSE_PRED:
+        return "FALSE"
+    if isinstance(pred, Comparison):
+        op = "<>" if pred.op == "!=" else pred.op
+        return f"{render_expr(pred.left)} {op} {render_expr(pred.right)}"
+    if isinstance(pred, PAnd):
+        text = " AND ".join(render_pred(arg, parent="AND") for arg in pred.args)
+        return f"({text})" if parent == "OR" or parent == "NOT" else text
+    if isinstance(pred, POr):
+        text = " OR ".join(render_pred(arg, parent="OR") for arg in pred.args)
+        return f"({text})" if parent in ("AND", "NOT") else text
+    if isinstance(pred, PNot):
+        return f"NOT ({render_pred(pred.arg)})"
+    if isinstance(pred, IsNull):
+        middle = "IS NOT NULL" if pred.negated else "IS NULL"
+        return f"{render_expr(pred.expr)} {middle}"
+    raise TypeCheckError(f"cannot render predicate {pred!r}")
+
+
+def render_query(query: BoundQuery) -> str:
+    """Canonical SQL text of a bound query."""
+    items: list[str] = []
+    if query.projections is None and not query.aggregates:
+        items.append("*")
+    else:
+        items.extend(col.qualified for col in (query.projections or []))
+        for func, column in query.aggregates:
+            arg = "*" if column is None else column.qualified
+            items.append(f"{func}({arg})")
+    sql = f"SELECT {', '.join(items)} FROM {', '.join(query.tables)}"
+    if query.where is not TRUE_PRED:
+        sql += f" WHERE {render_pred(query.where)}"
+    if query.group_by:
+        sql += " GROUP BY " + ", ".join(col.qualified for col in query.group_by)
+    if query.order_by:
+        sql += " ORDER BY " + ", ".join(
+            f"{col.qualified}{'' if asc else ' DESC'}" for col, asc in query.order_by
+        )
+    if query.limit is not None:
+        sql += f" LIMIT {query.limit}"
+    return sql

@@ -1,0 +1,27 @@
+"""TPC-H substrate: schema, dbgen-style data, and the paper's workload."""
+
+from .dbgen import generate_catalog
+from .schema import BASE_ROWS, CURRENT_DATE, END_DATE, START_DATE, TPCH_SCHEMA
+from .workload import (
+    LINEITEM_DATES,
+    ORDERDATE,
+    WorkloadQuery,
+    generate_workload,
+    make_query,
+    random_predicate,
+)
+
+__all__ = [
+    "BASE_ROWS",
+    "CURRENT_DATE",
+    "END_DATE",
+    "LINEITEM_DATES",
+    "ORDERDATE",
+    "START_DATE",
+    "TPCH_SCHEMA",
+    "WorkloadQuery",
+    "generate_catalog",
+    "generate_workload",
+    "make_query",
+    "random_predicate",
+]

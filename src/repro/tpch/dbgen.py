@@ -1,0 +1,161 @@
+"""dbgen-style TPC-H data generation on numpy.
+
+Follows the distributions of the TPC-H specification where they matter
+for the paper's experiments (order-date uniform over 1992-01-01 ..
+1998-08-02; ship/commit/receipt dates as bounded offsets from the order
+date; quantities 1..50; ~4 lineitems per order) and simplifies the
+rest.  Deterministic for a given (scale factor, seed).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+
+from ..engine import Catalog, Table
+from ..predicates import date_to_days
+from .schema import BASE_ROWS, START_DATE, TPCH_SCHEMA
+
+# dbgen draws o_orderdate from [STARTDATE, ENDDATE - 151 days].
+_ORDERDATE_MIN = date_to_days(START_DATE)
+_ORDERDATE_MAX = date_to_days(dt.date(1998, 8, 2))
+
+
+def _rows(table: str, scale_factor: float) -> int:
+    if table in ("region", "nation"):
+        return BASE_ROWS[table]
+    return max(1, int(BASE_ROWS[table] * scale_factor))
+
+
+def generate_catalog(scale_factor: float = 0.01, *, seed: int = 0) -> Catalog:
+    """All eight TPC-H tables at the given scale factor."""
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+
+    catalog.register(
+        Table("region", TPCH_SCHEMA["region"], {"r_regionkey": np.arange(5)})
+    )
+    catalog.register(
+        Table(
+            "nation",
+            TPCH_SCHEMA["nation"],
+            {
+                "n_nationkey": np.arange(25),
+                "n_regionkey": np.arange(25) % 5,
+            },
+        )
+    )
+
+    n_supp = _rows("supplier", scale_factor)
+    catalog.register(
+        Table(
+            "supplier",
+            TPCH_SCHEMA["supplier"],
+            {
+                "s_suppkey": np.arange(1, n_supp + 1),
+                "s_nationkey": rng.integers(0, 25, n_supp),
+                "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_supp), 2),
+            },
+        )
+    )
+
+    n_cust = _rows("customer", scale_factor)
+    catalog.register(
+        Table(
+            "customer",
+            TPCH_SCHEMA["customer"],
+            {
+                "c_custkey": np.arange(1, n_cust + 1),
+                "c_nationkey": rng.integers(0, 25, n_cust),
+                "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_cust), 2),
+            },
+        )
+    )
+
+    n_part = _rows("part", scale_factor)
+    catalog.register(
+        Table(
+            "part",
+            TPCH_SCHEMA["part"],
+            {
+                "p_partkey": np.arange(1, n_part + 1),
+                "p_size": rng.integers(1, 51, n_part),
+                "p_retailprice": np.round(
+                    900.0 + (np.arange(1, n_part + 1) % 1000) / 10.0, 2
+                ),
+            },
+        )
+    )
+
+    n_ps = _rows("partsupp", scale_factor)
+    catalog.register(
+        Table(
+            "partsupp",
+            TPCH_SCHEMA["partsupp"],
+            {
+                "ps_partkey": rng.integers(1, n_part + 1, n_ps),
+                "ps_suppkey": rng.integers(1, n_supp + 1, n_ps),
+                "ps_availqty": rng.integers(1, 10_000, n_ps),
+                "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n_ps), 2),
+            },
+        )
+    )
+
+    n_orders = _rows("orders", scale_factor)
+    o_orderdate = rng.integers(_ORDERDATE_MIN, _ORDERDATE_MAX + 1, n_orders)
+    catalog.register(
+        Table(
+            "orders",
+            TPCH_SCHEMA["orders"],
+            {
+                "o_orderkey": np.arange(1, n_orders + 1),
+                "o_custkey": rng.integers(1, n_cust + 1, n_orders),
+                "o_totalprice": np.round(rng.uniform(857.71, 555285.16, n_orders), 2),
+                "o_orderdate": o_orderdate,
+                "o_shippriority": np.zeros(n_orders, dtype=np.int64),
+            },
+        )
+    )
+
+    lines_per_order = rng.integers(1, 8, n_orders)
+    n_lines = int(lines_per_order.sum())
+    l_orderkey = np.repeat(np.arange(1, n_orders + 1), lines_per_order)
+    order_dates = np.repeat(o_orderdate, lines_per_order)
+    # dbgen: shipdate = orderdate + U(1, 121); commitdate = orderdate +
+    # U(30, 90); receiptdate = shipdate + U(1, 30).
+    l_shipdate = order_dates + rng.integers(1, 122, n_lines)
+    l_commitdate = order_dates + rng.integers(30, 91, n_lines)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, n_lines)
+    l_quantity = rng.integers(1, 51, n_lines)
+    l_partkey = rng.integers(1, n_part + 1, n_lines)
+    base_price = 900.0 + (l_partkey % 1000) / 10.0
+    catalog.register(
+        Table(
+            "lineitem",
+            TPCH_SCHEMA["lineitem"],
+            {
+                "l_orderkey": l_orderkey,
+                "l_partkey": l_partkey,
+                "l_suppkey": rng.integers(1, n_supp + 1, n_lines),
+                "l_linenumber": _line_numbers(lines_per_order),
+                "l_quantity": l_quantity,
+                "l_extendedprice": np.round(base_price * l_quantity, 2),
+                "l_discount": np.round(rng.uniform(0.0, 0.10, n_lines), 2),
+                "l_tax": np.round(rng.uniform(0.0, 0.08, n_lines), 2),
+                "l_shipdate": l_shipdate,
+                "l_commitdate": l_commitdate,
+                "l_receiptdate": l_receiptdate,
+            },
+        )
+    )
+    return catalog
+
+
+def _line_numbers(lines_per_order: np.ndarray) -> np.ndarray:
+    """1, 2, ..., k per order, concatenated (vectorised)."""
+    total = int(lines_per_order.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(lines_per_order) - lines_per_order
+    return np.arange(total) - np.repeat(starts, lines_per_order) + 1

@@ -1,0 +1,140 @@
+"""TPC-H-derived query library for the bundled engine.
+
+These are the standard TPC-H queries restricted to the predicate
+fragment this reproduction supports (section 4.1: no TEXT columns, no
+subqueries).  Each entry adapts the official query's *access pattern*
+-- its joins, date-range filters and aggregation shape -- so the
+engine, parser and rewriter can be exercised on realistic workloads
+beyond the section 6.3 generator.
+
+Use :func:`get_query` / :func:`all_queries` to fetch SQL strings, bind
+them against :func:`repro.tpch.workload.schema`, and run them with
+:mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LibraryQuery:
+    name: str
+    description: str
+    sql: str
+    rewritable: bool  # has a cross-table predicate Sia can work on
+
+
+QUERIES: dict[str, LibraryQuery] = {}
+
+
+def _register(name: str, description: str, sql: str, *, rewritable: bool) -> None:
+    QUERIES[name] = LibraryQuery(name, description, " ".join(sql.split()), rewritable)
+
+
+_register(
+    "q1_pricing_summary",
+    "TPC-H Q1 shape: scan-heavy aggregation over recent lineitems "
+    "(grouping key adapted from the TEXT return flag to the line number).",
+    """
+    SELECT l_linenumber, COUNT(*), SUM(l_quantity), SUM(l_extendedprice),
+           AVG(l_discount)
+    FROM lineitem
+    WHERE l_shipdate <= DATE '1998-09-02'
+    GROUP BY l_linenumber
+    ORDER BY l_linenumber
+    """,
+    rewritable=False,
+)
+
+_register(
+    "q3_shipping_priority",
+    "TPC-H Q3 shape: revenue of orders placed before a date with "
+    "lineitems shipped after it, top results first.",
+    """
+    SELECT l_orderkey, SUM(l_extendedprice)
+    FROM lineitem, orders
+    WHERE o_orderkey = l_orderkey
+      AND o_orderdate < DATE '1995-03-15'
+      AND l_shipdate > DATE '1995-03-15'
+    GROUP BY l_orderkey
+    ORDER BY l_orderkey
+    LIMIT 10
+    """,
+    rewritable=False,
+)
+
+_register(
+    "q4_order_priority",
+    "TPC-H Q4 shape (the paper's section 6.3 template base): orders in "
+    "a quarter whose lineitems were committed before receipt.",
+    """
+    SELECT COUNT(*)
+    FROM lineitem, orders
+    WHERE o_orderkey = l_orderkey
+      AND o_orderdate >= DATE '1993-07-01'
+      AND o_orderdate < DATE '1993-10-01'
+      AND l_commitdate < l_receiptdate
+    """,
+    rewritable=False,
+)
+
+_register(
+    "q6_forecast_revenue",
+    "TPC-H Q6: pure single-table range filters and a global aggregate.",
+    """
+    SELECT SUM(l_extendedprice), COUNT(*)
+    FROM lineitem
+    WHERE l_shipdate >= DATE '1994-01-01'
+      AND l_shipdate < DATE '1995-01-01'
+      AND l_discount >= 0.05 AND l_discount <= 0.07
+      AND l_quantity < 24
+    """,
+    rewritable=False,
+)
+
+_register(
+    "q12_shipping_modes",
+    "TPC-H Q12 shape: late-shipment analysis with cross-table date "
+    "arithmetic -- every interesting predicate references o_orderdate, "
+    "so Sia can synthesize lineitem-only bounds.",
+    """
+    SELECT COUNT(*)
+    FROM lineitem, orders
+    WHERE o_orderkey = l_orderkey
+      AND l_commitdate < l_receiptdate
+      AND l_shipdate < l_commitdate
+      AND l_receiptdate - o_orderdate < 120
+      AND o_orderdate >= DATE '1994-01-01'
+      AND o_orderdate < DATE '1995-01-01'
+    """,
+    rewritable=True,
+)
+
+_register(
+    "q_motivating",
+    "The paper's section 2 motivating query Q1.",
+    """
+    SELECT * FROM lineitem, orders
+    WHERE o_orderkey = l_orderkey
+      AND l_shipdate - o_orderdate < 20
+      AND o_orderdate < DATE '1993-06-01'
+      AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
+    """,
+    rewritable=True,
+)
+
+
+def get_query(name: str) -> LibraryQuery:
+    """Look up a library query by name (KeyError lists options)."""
+    try:
+        return QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown query {name!r}; available: {sorted(QUERIES)}"
+        ) from None
+
+
+def all_queries() -> list[LibraryQuery]:
+    """All library queries, sorted by name."""
+    return [QUERIES[name] for name in sorted(QUERIES)]

@@ -1,0 +1,81 @@
+"""TPC-H schema (revision 2.16) restricted to Sia-typed columns.
+
+The paper's predicate fragment has no TEXT type (section 4.1), so the
+string columns of TPC-H (names, comments, flags) are omitted; every
+numeric, date and key column of all eight tables is present.  Dates are
+stored as int64 day offsets from the global epoch.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from ..predicates import DATE, DOUBLE, INTEGER
+
+# Date range used by dbgen.
+START_DATE = dt.date(1992, 1, 1)
+END_DATE = dt.date(1998, 12, 31)
+CURRENT_DATE = dt.date(1995, 6, 17)
+
+TPCH_SCHEMA: dict[str, dict[str, str]] = {
+    "region": {
+        "r_regionkey": INTEGER,
+    },
+    "nation": {
+        "n_nationkey": INTEGER,
+        "n_regionkey": INTEGER,
+    },
+    "supplier": {
+        "s_suppkey": INTEGER,
+        "s_nationkey": INTEGER,
+        "s_acctbal": DOUBLE,
+    },
+    "customer": {
+        "c_custkey": INTEGER,
+        "c_nationkey": INTEGER,
+        "c_acctbal": DOUBLE,
+    },
+    "part": {
+        "p_partkey": INTEGER,
+        "p_size": INTEGER,
+        "p_retailprice": DOUBLE,
+    },
+    "partsupp": {
+        "ps_partkey": INTEGER,
+        "ps_suppkey": INTEGER,
+        "ps_availqty": INTEGER,
+        "ps_supplycost": DOUBLE,
+    },
+    "orders": {
+        "o_orderkey": INTEGER,
+        "o_custkey": INTEGER,
+        "o_totalprice": DOUBLE,
+        "o_orderdate": DATE,
+        "o_shippriority": INTEGER,
+    },
+    "lineitem": {
+        "l_orderkey": INTEGER,
+        "l_partkey": INTEGER,
+        "l_suppkey": INTEGER,
+        "l_linenumber": INTEGER,
+        "l_quantity": INTEGER,
+        "l_extendedprice": DOUBLE,
+        "l_discount": DOUBLE,
+        "l_tax": DOUBLE,
+        "l_shipdate": DATE,
+        "l_commitdate": DATE,
+        "l_receiptdate": DATE,
+    },
+}
+
+# Base cardinalities at scale factor 1 (TPC-H spec, section 4.2.5).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    # lineitem is ~4x orders (1..7 lines per order).
+}

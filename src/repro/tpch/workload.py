@@ -1,0 +1,142 @@
+"""The paper's 200-query benchmark workload (section 6.3).
+
+Template::
+
+    SELECT * FROM lineitem, orders
+    WHERE o_orderkey = l_orderkey AND predicate
+
+``predicate`` is a random conjunction of 3..8 binary arithmetic terms
+over three lineitem date columns (l_shipdate, l_commitdate,
+l_receiptdate) and o_orderdate.  Every term references o_orderdate, so
+the optimizer cannot push any original conjunct down to lineitem --
+which is exactly the opportunity Sia exploits.  Unsatisfiable
+predicates are regenerated, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+from ..predicates import (
+    Col,
+    Column,
+    Comparison,
+    DATE,
+    INTEGER,
+    Lit,
+    Pred,
+    lower_predicate,
+    pand,
+)
+from ..smt import is_satisfiable
+from ..sql.binder import BoundQuery
+from ..sql.printer import render_query
+from .schema import TPCH_SCHEMA
+
+LINEITEM_DATES = (
+    Column("lineitem", "l_shipdate", DATE),
+    Column("lineitem", "l_commitdate", DATE),
+    Column("lineitem", "l_receiptdate", DATE),
+)
+ORDERDATE = Column("orders", "o_orderdate", DATE)
+ORDERKEY = Column("orders", "o_orderkey", INTEGER)
+LINEITEM_ORDERKEY = Column("lineitem", "l_orderkey", INTEGER)
+
+_OPS = ("<", "<=", ">", ">=")
+_DATE_LO = dt.date(1992, 6, 1)
+_DATE_HI = dt.date(1998, 1, 1)
+
+
+@dataclass
+class WorkloadQuery:
+    """One benchmark query: SQL text plus its bound form."""
+
+    index: int
+    query: BoundQuery
+    predicate: Pred  # the non-join conjunction (synthesis input)
+
+    @property
+    def sql(self) -> str:
+        return render_query(self.query)
+
+
+def _random_date(rng: random.Random) -> Lit:
+    span = (_DATE_HI - _DATE_LO).days
+    return Lit.date(_DATE_LO + dt.timedelta(days=rng.randrange(span)))
+
+
+def _random_interval(rng: random.Random) -> Lit:
+    return Lit.integer(rng.randint(-90, 120))
+
+
+def _random_term(rng: random.Random) -> tuple[Comparison, bool]:
+    """One term referencing o_orderdate; the flag reports whether it
+    also uses a lineitem column."""
+    op = rng.choice(_OPS)
+    pattern = rng.choices(
+        ("order_vs_const", "diff_vs_interval", "diff_vs_diff", "col_vs_shifted"),
+        weights=(2, 4, 3, 3),
+    )[0]
+    lcols = list(LINEITEM_DATES)
+    rng.shuffle(lcols)
+    if pattern == "order_vs_const":
+        return Comparison(Col(ORDERDATE), op, _random_date(rng)), False
+    if pattern == "diff_vs_interval":
+        # l - o OP interval
+        return (
+            Comparison(Col(lcols[0]) - Col(ORDERDATE), op, _random_interval(rng)),
+            True,
+        )
+    if pattern == "diff_vs_diff":
+        # l1 - o OP l2 - l3 + interval
+        rhs = (Col(lcols[1]) - Col(lcols[2])) + _random_interval(rng)
+        return Comparison(Col(lcols[0]) - Col(ORDERDATE), op, rhs), True
+    # col_vs_shifted: l OP o + interval
+    return (
+        Comparison(Col(lcols[0]), op, Col(ORDERDATE) + _random_interval(rng)),
+        True,
+    )
+
+
+def random_predicate(rng: random.Random) -> Pred:
+    """One satisfiable conjunctive predicate per the section 6.3 grammar."""
+    for _ in range(200):
+        num_terms = rng.randint(3, 8)
+        terms = []
+        uses_lineitem = False
+        for _ in range(num_terms):
+            term, touches = _random_term(rng)
+            terms.append(term)
+            uses_lineitem = uses_lineitem or touches
+        if not uses_lineitem:
+            continue
+        predicate = pand(terms)
+        formula, _ = lower_predicate(predicate)
+        if is_satisfiable(formula):
+            return predicate
+    raise SynthesisError("could not generate a satisfiable predicate")
+
+
+def make_query(index: int, predicate: Pred) -> WorkloadQuery:
+    """Wrap a predicate in the section 6.3 join template."""
+    join = Comparison(Col(ORDERKEY), "=", Col(LINEITEM_ORDERKEY))
+    query = BoundQuery(
+        tables=["lineitem", "orders"],
+        where=pand([join, predicate]),
+        projections=None,
+    )
+    return WorkloadQuery(index=index, query=query, predicate=predicate)
+
+
+def generate_workload(count: int = 200, *, seed: int = 42) -> list[WorkloadQuery]:
+    """The paper's collection of ``count`` random queries."""
+    rng = random.Random(seed)
+    return [make_query(i, random_predicate(rng)) for i in range(count)]
+
+
+def schema():
+    """Binder schema for the workload's tables."""
+    return {name: dict(cols) for name, cols in TPCH_SCHEMA.items()}

@@ -1,0 +1,46 @@
+"""Tests for the resumable full-scale runner (tiny scales)."""
+
+import json
+
+from repro.bench.fullscale import main, run, summarize
+
+
+def test_run_and_summarize(tmp_path, capsys):
+    out = tmp_path / "cells.jsonl"
+    new_cells = run(queries=1, seed=5, out_path=out, techniques=("TC",))
+    assert new_cells == 7  # one query x seven subsets
+    text = summarize(out)
+    assert "Table 2" in text and "Table 3" in text
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    out = tmp_path / "cells.jsonl"
+    first = run(queries=1, seed=5, out_path=out, techniques=("TC",))
+    second = run(queries=1, seed=5, out_path=out, techniques=("TC",))
+    assert first == 7
+    assert second == 0
+    lines = [l for l in out.read_text().splitlines() if l.strip()]
+    assert len(lines) == 7
+
+
+def test_resume_extends_with_new_technique(tmp_path):
+    out = tmp_path / "cells.jsonl"
+    run(queries=1, seed=5, out_path=out, techniques=("TC",))
+    more = run(queries=1, seed=5, out_path=out, techniques=("TC", "SIA"))
+    assert more == 7  # only the SIA cells are new
+
+
+def test_checkpoint_is_valid_jsonl(tmp_path):
+    out = tmp_path / "cells.jsonl"
+    run(queries=1, seed=5, out_path=out, techniques=("TC",))
+    for line in out.read_text().splitlines():
+        payload = json.loads(line)
+        assert {"query_index", "subset", "technique", "valid", "optimal"} <= set(payload)
+
+
+def test_main_summarize_mode(tmp_path, capsys):
+    out = tmp_path / "cells.jsonl"
+    run(queries=1, seed=5, out_path=out, techniques=("TC",))
+    code = main(["--summarize", str(out)])
+    assert code == 0
+    assert "Table 2" in capsys.readouterr().out

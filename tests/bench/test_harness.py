@@ -1,0 +1,101 @@
+"""Tests for the experiment harness (small scales)."""
+
+import pytest
+
+from repro.bench import (
+    TECHNIQUES,
+    column_subsets,
+    efficacy_records,
+    fig7_rows,
+    fig8_rows,
+    fig9_summary,
+    runtime_records,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.bench.casestudy import case_study_records, fig6_rows
+
+
+FAST_TECHNIQUES = ("SIA", "TC")
+
+
+@pytest.fixture(scope="module")
+def records():
+    # Tiny run: 1 query, two techniques; shares the module-level cache.
+    return efficacy_records(num_queries=1, seed=5, techniques=FAST_TECHNIQUES)
+
+
+def test_column_subsets():
+    subsets = column_subsets()
+    assert len(subsets) == 7
+    assert sorted(len(s) for s in subsets) == [1, 1, 1, 2, 2, 2, 3]
+
+
+def test_efficacy_records_cover_grid(records):
+    keys = {(r.query_index, r.subset, r.technique) for r in records}
+    assert len(keys) == 1 * 7 * len(FAST_TECHNIQUES)
+
+
+def test_efficacy_optimal_implies_valid(records):
+    for record in records:
+        if record.optimal:
+            assert record.valid, record
+
+
+def test_efficacy_possible_consistent(records):
+    """`possible` is a (query, subset) ground truth, shared across
+    techniques."""
+    by_key = {}
+    for record in records:
+        key = (record.query_index, record.subset)
+        by_key.setdefault(key, set()).add(record.possible)
+    assert all(len(values) == 1 for values in by_key.values())
+
+
+def test_valid_only_when_possible(records):
+    """No technique may synthesize a non-trivial valid predicate when
+    the unsatisfaction region is empty."""
+    for record in records:
+        if not record.possible:
+            assert not record.valid, record
+
+
+def test_table_rows_shape(records):
+    rows2 = table2_rows(records)
+    assert [row[0] for row in rows2] == ["one", "two", "three"]
+    assert all(len(row) == 2 + 2 * len(TECHNIQUES) for row in rows2)
+    rows3 = table3_rows(records)
+    assert all(len(row) == 1 + 9 for row in rows3)
+    rows7, labels7 = fig7_rows(records)
+    assert len(rows7) == 3 and len(labels7) == 6
+    rows8, labels8 = fig8_rows(records)
+    assert len(rows8) == 6 and len(labels8) == 6
+
+
+def test_runtime_records_and_summaries():
+    records = runtime_records(scale_factor=0.002, num_queries=2, seed=5, repeats=1)
+    assert len(records) == 2
+    summary = fig9_summary(records)
+    assert summary["rewritten"] == sum(1 for r in records if r.rewritten)
+    rows = table4_rows(records)
+    assert [row[0] for row in rows] == ["faster", "2x faster", "slower", "2x slower"]
+
+
+def test_runtime_semantics_preserved():
+    # runtime_records raises internally if row counts diverge.
+    records = runtime_records(scale_factor=0.002, num_queries=2, seed=5, repeats=1)
+    for record in records:
+        if record.rewritten:
+            assert record.original_rows == record.rewritten_rows
+
+
+def test_case_study_records():
+    records = case_study_records(num_queries=6, scale_factor=0.002, seed=3)
+    assert len(records) == 6
+    relevant = [r for r in records if r.symbolically_relevant]
+    for record in relevant:
+        assert record.prospective
+    rows, labels = fig6_rows(records)
+    assert len(rows) == 2
+    assert len(labels) == 6

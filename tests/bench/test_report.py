@@ -1,0 +1,44 @@
+"""Tests for report rendering and persistence."""
+
+from repro.bench import format_table, histogram
+from repro.bench.report import emit
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "count"],
+        [["alpha", 10], ["b", 2000]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1].startswith("name")
+    assert "-----" in lines[2]
+    assert lines[3].startswith("alpha")
+    # Columns line up.
+    assert lines[1].index("count") == lines[3].index("10")
+
+
+def test_format_table_floats():
+    text = format_table(["x"], [[1.23456]])
+    assert "1.23" in text
+
+
+def test_histogram_buckets():
+    counts = histogram([1, 5, 5, 7, 100], edges=(5, 10))
+    assert counts == [3, 1, 1]
+    assert histogram([], edges=(1,)) == [0, 0]
+
+
+def test_histogram_boundary_inclusive():
+    assert histogram([5], edges=(5,)) == [1, 0]
+    assert histogram([6], edges=(5,)) == [0, 1]
+
+
+def test_emit_persists(tmp_path, monkeypatch, capsys):
+    import repro.bench.report as report
+
+    monkeypatch.setattr(report, "RESULTS_DIR", tmp_path)
+    emit("demo", "hello table")
+    assert (tmp_path / "demo.txt").read_text() == "hello table\n"
+    assert "hello table" in capsys.readouterr().out

@@ -1,0 +1,146 @@
+"""Tests for syntax-driven baselines (transitive closure, constant
+propagation)."""
+
+from repro.core import constant_propagation, transitive_closure_predicate
+from repro.core.verify import verify_implied
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    INTEGER,
+    Lit,
+    eval_pred_py,
+    pand,
+)
+
+X = Column("t", "x", INTEGER)
+Y = Column("t", "y", INTEGER)
+Z = Column("t", "z", INTEGER)
+
+
+def test_chain_through_middle_variable():
+    # y > x AND x > z  =>  y > z (paper's transitive closure example).
+    pred = pand(
+        [
+            Comparison(Col(Y), ">", Col(X)),
+            Comparison(Col(X), ">", Col(Z)),
+        ]
+    )
+    derived = transitive_closure_predicate(pred, {Y, Z})
+    assert derived is not None
+    assert eval_pred_py(derived, {Y: 5, Z: 3}) is True
+    assert eval_pred_py(derived, {Y: 3, Z: 5}) is False
+
+
+def test_chain_to_constant_bound():
+    # x < y AND y < 10  =>  x < 9 over integers.
+    pred = pand(
+        [
+            Comparison(Col(X), "<", Col(Y)),
+            Comparison(Col(Y), "<", Lit.integer(10)),
+        ]
+    )
+    derived = transitive_closure_predicate(pred, {X})
+    assert derived is not None
+    assert eval_pred_py(derived, {X: 8}) is True
+    assert eval_pred_py(derived, {X: 20}) is False
+
+
+def test_derived_predicate_is_sound():
+    pred = pand(
+        [
+            Comparison(Col(X), "<=", Col(Y) + Lit.integer(3)),
+            Comparison(Col(Y), "<=", Col(Z) - Lit.integer(2)),
+            Comparison(Col(Z), "<=", Lit.integer(7)),
+        ]
+    )
+    derived = transitive_closure_predicate(pred, {X})
+    assert derived is not None
+    # Soundness grid check: p(x,y,z) -> derived(x).
+    for x in range(-5, 15):
+        for y in range(-5, 15):
+            for z in range(-5, 15):
+                if eval_pred_py(pred, {X: x, Y: y, Z: z}) is True:
+                    assert eval_pred_py(derived, {X: x}) is True, (x, y, z)
+
+
+def test_cannot_handle_three_variable_terms():
+    """The paper's motivating case: a1 - 2*a2 + b1 < 10 style conjuncts
+    are outside the difference-constraint fragment."""
+    pred = pand(
+        [
+            Comparison(
+                Col(X) - Lit.integer(2) * Col(Y) + Col(Z), "<", Lit.integer(10)
+            ),
+            Comparison(Col(Z), "<", Lit.integer(0)),
+        ]
+    )
+    derived = transitive_closure_predicate(pred, {X, Y})
+    assert derived is None
+
+
+def test_no_derivation_when_disconnected():
+    pred = pand(
+        [
+            Comparison(Col(X), "<", Lit.integer(5)),
+            Comparison(Col(Y), ">", Lit.integer(0)),
+        ]
+    )
+    # x and y never interact: nothing new about {x, y} jointly...
+    derived = transitive_closure_predicate(pred, {Z} | {X})
+    assert derived is None  # z absent from the predicate
+
+
+def test_existing_conjuncts_not_rederived():
+    pred = Comparison(Col(X), "<", Lit.integer(5))
+    derived = transitive_closure_predicate(pred, {X})
+    assert derived is None  # already syntactically present
+
+
+def test_strictness_preserved():
+    pred = pand(
+        [
+            Comparison(Col(X), "<", Col(Y)),
+            Comparison(Col(Y), "<=", Lit.integer(3)),
+        ]
+    )
+    derived = transitive_closure_predicate(pred, {X})
+    assert derived is not None
+    assert eval_pred_py(derived, {X: 3}) is False
+    assert eval_pred_py(derived, {X: 2}) is True
+
+
+def test_equality_edges():
+    pred = pand(
+        [
+            Comparison(Col(X), "=", Col(Y)),
+            Comparison(Col(Y), "<=", Lit.integer(4)),
+        ]
+    )
+    derived = transitive_closure_predicate(pred, {X})
+    assert derived is not None
+    assert eval_pred_py(derived, {X: 4}) is True
+    assert eval_pred_py(derived, {X: 5}) is False
+
+
+# ----------------------------------------------------------------------
+def test_constant_propagation():
+    # x = 5 AND x + y = 20 -> 5 + y = 20 (paper's example).
+    pred = pand(
+        [
+            Comparison(Col(X), "=", Lit.integer(5)),
+            Comparison(Col(X) + Col(Y), "=", Lit.integer(20)),
+        ]
+    )
+    result = constant_propagation(pred)
+    conjuncts = list(result.conjuncts())
+    assert len(conjuncts) == 2
+    second = conjuncts[1]
+    assert X not in second.columns()
+    assert eval_pred_py(second, {Y: 15}) is True
+    assert eval_pred_py(second, {Y: 14}) is False
+
+
+def test_constant_propagation_no_equalities_is_identity():
+    pred = Comparison(Col(X), "<", Lit.integer(5))
+    assert constant_propagation(pred) is pred

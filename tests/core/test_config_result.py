@@ -1,0 +1,80 @@
+"""Tests for configuration and result bookkeeping."""
+
+import time
+
+from repro.core import SIA_DEFAULT, SIA_V1, SIA_V2, SiaConfig
+from repro.core.result import (
+    OPTIMAL,
+    SynthesisOutcome,
+    Timings,
+    TRIVIAL,
+    VALID,
+)
+
+
+def test_table1_configurations():
+    """The paper's Table 1, verbatim."""
+    assert SIA_DEFAULT.max_iterations == 41
+    assert SIA_DEFAULT.initial_true_samples == 10
+    assert SIA_DEFAULT.initial_false_samples == 10
+    assert SIA_DEFAULT.samples_per_iteration == 5
+    assert SIA_V1.max_iterations == 1
+    assert SIA_V1.initial_true_samples == 110
+    assert SIA_V2.initial_true_samples == 220
+    assert SIA_V2.initial_false_samples == 220
+
+
+def test_with_seed():
+    config = SIA_DEFAULT.with_seed(99)
+    assert config.seed == 99
+    assert config.max_iterations == SIA_DEFAULT.max_iterations
+    assert SIA_DEFAULT.seed == 0  # frozen original untouched
+
+
+def test_config_is_frozen():
+    import dataclasses
+
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        SIA_DEFAULT.max_iterations = 5
+
+
+def test_timings_track_accumulates():
+    timings = Timings()
+    with timings.track("generation"):
+        time.sleep(0.01)
+    with timings.track("generation"):
+        time.sleep(0.01)
+    with timings.track("learning"):
+        time.sleep(0.005)
+    assert timings.generation_ms >= 15
+    assert timings.learning_ms >= 4
+    assert timings.total_ms == (
+        timings.generation_ms + timings.learning_ms + timings.validation_ms
+    )
+
+
+def test_timings_track_survives_exceptions():
+    timings = Timings()
+    try:
+        with timings.track("validation"):
+            time.sleep(0.005)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert timings.validation_ms >= 4
+
+
+def test_outcome_flags():
+    assert SynthesisOutcome(status=OPTIMAL).is_optimal
+    assert SynthesisOutcome(status=OPTIMAL).is_valid
+    assert SynthesisOutcome(status=VALID).is_valid
+    assert not SynthesisOutcome(status=VALID).is_optimal
+    assert not SynthesisOutcome(status=TRIVIAL).is_valid
+
+
+def test_outcome_repr():
+    outcome = SynthesisOutcome(status=VALID, iterations=3)
+    assert "valid" in repr(outcome)
+    assert "iters=3" in repr(outcome)

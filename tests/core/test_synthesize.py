@@ -1,0 +1,267 @@
+"""End-to-end tests for Synthesize (Algorithm 1)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    OPTIMAL,
+    SIA_DEFAULT,
+    SIA_V1,
+    SIA_V2,
+    TRIVIAL,
+    UNSUPPORTED,
+    Synthesizer,
+    synthesize,
+)
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    Lit,
+    eval_pred_py,
+    pand,
+    por,
+)
+
+A1 = Column("t", "a1", INTEGER)
+A2 = Column("t", "a2", INTEGER)
+B1 = Column("t", "b1", INTEGER)
+
+
+def motivating_pred():
+    """a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0 (section 3.2)."""
+    return pand(
+        [
+            Comparison(Col(A2) - Col(B1), "<", Lit.integer(20)),
+            Comparison(
+                Col(A1) - Col(A2), "<", (Col(A2) - Col(B1)) + Lit.integer(10)
+            ),
+            Comparison(Col(B1), "<", Lit.integer(0)),
+        ]
+    )
+
+
+def brute_force_feasible(pred, targets, grid):
+    """Ground truth: is a restriction feasible (some extension satisfies)?"""
+    others = sorted(set(pred.columns()) - set(targets))
+
+    def feasible(assignment):
+        def rec(i, row):
+            if i == len(others):
+                return eval_pred_py(pred, row) is True
+            for v in grid:
+                row[others[i]] = v
+                if rec(i + 1, row):
+                    return True
+            return False
+
+        return rec(0, dict(assignment))
+
+    return feasible
+
+
+# ----------------------------------------------------------------------
+def test_one_column_a2_optimal():
+    out = synthesize(motivating_pred(), {A2})
+    assert out.status == OPTIMAL
+    # Ground truth: feasible iff a2 <= 18.
+    assert eval_pred_py(out.predicate, {A2: 18}) is True
+    assert eval_pred_py(out.predicate, {A2: 19}) is False
+    assert eval_pred_py(out.predicate, {A2: -100}) is True
+
+
+def test_one_column_a1_optimal():
+    out = synthesize(motivating_pred(), {A1})
+    assert out.status == OPTIMAL
+    # Ground truth: feasible iff a1 <= 46 (a1 <= a2 + 28, a2 <= 18).
+    assert eval_pred_py(out.predicate, {A1: 46}) is True
+    assert eval_pred_py(out.predicate, {A1: 47}) is False
+
+
+def test_one_column_b1_trivial_region_is_optimal():
+    out = synthesize(motivating_pred(), {B1})
+    assert out.status == OPTIMAL
+    assert eval_pred_py(out.predicate, {B1: -1}) is True
+    assert eval_pred_py(out.predicate, {B1: 0}) is False
+
+
+def test_two_columns_valid_and_sound():
+    out = synthesize(motivating_pred(), {A1, A2})
+    assert out.is_valid
+    # Soundness: every feasible restriction must be accepted.
+    # Feasible iff a1 - a2 <= 28 and a2 <= 18.
+    for a1, a2 in [(0, 0), (28, 0), (46, 18), (-50, -10), (-100, 18)]:
+        assert eval_pred_py(out.predicate, {A1: a1, A2: a2}) is True, (a1, a2)
+
+
+def test_validity_invariant_against_bruteforce():
+    """Every sample the original predicate accepts (projected) must be
+    accepted by the synthesized predicate -- checked by brute force."""
+    pred = pand(
+        [
+            Comparison(Col(A1) - Col(B1), "<", Lit.integer(5)),
+            Comparison(Col(B1), "<", Lit.integer(3)),
+        ]
+    )
+    out = synthesize(pred, {A1})
+    assert out.is_valid
+    grid = range(-12, 12)
+    for a1 in grid:
+        for b1 in grid:
+            if eval_pred_py(pred, {A1: a1, B1: b1}) is True:
+                assert eval_pred_py(out.predicate, {A1: a1}) is True, (a1, b1)
+
+
+def test_optimality_against_bruteforce():
+    pred = pand(
+        [
+            Comparison(Col(A1) - Col(B1), "<", Lit.integer(5)),
+            Comparison(Col(B1), "<", Lit.integer(3)),
+        ]
+    )
+    out = synthesize(pred, {A1})
+    assert out.status == OPTIMAL
+    # Feasible iff a1 < 5 + b1 for some b1 < 3, i.e. a1 <= 6.
+    assert eval_pred_py(out.predicate, {A1: 6}) is True
+    assert eval_pred_py(out.predicate, {A1: 7}) is False
+
+
+def test_trivial_when_no_unsatisfaction_tuples():
+    # p touches b1 only; any a1 restriction is feasible.
+    pred = pand(
+        [
+            Comparison(Col(B1), "<", Lit.integer(3)),
+            Comparison(Col(A1), "<", Col(B1) + Lit.integer(10**6)),
+        ]
+    )
+    # a1's feasible region is a1 < 10**6 + b1, unbounded below; over the
+    # box everything is feasible... use a predicate where a1 is truly
+    # unconstrained relative to b1:
+    pred = Comparison(Col(A1) - Col(A1), "<=", Col(B1))  # degenerate
+    out = synthesize(
+        pand([Comparison(Col(B1), ">=", Lit.integer(0))]), {B1}
+    )
+    # b1 >= 0 with target {b1}: region b1 < 0 nonempty -> optimal.
+    assert out.status == OPTIMAL
+
+
+def test_unsupported_empty_targets():
+    out = synthesize(motivating_pred(), set())
+    assert out.status == UNSUPPORTED
+
+
+def test_unsupported_target_not_in_predicate():
+    other = Column("t", "zz", INTEGER)
+    out = synthesize(motivating_pred(), {other})
+    assert out.status == UNSUPPORTED
+
+
+def test_dates_roundtrip_through_synthesis():
+    ship = Column("lineitem", "l_shipdate", DATE)
+    order = Column("orders", "o_orderdate", DATE)
+    pred = pand(
+        [
+            Comparison(Col(ship) - Col(order), "<", Lit.integer(20)),
+            Comparison(Col(order), "<", Lit.date("1993-06-01")),
+        ]
+    )
+    out = synthesize(pred, {ship})
+    assert out.status == OPTIMAL
+    # Feasible iff shipdate <= 1993-06-19 (order <= May 31, ship-order <= 19).
+    assert eval_pred_py(out.predicate, {ship: dt.date(1993, 6, 19)}) is True
+    assert eval_pred_py(out.predicate, {ship: dt.date(1993, 6, 20)}) is False
+
+
+def test_finite_true_fallback():
+    pred = pand(
+        [
+            Comparison(Col(A1), ">=", Lit.integer(0)),
+            Comparison(Col(A1), "<=", Lit.integer(3)),
+            Comparison(Col(B1), ">", Col(A1)),
+        ]
+    )
+    out = synthesize(pred, {A1})
+    assert out.status == OPTIMAL
+    for v in (0, 1, 2, 3):
+        assert eval_pred_py(out.predicate, {A1: v}) is True
+    assert eval_pred_py(out.predicate, {A1: 4}) is False
+    assert eval_pred_py(out.predicate, {A1: -1}) is False
+
+
+def test_single_shot_variants_run():
+    pred = motivating_pred()
+    for config in (SIA_V1, SIA_V2):
+        out = Synthesizer(config).synthesize(pred, {A2})
+        assert out.iterations <= 1
+        if out.is_valid:
+            # Validity invariant spot-check.
+            assert eval_pred_py(out.predicate, {A2: 0}) is True
+
+
+def test_outcome_statistics_populated():
+    out = synthesize(motivating_pred(), {A2})
+    assert out.true_samples >= SIA_DEFAULT.initial_true_samples
+    assert out.false_samples >= SIA_DEFAULT.initial_false_samples
+    assert out.timings.total_ms > 0
+    assert out.trace
+    assert out.target_columns == ("t.a2",)
+
+
+def test_disjunctive_original_with_nulls_cannot_be_synthesized():
+    """3VL gap: p = (a1 > 5 OR b1 > 0) is TRUE on (NULL-a1, b1=1) but
+    any predicate over {a1} filters that tuple (section 5.2)."""
+    pred = por(
+        [
+            Comparison(Col(A1), ">", Lit.integer(5)),
+            Comparison(Col(B1), ">", Lit.integer(0)),
+        ]
+    )
+    out = synthesize(pred, {A1})
+    assert out.status in ("failed", "trivial")
+
+
+def test_double_columns():
+    price = Column("t", "p", DOUBLE)
+    disc = Column("t", "d", DOUBLE)
+    pred = pand(
+        [
+            Comparison(Col(price) - Col(disc), "<", Lit.double(5.0)),
+            Comparison(Col(disc), "<", Lit.double(2.0)),
+        ]
+    )
+    out = synthesize(pred, {price})
+    assert out.is_valid
+    # price < 5 + disc with disc < 2 -> price < 7 is the optimal region.
+    assert eval_pred_py(out.predicate, {price: 6.9}) is True
+    assert eval_pred_py(out.predicate, {price: 8.0}) is False
+
+
+def test_limitation_non_separable_section_6_7():
+    """a > b && a < b + 50 && b > 0 && b < 150: FALSE samples lie on
+    both sides of TRUE samples (the paper's section 6.7 failure mode).
+
+    Ground truth over the integers: a is feasible iff 2 <= a <= 198
+    (a <= b + 49 <= 149 + 49; a >= b + 1 >= 2).  Sia must never emit an
+    invalid predicate; with the iterative loop it can even recover the
+    optimal two-sided interval here (one bound per learned plane)."""
+    a = Column("t", "a", INTEGER)
+    b = Column("t", "b", INTEGER)
+    pred = pand(
+        [
+            Comparison(Col(a), ">", Col(b)),
+            Comparison(Col(a), "<", Col(b) + Lit.integer(50)),
+            Comparison(Col(b), ">", Lit.integer(0)),
+            Comparison(Col(b), "<", Lit.integer(150)),
+        ]
+    )
+    out = synthesize(pred, {a})
+    if out.is_valid:
+        for v in (2, 50, 198):
+            assert eval_pred_py(out.predicate, {a: v}) is True, v
+    if out.is_optimal:
+        for v in (1, 199, 250):
+            assert eval_pred_py(out.predicate, {a: v}) is False, v

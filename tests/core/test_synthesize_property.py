@@ -1,0 +1,83 @@
+"""Property-based validation of the full synthesis pipeline.
+
+For random small bounded predicates, any synthesized predicate must be
+*valid* (accept every feasible restriction, checked by brute force) and
+any OPTIMAL outcome must also reject every unsatisfaction tuple.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SiaConfig, synthesize
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    INTEGER,
+    Lit,
+    eval_pred_py,
+    pand,
+)
+
+A = Column("t", "a", INTEGER)
+B = Column("t", "b", INTEGER)
+
+FAST = SiaConfig(max_iterations=8, seed=0, initial_true_samples=6, initial_false_samples=6)
+
+GRID = range(-15, 16)
+
+
+@st.composite
+def bounded_predicates(draw):
+    """Conjunctions over (a, b) with b boxed, so restrictions of `a`
+    have a finite ground truth."""
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    atoms = [
+        Comparison(Col(B), ">=", Lit.integer(GRID.start)),
+        Comparison(Col(B), "<=", Lit.integer(GRID.stop - 1)),
+    ]
+    for _ in range(rng.randint(1, 3)):
+        lhs = Col(A) if rng.random() < 0.4 else Col(A) - Col(B)
+        op = rng.choice(["<", "<=", ">", ">="])
+        atoms.append(Comparison(lhs, op, Lit.integer(rng.randint(-12, 12))))
+    return pand(atoms)
+
+
+def feasible(pred, a_value):
+    return any(
+        eval_pred_py(pred, {A: a_value, B: b_value}) is True for b_value in GRID
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(pred=bounded_predicates())
+def test_synthesized_predicate_validity_property(pred):
+    outcome = synthesize(pred, {A}, FAST)
+    if not outcome.is_valid or outcome.predicate is None:
+        return
+    for a_value in GRID:
+        if feasible(pred, a_value):
+            assert eval_pred_py(outcome.predicate, {A: a_value}) is True, (
+                pred,
+                outcome.predicate,
+                a_value,
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(pred=bounded_predicates())
+def test_optimal_outcomes_reject_unsatisfaction_tuples(pred):
+    outcome = synthesize(pred, {A}, FAST)
+    if outcome.status != "optimal" or outcome.predicate is None:
+        return
+    if not outcome.optimal_exact:
+        return
+    for a_value in GRID:
+        if not feasible(pred, a_value):
+            assert eval_pred_py(outcome.predicate, {A: a_value}) is not True, (
+                pred,
+                outcome.predicate,
+                a_value,
+            )

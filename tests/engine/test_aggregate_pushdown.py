@@ -1,0 +1,92 @@
+"""Tests for the push-below-aggregation rule (paper section 1)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    AggSpec,
+    Catalog,
+    Filter,
+    Scan,
+    Table,
+    execute,
+    push_filter_below_aggregate,
+)
+from repro.predicates import Col, Column, Comparison, DOUBLE, INTEGER, Lit, pand
+
+G = Column("t", "g", INTEGER)
+V = Column("t", "v", DOUBLE)
+COUNT = Column("__agg__", "count", INTEGER)
+
+
+@pytest.fixture()
+def catalog():
+    catalog = Catalog()
+    catalog.register(
+        Table(
+            "t",
+            {"g": INTEGER, "v": DOUBLE},
+            {
+                "g": np.array([1, 1, 2, 2, 3]),
+                "v": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+            },
+        )
+    )
+    return catalog
+
+
+def agg_plan():
+    return Aggregate(Scan("t"), group_by=(G,), aggregates=(AggSpec("COUNT"),))
+
+
+def test_filter_on_group_key_moves_below(catalog):
+    plan = Filter(agg_plan(), Comparison(Col(G), "<", Lit.integer(3)))
+    optimized = push_filter_below_aggregate(plan)
+    text = optimized.describe()
+    assert text.index("Filter") > text.index("Aggregate")
+    # Same result either way.
+    rel_orig, _ = execute(plan, catalog)
+    rel_opt, _ = execute(optimized, catalog)
+    assert rel_orig.num_rows == rel_opt.num_rows == 2
+    assert sorted(rel_opt.column(G).tolist()) == [1, 2]
+    assert sorted(rel_opt.column(COUNT).tolist()) == [2, 2]
+
+
+def test_filter_on_non_group_column_stays(catalog):
+    plan = Filter(agg_plan(), Comparison(Col(COUNT), ">", Lit.integer(1)))
+    optimized = push_filter_below_aggregate(plan)
+    text = optimized.describe()
+    assert text.index("Filter") < text.index("Aggregate")
+
+
+def test_mixed_conjunction_splits(catalog):
+    pred = pand(
+        [
+            Comparison(Col(G), "<", Lit.integer(3)),
+            Comparison(Col(COUNT), ">", Lit.integer(1)),
+        ]
+    )
+    plan = Filter(agg_plan(), pred)
+    optimized = push_filter_below_aggregate(plan)
+    text = optimized.describe()
+    # Both a filter above and below the aggregate.
+    assert text.count("Filter") == 2
+    rel, _ = execute(optimized, catalog)
+    assert rel.num_rows == 2  # groups 1 and 2, both with count 2
+
+
+def test_rule_recurses_into_children(catalog):
+    inner = Filter(agg_plan(), Comparison(Col(G), "=", Lit.integer(1)))
+    outer = Filter(inner, Comparison(Col(COUNT), ">", Lit.integer(0)))
+    optimized = push_filter_below_aggregate(outer)
+    rel, _ = execute(optimized, catalog)
+    assert rel.num_rows == 1
+
+
+def test_rule_is_identity_elsewhere(catalog):
+    plan = Filter(Scan("t"), Comparison(Col(G), "<", Lit.integer(3)))
+    optimized = push_filter_below_aggregate(plan)
+    rel1, _ = execute(plan, catalog)
+    rel2, _ = execute(optimized, catalog)
+    assert rel1.num_rows == rel2.num_rows

@@ -1,0 +1,217 @@
+"""Tests for plan building and execution."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    AggSpec,
+    Catalog,
+    Filter,
+    HashJoin,
+    Project,
+    Scan,
+    Table,
+    build_plan,
+    execute,
+    split_where,
+)
+from repro.errors import PlanError
+from repro.predicates import Col, Column, Comparison, DOUBLE, INTEGER, Lit, pand
+from repro.sql.binder import BoundQuery, parse_query
+
+SCHEMA_A = {"id": INTEGER, "val": INTEGER}
+SCHEMA_B = {"id": INTEGER, "score": DOUBLE}
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.register(
+        Table(
+            "a",
+            SCHEMA_A,
+            {"id": np.array([1, 2, 3, 4]), "val": np.array([10, 20, 30, 40])},
+        )
+    )
+    catalog.register(
+        Table(
+            "b",
+            SCHEMA_B,
+            {
+                "id": np.array([2, 3, 3, 5]),
+                "score": np.array([0.5, 1.5, 2.5, 3.5]),
+            },
+        )
+    )
+    return catalog
+
+
+A_ID = Column("a", "id", INTEGER)
+A_VAL = Column("a", "val", INTEGER)
+B_ID = Column("b", "id", INTEGER)
+B_SCORE = Column("b", "score", DOUBLE)
+
+
+def test_scan():
+    rel, stats = execute(Scan("a"), make_catalog())
+    assert rel.num_rows == 4
+    assert stats.tuples_processed == 4
+
+
+def test_filter():
+    plan = Filter(Scan("a"), Comparison(Col(A_VAL), ">", Lit.integer(15)))
+    rel, _ = execute(plan, make_catalog())
+    assert rel.column(A_VAL).tolist() == [20, 30, 40]
+
+
+def test_hash_join_inner():
+    plan = HashJoin(Scan("a"), Scan("b"), A_ID, B_ID)
+    rel, stats = execute(plan, make_catalog())
+    # id 2 matches once, id 3 matches twice.
+    assert rel.num_rows == 3
+    assert sorted(rel.column(A_ID).tolist()) == [2, 3, 3]
+    assert sorted(rel.column(B_SCORE).tolist()) == [0.5, 1.5, 2.5]
+    assert stats.join_input_tuples == 8
+
+
+def test_hash_join_empty_result():
+    catalog = make_catalog()
+    plan = HashJoin(
+        Filter(Scan("a"), Comparison(Col(A_ID), ">", Lit.integer(100))),
+        Scan("b"),
+        A_ID,
+        B_ID,
+    )
+    rel, _ = execute(plan, catalog)
+    assert rel.num_rows == 0
+
+
+def test_hash_join_skips_null_keys():
+    catalog = make_catalog()
+    catalog.register(
+        Table(
+            "n",
+            {"id": INTEGER},
+            {"id": np.array([2, 3])},
+            {"id": np.array([False, True])},
+        )
+    )
+    n_id = Column("n", "id", INTEGER)
+    plan = HashJoin(Scan("n"), Scan("b"), n_id, B_ID)
+    rel, _ = execute(plan, catalog)
+    assert rel.num_rows == 1  # only the non-null key 2
+
+
+def test_project():
+    plan = Project(Scan("a"), (A_VAL,))
+    rel, _ = execute(plan, make_catalog())
+    assert list(rel.data) == [A_VAL]
+
+
+def test_aggregate_group_by():
+    plan = Aggregate(
+        Scan("b"),
+        group_by=(B_ID,),
+        aggregates=(AggSpec("COUNT"), AggSpec("SUM", B_SCORE), AggSpec("MAX", B_SCORE)),
+    )
+    rel, _ = execute(plan, make_catalog())
+    assert rel.num_rows == 3
+    ids = rel.column(B_ID).tolist()
+    assert ids == [2, 3, 5]
+    counts = rel.column(Column("__agg__", "count", INTEGER)).tolist()
+    assert counts == [1, 2, 1]
+    sums = rel.column(Column("__agg__", "sum_score", DOUBLE)).tolist()
+    assert sums == [0.5, 4.0, 3.5]
+
+
+def test_aggregate_global():
+    plan = Aggregate(Scan("a"), group_by=(), aggregates=(AggSpec("AVG", A_VAL),))
+    rel, _ = execute(plan, make_catalog())
+    assert rel.num_rows == 1
+    assert rel.column(Column("__agg__", "avg_val", DOUBLE)).tolist() == [25.0]
+
+
+def test_aggspec_validation():
+    with pytest.raises(ValueError):
+        AggSpec("MEDIAN", A_VAL)
+    with pytest.raises(ValueError):
+        AggSpec("SUM")
+
+
+# ----------------------------------------------------------------------
+# Plan building / pushdown
+# ----------------------------------------------------------------------
+def bound_query():
+    schema = {"a": SCHEMA_A, "b": SCHEMA_B}
+    return parse_query(
+        "SELECT * FROM a, b WHERE a.id = b.id AND a.val > 15 AND "
+        "a.val + b.score > 20",
+        schema,
+    )
+
+
+def test_split_where():
+    joins, per_table, residual = split_where(bound_query())
+    assert len(joins) == 1
+    assert len(per_table["a"]) == 1
+    assert per_table["b"] == []
+    assert len(residual) == 1
+
+
+def test_pushdown_plan_shape():
+    plan = build_plan(bound_query(), pushdown=True)
+    text = plan.describe()
+    # The a.val filter must sit below the join.
+    join_pos = text.index("HashJoin")
+    assert "Filter(a.val > 15" in text
+    assert text.index("Filter(a.val > 15") > join_pos
+
+
+def test_no_pushdown_plan_shape():
+    plan = build_plan(bound_query(), pushdown=False)
+    text = plan.describe()
+    join_pos = text.index("HashJoin")
+    filter_pos = text.index("a.val > 15")
+    assert filter_pos < join_pos  # filter is above the join in the tree
+
+
+def test_pushdown_and_no_pushdown_agree():
+    catalog = make_catalog()
+    query = bound_query()
+    r1, s1 = execute(build_plan(query, pushdown=True), catalog)
+    r2, s2 = execute(build_plan(query, pushdown=False), catalog)
+    assert r1.num_rows == r2.num_rows
+    assert sorted(r1.column(A_ID).tolist()) == sorted(r2.column(A_ID).tolist())
+    # Pushdown reduces join input.
+    assert s1.join_input_tuples <= s2.join_input_tuples
+
+
+def test_plan_requires_join_condition():
+    schema = {"a": SCHEMA_A, "b": SCHEMA_B}
+    query = parse_query("SELECT * FROM a, b WHERE a.val > 0", schema)
+    with pytest.raises(PlanError):
+        build_plan(query)
+
+
+def test_three_way_join():
+    catalog = make_catalog()
+    catalog.register(
+        Table("c", {"id": INTEGER, "w": INTEGER},
+              {"id": np.array([3, 5]), "w": np.array([7, 8])})
+    )
+    schema = catalog.schema()
+    query = parse_query(
+        "SELECT * FROM a, b, c WHERE a.id = b.id AND b.id = c.id", schema
+    )
+    rel, _ = execute(build_plan(query), catalog)
+    # id 3 joins twice in b, once in c.
+    assert rel.num_rows == 2
+
+
+def test_projection_applied():
+    schema = {"a": SCHEMA_A, "b": SCHEMA_B}
+    query = parse_query(
+        "SELECT a.val FROM a, b WHERE a.id = b.id", schema
+    )
+    rel, _ = execute(build_plan(query), make_catalog())
+    assert list(rel.data) == [A_VAL]

@@ -1,0 +1,128 @@
+"""Tests for table statistics and cardinality estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Table, TableStats, estimate_rows, estimate_selectivity
+from repro.engine.statistics import ColumnStats
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    INTEGER,
+    IsNull,
+    Lit,
+    PNot,
+    pand,
+    por,
+)
+
+K = Column("t", "k", INTEGER)
+
+
+def make_stats(values, nulls=None):
+    table = Table(
+        "t",
+        {"k": INTEGER},
+        {"k": np.asarray(values)},
+        {} if nulls is None else {"k": np.asarray(nulls)},
+    )
+    return table, TableStats.from_table(table)
+
+
+def true_selectivity(pred, table):
+    from repro.predicates import eval_pred_numpy
+
+    rel = table.to_relation()
+    truth, _ = eval_pred_numpy(pred, rel.resolver(), rel.num_rows)
+    return truth.mean()
+
+
+def test_uniform_range_estimates_close():
+    table, stats = make_stats(np.arange(1000))
+    pred = Comparison(Col(K), "<", Lit.integer(250))
+    estimated = estimate_selectivity(pred, stats)
+    actual = true_selectivity(pred, table)
+    assert abs(estimated - actual) < 0.05
+
+
+def test_out_of_range_bounds():
+    _, stats = make_stats(np.arange(100))
+    below = Comparison(Col(K), "<", Lit.integer(-10))
+    above = Comparison(Col(K), "<", Lit.integer(10_000))
+    assert estimate_selectivity(below, stats) == 0.0
+    assert estimate_selectivity(above, stats) == 1.0
+
+
+def test_equality_uses_ndv():
+    _, stats = make_stats(np.repeat(np.arange(10), 10))  # 10 distinct values
+    pred = Comparison(Col(K), "=", Lit.integer(3))
+    assert estimate_selectivity(pred, stats) == pytest.approx(0.1)
+
+
+def test_null_fraction():
+    _, stats = make_stats(np.arange(100), nulls=np.arange(100) < 20)
+    assert estimate_selectivity(IsNull(Col(K)), stats) == pytest.approx(0.2)
+    assert estimate_selectivity(IsNull(Col(K), negated=True), stats) == pytest.approx(0.8)
+    # Range predicates discount the null fraction.
+    everything = Comparison(Col(K), "<=", Lit.integer(99))
+    assert estimate_selectivity(everything, stats) == pytest.approx(0.8, abs=0.05)
+
+
+def test_and_or_not_combinators():
+    table, stats = make_stats(np.arange(1000))
+    low = Comparison(Col(K), "<", Lit.integer(500))
+    high = Comparison(Col(K), ">=", Lit.integer(750))
+    both = pand([low, Comparison(Col(K), ">=", Lit.integer(250))])
+    either = por([low, high])
+    # AND multiplies under the textbook independence assumption, which
+    # over-estimates for correlated range conjuncts on the same column:
+    # true 0.25 vs 0.5 * 0.75 = 0.375 here.
+    assert estimate_selectivity(both, stats) == pytest.approx(
+        true_selectivity(both, table), abs=0.15
+    )
+    assert estimate_selectivity(either, stats) == pytest.approx(
+        true_selectivity(either, table), abs=0.15
+    )
+    negated = PNot(low)
+    assert estimate_selectivity(negated, stats) == pytest.approx(0.5, abs=0.05)
+
+
+def test_mirrored_comparison():
+    table, stats = make_stats(np.arange(100))
+    pred = Comparison(Lit.integer(30), ">", Col(K))  # k < 30
+    assert estimate_selectivity(pred, stats) == pytest.approx(
+        true_selectivity(pred, table), abs=0.05
+    )
+
+
+def test_complex_comparison_default():
+    _, stats = make_stats(np.arange(100))
+    pred = Comparison(Col(K) + Col(K), "<", Lit.integer(10))
+    assert 0.0 < estimate_selectivity(pred, stats) < 1.0
+
+
+def test_estimate_rows():
+    _, stats = make_stats(np.arange(1000))
+    pred = Comparison(Col(K), "<", Lit.integer(100))
+    assert estimate_rows(pred, stats) == pytest.approx(100, abs=40)
+
+
+def test_empty_column():
+    stats = ColumnStats.from_array(np.array([], dtype=np.int64), None)
+    assert stats.fraction_below(5.0, inclusive=False) == 0.5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cutoff=st.integers(min_value=0, max_value=999),
+    op=st.sampled_from(["<", "<=", ">", ">="]),
+)
+def test_histogram_estimates_within_tolerance(cutoff, op):
+    table, stats = make_stats(np.arange(1000))
+    pred = Comparison(Col(K), op, Lit.integer(cutoff))
+    estimated = estimate_selectivity(pred, stats)
+    actual = true_selectivity(pred, table)
+    assert abs(estimated - actual) < 0.08

@@ -1,0 +1,72 @@
+"""Tests for execution statistics and the cost proxies."""
+
+import numpy as np
+
+from repro.engine import (
+    Catalog,
+    Filter,
+    HashJoin,
+    Scan,
+    Table,
+    execute,
+)
+from repro.engine.stats import ExecutionStats
+from repro.predicates import Col, Column, Comparison, INTEGER, Lit
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.register(
+        Table("a", {"id": INTEGER}, {"id": np.arange(100)})
+    )
+    catalog.register(
+        Table("b", {"id": INTEGER}, {"id": np.arange(50)})
+    )
+    return catalog
+
+
+A_ID = Column("a", "id", INTEGER)
+B_ID = Column("b", "id", INTEGER)
+
+
+def test_operator_records():
+    catalog = make_catalog()
+    plan = Filter(Scan("a"), Comparison(Col(A_ID), "<", Lit.integer(10)))
+    _, stats = execute(plan, catalog)
+    labels = [op.label for op in stats.operators]
+    assert labels[0].startswith("Scan")
+    assert labels[1].startswith("Filter")
+    assert stats.operators[1].rows_in == 100
+    assert stats.operators[1].rows_out == 10
+
+
+def test_join_input_tuples():
+    catalog = make_catalog()
+    plan = HashJoin(Scan("a"), Scan("b"), A_ID, B_ID)
+    _, stats = execute(plan, catalog)
+    assert stats.join_input_tuples == 150
+    assert stats.tuples_processed == 100 + 50 + 150
+
+
+def test_elapsed_and_peak_bytes_populated():
+    catalog = make_catalog()
+    plan = HashJoin(Scan("a"), Scan("b"), A_ID, B_ID)
+    _, stats = execute(plan, catalog)
+    assert stats.elapsed_ms > 0
+    assert stats.peak_bytes > 0
+
+
+def test_summary_renders():
+    stats = ExecutionStats()
+    stats.record("Scan(a)", 10, 10, 0.5)
+    stats.elapsed_ms = 1.0
+    text = stats.summary()
+    assert "Scan(a)" in text
+    assert "in=10" in text
+
+
+def test_note_bytes_keeps_max():
+    stats = ExecutionStats()
+    stats.note_bytes(10)
+    stats.note_bytes(5)
+    assert stats.peak_bytes == 10

@@ -1,0 +1,100 @@
+"""Tests for columnar tables and relations."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Catalog, Table
+from repro.errors import CatalogError
+from repro.predicates import Column, INTEGER
+
+
+def make_table():
+    return Table(
+        "t",
+        {"a": INTEGER, "b": INTEGER},
+        {"a": np.array([1, 2, 3]), "b": np.array([10, 20, 30])},
+    )
+
+
+def test_num_rows():
+    assert make_table().num_rows == 3
+    assert Table("e", {"a": INTEGER}).num_rows == 0
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(CatalogError):
+        Table(
+            "t",
+            {"a": INTEGER, "b": INTEGER},
+            {"a": np.array([1]), "b": np.array([1, 2])},
+        )
+
+
+def test_column_outside_schema_rejected():
+    with pytest.raises(CatalogError):
+        Table("t", {"a": INTEGER}, {"b": np.array([1])})
+
+
+def test_column_ref():
+    table = make_table()
+    ref = table.column_ref("a")
+    assert ref == Column("t", "a", INTEGER)
+    with pytest.raises(CatalogError):
+        table.column_ref("zzz")
+
+
+def test_to_relation_and_filter():
+    rel = make_table().to_relation()
+    assert rel.num_rows == 3
+    col_a = Column("t", "a", INTEGER)
+    filtered = rel.filter(np.array([True, False, True]))
+    assert filtered.num_rows == 2
+    assert filtered.column(col_a).tolist() == [1, 3]
+
+
+def test_relation_take():
+    rel = make_table().to_relation()
+    taken = rel.take(np.array([2, 0]))
+    assert taken.column(Column("t", "a", INTEGER)).tolist() == [3, 1]
+
+
+def test_relation_take_preserves_null_masks():
+    table = Table(
+        "t",
+        {"a": INTEGER},
+        {"a": np.array([1, 2, 3])},
+        {"a": np.array([False, True, False])},
+    )
+    rel = table.to_relation()
+    taken = rel.take(np.array([1, 2]))
+    nulls = taken.null_mask(Column("t", "a", INTEGER))
+    assert nulls.tolist() == [True, False]
+
+
+def test_relation_project_and_merge():
+    rel = make_table().to_relation()
+    a = Column("t", "a", INTEGER)
+    b = Column("t", "b", INTEGER)
+    projected = rel.project([a])
+    assert list(projected.data) == [a]
+    with pytest.raises(CatalogError):
+        rel.project([Column("x", "q", INTEGER)])
+    merged = projected.merge(rel.project([b]))
+    assert set(merged.data) == {a, b}
+
+
+def test_merge_length_mismatch():
+    rel = make_table().to_relation()
+    small = rel.filter(np.array([True, False, False]))
+    with pytest.raises(CatalogError):
+        rel.merge(small)
+
+
+def test_catalog():
+    catalog = Catalog()
+    catalog.register(make_table())
+    assert "t" in catalog
+    assert catalog.get("T").name == "t"
+    with pytest.raises(CatalogError):
+        catalog.get("nope")
+    assert catalog.schema() == {"t": {"a": INTEGER, "b": INTEGER}}

@@ -1,0 +1,93 @@
+"""Tests for the linear SVM trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import train_linear_svm
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        train_linear_svm(np.zeros(3), np.zeros((1, 3)))
+    with pytest.raises(ValueError):
+        train_linear_svm(np.zeros((0, 2)), np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        train_linear_svm(np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+def test_no_negatives_accepts_everything():
+    model = train_linear_svm(np.array([[1.0, 2.0]]), np.zeros((0, 2)))
+    assert model.predict(np.array([[100.0, -100.0]]))[0]
+
+
+def test_separates_1d():
+    pos = np.array([[3.0], [4.0], [10.0]])
+    neg = np.array([[-1.0], [0.0], [1.0]])
+    model = train_linear_svm(pos, neg)
+    assert model.predict(pos).all()
+    assert not model.predict(neg).any()
+
+
+def test_separates_2d_diagonal():
+    rng = np.random.default_rng(42)
+    pos = rng.normal(0, 1, size=(40, 2)) + np.array([3.0, 3.0])
+    neg = rng.normal(0, 1, size=(40, 2)) - np.array([3.0, 3.0])
+    model = train_linear_svm(pos, neg)
+    assert model.predict(pos).mean() > 0.95
+    assert model.predict(neg).mean() < 0.05
+
+
+def test_margin_direction():
+    # TRUE iff x1 - x2 > 5, cleanly separated.
+    pos = np.array([[10.0, 1.0], [20.0, 5.0], [8.0, 1.0]])
+    neg = np.array([[1.0, 1.0], [5.0, 5.0], [0.0, 10.0]])
+    model = train_linear_svm(pos, neg)
+    assert model.weights[0] > 0
+    assert model.weights[1] < model.weights[0]
+
+
+def test_deterministic_given_seed():
+    pos = np.array([[3.0, 1.0], [4.0, 2.0]])
+    neg = np.array([[-3.0, 0.0], [-4.0, 1.0]])
+    m1 = train_linear_svm(pos, neg, seed=7)
+    m2 = train_linear_svm(pos, neg, seed=7)
+    assert np.allclose(m1.weights, m2.weights)
+    assert m1.bias == m2.bias
+
+
+def test_not_linearly_separable_still_returns_model():
+    # XOR-ish pattern: no linear separator exists.
+    pos = np.array([[1.0, 1.0], [-1.0, -1.0]])
+    neg = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    model = train_linear_svm(pos, neg)
+    assert model.weights.shape == (2,)
+    # At most half of each class can be classified correctly by a line
+    # through this configuration; just check nothing blew up.
+    assert np.isfinite(model.decision(pos)).all()
+
+
+def test_large_scale_features():
+    pos = np.array([[1e6, 2.0], [2e6, 1.0]])
+    neg = np.array([[-1e6, 2.0], [-2e6, 1.0]])
+    model = train_linear_svm(pos, neg)
+    assert model.predict(pos).all()
+    assert not model.predict(neg).any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    threshold=st.integers(min_value=-20, max_value=20),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_learns_threshold_property(threshold, seed):
+    rng = np.random.default_rng(seed)
+    xs = rng.integers(-60, 60, size=40).astype(np.float64)
+    pos = xs[xs > threshold + 2].reshape(-1, 1)
+    neg = xs[xs < threshold - 2].reshape(-1, 1)
+    if len(pos) == 0 or len(neg) == 0:
+        return
+    model = train_linear_svm(pos, neg)
+    assert model.predict(pos).all()
+    assert not model.predict(neg).any()

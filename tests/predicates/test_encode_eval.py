@@ -1,0 +1,265 @@
+"""Tests for the 3VL encoding and both evaluators."""
+
+import datetime as dt
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    DATE,
+    DOUBLE,
+    INTEGER,
+    Col,
+    Column,
+    Comparison,
+    IsNull,
+    Lit,
+    LinearizationContext,
+    PNot,
+    eval_pred_numpy,
+    eval_pred_py,
+    falsity_formula,
+    pand,
+    por,
+    selectivity,
+    truth_formula,
+)
+from repro.smt import Not, conj, is_satisfiable, negate
+
+A = Column("t", "a", INTEGER)
+B = Column("t", "b", INTEGER)
+SHIP = Column("lineitem", "l_shipdate", DATE)
+PRICE = Column("lineitem", "l_extendedprice", DOUBLE)
+
+
+# ----------------------------------------------------------------------
+# Scalar 3VL evaluation
+# ----------------------------------------------------------------------
+def test_eval_simple_comparison():
+    pred = Comparison(Col(A), "<", Lit.integer(5))
+    assert eval_pred_py(pred, {A: 3}) is True
+    assert eval_pred_py(pred, {A: 7}) is False
+    assert eval_pred_py(pred, {A: None}) is None
+
+
+def test_eval_kleene_and():
+    pred = pand(
+        [Comparison(Col(A), "<", Lit.integer(5)), Comparison(Col(B), ">", Lit.integer(0))]
+    )
+    assert eval_pred_py(pred, {A: 3, B: 1}) is True
+    assert eval_pred_py(pred, {A: 3, B: None}) is None
+    # FALSE dominates NULL in a conjunction.
+    assert eval_pred_py(pred, {A: 9, B: None}) is False
+
+
+def test_eval_kleene_or():
+    pred = por(
+        [Comparison(Col(A), "<", Lit.integer(5)), Comparison(Col(B), ">", Lit.integer(0))]
+    )
+    # TRUE dominates NULL in a disjunction.
+    assert eval_pred_py(pred, {A: 3, B: None}) is True
+    assert eval_pred_py(pred, {A: 9, B: None}) is None
+    assert eval_pred_py(pred, {A: 9, B: -1}) is False
+
+
+def test_eval_not_null():
+    pred = PNot(Comparison(Col(A), "<", Lit.integer(5)))
+    assert eval_pred_py(pred, {A: None}) is None
+    assert eval_pred_py(pred, {A: 9}) is True
+
+
+def test_eval_is_null():
+    pred = IsNull(Col(A))
+    assert eval_pred_py(pred, {A: None}) is True
+    assert eval_pred_py(pred, {A: 1}) is False
+    negated = IsNull(Col(A), negated=True)
+    assert eval_pred_py(negated, {A: None}) is False
+
+
+def test_eval_date_arithmetic():
+    pred = Comparison(
+        Col(SHIP) - Lit.date("1993-06-01"), "<", Lit.integer(20)
+    )
+    assert eval_pred_py(pred, {SHIP: dt.date(1993, 6, 10)}) is True
+    assert eval_pred_py(pred, {SHIP: dt.date(1993, 7, 10)}) is False
+
+
+def test_eval_division_by_zero_is_null():
+    pred = Comparison(Col(A) / Col(B), ">", Lit.integer(0))
+    assert eval_pred_py(pred, {A: 1, B: 0}) is None
+
+
+# ----------------------------------------------------------------------
+# 3VL SMT encoding
+# ----------------------------------------------------------------------
+def test_truth_requires_non_null():
+    pred = Comparison(Col(A), "<", Lit.integer(5))
+    ctx = LinearizationContext.for_predicate(pred)
+    t = truth_formula(pred, ctx)
+    flag = ctx.null_flag(A)
+    assert not is_satisfiable(conj([t, flag]))
+    assert is_satisfiable(conj([t, Not(flag)]))
+
+
+def test_truth_and_falsity_disjoint():
+    pred = pand(
+        [Comparison(Col(A), "<", Lit.integer(5)), Comparison(Col(B), ">", Lit.integer(0))]
+    )
+    ctx = LinearizationContext.for_predicate(pred)
+    t = truth_formula(pred, ctx)
+    f = falsity_formula(pred, ctx)
+    assert not is_satisfiable(conj([t, f]))
+    # NULL state exists: neither TRUE nor FALSE.
+    assert is_satisfiable(conj([negate(t), negate(f)]))
+
+
+def test_disjunction_true_with_one_null_branch():
+    """a < 5 OR b > 0 can be TRUE while b is NULL -- the 3VL subtlety
+    that makes some disjunctive predicates unsynthesizable."""
+    pred = por(
+        [Comparison(Col(A), "<", Lit.integer(5)), Comparison(Col(B), ">", Lit.integer(0))]
+    )
+    ctx = LinearizationContext.for_predicate(pred)
+    t = truth_formula(pred, ctx)
+    assert is_satisfiable(conj([t, ctx.null_flag(B)]))
+
+
+def test_scalar_eval_matches_smt_encoding():
+    pred = pand(
+        [
+            Comparison(Col(A) + Col(B), "<", Lit.integer(10)),
+            por(
+                [
+                    Comparison(Col(A), ">", Lit.integer(0)),
+                    Comparison(Col(B), "=", Lit.integer(7)),
+                ]
+            ),
+        ]
+    )
+    ctx = LinearizationContext.for_predicate(pred)
+    t = truth_formula(pred, ctx)
+    from repro.smt import LinExpr, compare
+
+    for a in (-3, 0, 2, 7):
+        for b in (-1, 7, 8):
+            fixed = conj(
+                [
+                    compare(LinExpr.var(ctx.var(A)), "=", LinExpr.const_expr(a)),
+                    compare(LinExpr.var(ctx.var(B)), "=", LinExpr.const_expr(b)),
+                    Not(ctx.null_flag(A)),
+                    Not(ctx.null_flag(B)),
+                ]
+            )
+            smt_true = is_satisfiable(conj([t, fixed]))
+            assert smt_true == (eval_pred_py(pred, {A: a, B: b}) is True)
+
+
+# ----------------------------------------------------------------------
+# Vectorised evaluation
+# ----------------------------------------------------------------------
+def _resolver(data, nulls=None):
+    def resolve(column):
+        mask = None if nulls is None else nulls.get(column)
+        return data[column], mask
+
+    return resolve
+
+
+def test_numpy_eval_matches_scalar():
+    pred = pand(
+        [
+            Comparison(Col(A) + Col(B), "<", Lit.integer(10)),
+            Comparison(Col(A), ">", Lit.integer(0)),
+        ]
+    )
+    a_vals = np.array([1, 5, -2, 9, 0])
+    b_vals = np.array([3, 9, 1, 0, 2])
+    truth, nullmask = eval_pred_numpy(
+        pred, _resolver({A: a_vals, B: b_vals}), 5
+    )
+    for i in range(5):
+        expected = eval_pred_py(pred, {A: int(a_vals[i]), B: int(b_vals[i])})
+        assert truth[i] == (expected is True)
+        assert nullmask[i] == (expected is None)
+
+
+def test_numpy_eval_with_nulls():
+    pred = por(
+        [Comparison(Col(A), "<", Lit.integer(5)), Comparison(Col(B), ">", Lit.integer(0))]
+    )
+    a_vals = np.array([1, 9, 9])
+    b_vals = np.array([0, 0, 5])
+    a_nulls = np.array([False, True, True])
+    truth, nullmask = eval_pred_numpy(
+        pred, _resolver({A: a_vals, B: b_vals}, {A: a_nulls, B: None}), 3
+    )
+    # row0: 1<5 -> TRUE; row1: NULL or 0>0=FALSE -> NULL; row2: NULL or TRUE -> TRUE
+    assert truth.tolist() == [True, False, True]
+    assert nullmask.tolist() == [False, True, False]
+
+
+def test_numpy_date_comparison():
+    pred = Comparison(Col(SHIP), "<", Lit.date("1993-06-01"))
+    from repro.predicates import date_to_days
+
+    values = np.array(
+        [date_to_days(dt.date(1993, 5, 1)), date_to_days(dt.date(1993, 7, 1))]
+    )
+    truth, _ = eval_pred_numpy(pred, _resolver({SHIP: values}), 2)
+    assert truth.tolist() == [True, False]
+
+
+def test_numpy_division_by_zero_null():
+    pred = Comparison(Col(A) / Col(B), ">", Lit.integer(0))
+    truth, nullmask = eval_pred_numpy(
+        pred, _resolver({A: np.array([4, 4]), B: np.array([2, 0])}), 2
+    )
+    assert truth.tolist() == [True, False]
+    assert nullmask.tolist() == [False, True]
+
+
+def test_selectivity():
+    pred = Comparison(Col(A), "<", Lit.integer(5))
+    values = np.arange(10)
+    assert selectivity(pred, _resolver({A: values}), 10) == 0.5
+    assert selectivity(pred, _resolver({A: values[:0]}), 0) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.one_of(st.none(), st.integers(min_value=-20, max_value=20)),
+    b=st.one_of(st.none(), st.integers(min_value=-20, max_value=20)),
+)
+def test_numpy_and_scalar_agree_property(a, b):
+    pred = pand(
+        [
+            Comparison(Col(A) - Col(B), "<=", Lit.integer(3)),
+            por(
+                [
+                    Comparison(Col(A), ">", Lit.integer(0)),
+                    PNot(Comparison(Col(B), "=", Lit.integer(2))),
+                ]
+            ),
+        ]
+    )
+    scalar = eval_pred_py(pred, {A: a, B: b})
+    data = {
+        A: np.array([a if a is not None else 0]),
+        B: np.array([b if b is not None else 0]),
+    }
+    nulls = {
+        A: np.array([a is None]),
+        B: np.array([b is None]),
+    }
+    truth, nullmask = eval_pred_numpy(pred, _resolver(data, nulls), 1)
+    assert truth[0] == (scalar is True)
+    assert nullmask[0] == (scalar is None)
+
+
+def test_double_column_fraction_values():
+    pred = Comparison(Col(PRICE) * Lit.double(0.5), "<", Lit.double(2.5))
+    assert eval_pred_py(pred, {PRICE: Fraction(4)}) is True
+    assert eval_pred_py(pred, {PRICE: Fraction(6)}) is False

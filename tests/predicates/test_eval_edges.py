@@ -1,0 +1,100 @@
+"""Edge-case coverage for the evaluators and error types."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SynthesisError,
+    TypeCheckError,
+    UnsupportedPredicateError,
+)
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    DATE,
+    FALSE_PRED,
+    INTEGER,
+    Lit,
+    TRUE_PRED,
+    eval_expr_py,
+    eval_pred_py,
+)
+
+A = Column("t", "a", INTEGER)
+D = Column("t", "d", DATE)
+
+
+def test_error_hierarchy():
+    for exc in (
+        ParseError("x"),
+        TypeCheckError("x"),
+        UnsupportedPredicateError("x"),
+        SynthesisError("x"),
+        CatalogError("x"),
+        PlanError("x"),
+    ):
+        assert isinstance(exc, ReproError)
+
+
+def test_parse_error_position():
+    err = ParseError("bad", position=42)
+    assert "42" in str(err)
+    assert err.position == 42
+
+
+def test_eval_constants():
+    assert eval_pred_py(TRUE_PRED, {}) is True
+    assert eval_pred_py(FALSE_PRED, {}) is False
+
+
+def test_eval_expr_null_propagates_through_arithmetic():
+    expr = (Col(A) + Lit.integer(1)) - Col(A)
+    assert eval_expr_py(expr, {A: None}) is None
+
+
+def test_eval_date_shift_both_directions():
+    plus = Col(D) + Lit.integer(10)
+    minus = Col(D) - Lit.integer(10)
+    base = dt.date(1995, 5, 15)
+    assert eval_expr_py(plus, {D: base}) == dt.date(1995, 5, 25)
+    assert eval_expr_py(minus, {D: base}) == dt.date(1995, 5, 5)
+
+
+def test_eval_int_plus_date():
+    expr = Lit.integer(3) + Col(D)
+    assert eval_expr_py(expr, {D: dt.date(2000, 1, 1)}) == dt.date(2000, 1, 4)
+
+
+def test_eval_date_difference_sign():
+    other = Column("t", "d2", DATE)
+    expr = Col(D) - Col(other)
+    row = {D: dt.date(2000, 1, 10), other: dt.date(2000, 1, 1)}
+    assert eval_expr_py(expr, row) == 9
+    row_rev = {D: dt.date(2000, 1, 1), other: dt.date(2000, 1, 10)}
+    assert eval_expr_py(expr, row_rev) == -9
+
+
+def test_comparison_all_operators():
+    for op, expected in [
+        ("<", True),
+        ("<=", True),
+        (">", False),
+        (">=", False),
+        ("=", False),
+        ("!=", True),
+    ]:
+        pred = Comparison(Col(A), op, Lit.integer(5))
+        assert eval_pred_py(pred, {A: 3}) is expected, op
+
+
+def test_equal_boundary():
+    pred = Comparison(Col(A), "<=", Lit.integer(5))
+    assert eval_pred_py(pred, {A: 5}) is True
+    strict = Comparison(Col(A), "<", Lit.integer(5))
+    assert eval_pred_py(strict, {A: 5}) is False

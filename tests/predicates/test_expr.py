@@ -1,0 +1,140 @@
+"""Unit tests for the typed predicate IR."""
+
+import datetime as dt
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.predicates import (
+    DATE,
+    DOUBLE,
+    FALSE_PRED,
+    INTEGER,
+    TIMESTAMP,
+    TRUE_PRED,
+    Arith,
+    Col,
+    Column,
+    Comparison,
+    Lit,
+    PAnd,
+    PNot,
+    POr,
+    pand,
+    por,
+    walk_comparisons,
+)
+
+SHIP = Column("lineitem", "l_shipdate", DATE)
+QTY = Column("lineitem", "l_quantity", INTEGER)
+PRICE = Column("lineitem", "l_extendedprice", DOUBLE)
+
+
+def test_column_type_validation():
+    with pytest.raises(TypeCheckError):
+        Column("t", "c", "TEXT")
+
+
+def test_column_qualified_name():
+    assert SHIP.qualified == "lineitem.l_shipdate"
+
+
+def test_literal_constructors():
+    assert Lit.integer(5).etype == INTEGER
+    assert Lit.date("1993-06-01").value == dt.date(1993, 6, 1)
+    assert Lit.timestamp("1993-06-01T12:00:00").etype == TIMESTAMP
+    assert Lit.double(0.5).value == Fraction(1, 2)
+
+
+def test_float_literal_becomes_fraction():
+    lit = Lit(0.25, DOUBLE)
+    assert lit.value == Fraction(1, 4)
+
+
+def test_numeric_arith_typing():
+    expr = Col(QTY) + Lit.integer(3)
+    assert expr.etype == INTEGER
+    expr2 = Col(QTY) * Col(PRICE)
+    assert expr2.etype == DOUBLE
+
+
+def test_date_minus_date_is_integer():
+    recv = Column("lineitem", "l_receiptdate", DATE)
+    expr = Col(SHIP) - Col(recv)
+    assert expr.etype == INTEGER
+
+
+def test_date_plus_days_is_date():
+    expr = Col(SHIP) + Lit.integer(20)
+    assert expr.etype == DATE
+    expr2 = Lit.integer(20) + Col(SHIP)
+    assert expr2.etype == DATE
+
+
+def test_date_times_int_rejected():
+    with pytest.raises(TypeCheckError):
+        Arith("*", Col(SHIP), Lit.integer(2))
+
+
+def test_date_plus_date_rejected():
+    with pytest.raises(TypeCheckError):
+        Arith("+", Col(SHIP), Col(SHIP))
+
+
+def test_comparison_type_check():
+    Comparison(Col(SHIP), "<", Lit.date("1993-06-01"))
+    Comparison(Col(QTY), "<", Lit.double(1.5))
+    with pytest.raises(TypeCheckError):
+        Comparison(Col(SHIP), "<", Lit.integer(3))
+
+
+def test_comparison_normalizes_ne():
+    comp = Comparison(Col(QTY), "<>", Lit.integer(0))
+    assert comp.op == "!="
+
+
+def test_comparison_unknown_op():
+    with pytest.raises(TypeCheckError):
+        Comparison(Col(QTY), "~", Lit.integer(0))
+
+
+def test_pand_por_folding():
+    a = Comparison(Col(QTY), "<", Lit.integer(5))
+    assert pand([]) is TRUE_PRED
+    assert pand([a, TRUE_PRED]) is a
+    assert pand([a, FALSE_PRED]) is FALSE_PRED
+    assert por([]) is FALSE_PRED
+    assert por([a, TRUE_PRED]) is TRUE_PRED
+    assert isinstance(pand([a, PNot(a)]), PAnd)
+
+
+def test_operator_sugar():
+    a = Comparison(Col(QTY), "<", Lit.integer(5))
+    b = Comparison(Col(QTY), ">", Lit.integer(0))
+    assert isinstance(a & b, PAnd)
+    assert isinstance(a | b, POr)
+    assert isinstance(~a, PNot)
+
+
+def test_columns_collection():
+    a = Comparison(Col(QTY) + Col(PRICE), ">", Lit.integer(0))
+    b = Comparison(Col(SHIP), "<", Lit.date("1994-01-01"))
+    pred = a & b
+    assert pred.columns() == {QTY, PRICE, SHIP}
+
+
+def test_conjuncts_iteration():
+    a = Comparison(Col(QTY), "<", Lit.integer(5))
+    b = Comparison(Col(QTY), ">", Lit.integer(0))
+    c = Comparison(Col(PRICE), ">", Lit.double(1.0))
+    pred = pand([pand([a, b]), c])
+    assert list(pred.conjuncts()) == [a, b, c]
+    assert list(a.conjuncts()) == [a]
+
+
+def test_walk_comparisons():
+    a = Comparison(Col(QTY), "<", Lit.integer(5))
+    b = Comparison(Col(PRICE), ">", Lit.double(0.0))
+    pred = por([a, PNot(b)])
+    assert list(walk_comparisons(pred)) == [a, b]

@@ -1,0 +1,148 @@
+"""Tests for SMT lowering: type conversion, packing, origins."""
+
+import datetime as dt
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import UnsupportedPredicateError
+from repro.predicates import (
+    DATE,
+    DOUBLE,
+    INTEGER,
+    Col,
+    Column,
+    Comparison,
+    Lit,
+    LinearizationContext,
+    lower_predicate,
+    pand,
+)
+from repro.smt import REAL, get_model, is_satisfiable
+
+SHIP = Column("lineitem", "l_shipdate", DATE)
+COMMIT = Column("lineitem", "l_commitdate", DATE)
+ORDER = Column("orders", "o_orderdate", DATE)
+QTY = Column("lineitem", "l_quantity", INTEGER)
+PRICE = Column("lineitem", "l_extendedprice", DOUBLE)
+TAX = Column("lineitem", "l_tax", DOUBLE)
+
+
+def test_date_origin_is_min_literal():
+    pred = pand(
+        [
+            Comparison(Col(SHIP), "<", Lit.date("1994-01-01")),
+            Comparison(Col(COMMIT), ">", Lit.date("1993-06-01")),
+        ]
+    )
+    ctx = LinearizationContext.for_predicate(pred)
+    assert ctx.date_origin == dt.date(1993, 6, 1)
+
+
+def test_date_literal_encoding_relative_to_origin():
+    pred = Comparison(Col(SHIP), "<", Lit.date("1993-06-01"))
+    formula, ctx = lower_predicate(pred)
+    assert ctx.encode_literal(Lit.date("1993-06-21")) == 20
+    assert ctx.encode_literal(Lit.date("1993-05-31")) == -1
+    # The lowered atom is var < 0 (origin encodes to zero).
+    atom = formula
+    assert atom.expr.const == 0 or atom.expr.variables()
+
+
+def test_decode_value_roundtrip():
+    pred = Comparison(Col(SHIP), "<", Lit.date("1993-06-01"))
+    _, ctx = lower_predicate(pred)
+    var = ctx.var(SHIP)
+    assert ctx.decode_value(Fraction(20), SHIP) == dt.date(1993, 6, 21)
+    assert var.is_int
+
+
+def test_double_column_gets_real_sort():
+    pred = Comparison(Col(PRICE), ">", Lit.double(10.5))
+    _, ctx = lower_predicate(pred)
+    assert ctx.var(PRICE).sort == REAL
+
+
+def test_integer_column_gets_int_sort():
+    pred = Comparison(Col(QTY), ">", Lit.integer(0))
+    _, ctx = lower_predicate(pred)
+    assert ctx.var(QTY).is_int
+
+
+def test_motivating_example_lowering_is_satisfiable():
+    pred = pand(
+        [
+            Comparison(Col(SHIP) - Col(ORDER), "<", Lit.integer(20)),
+            Comparison(
+                Col(COMMIT) - Col(SHIP), "<", (Col(SHIP) - Col(ORDER)) + Lit.integer(10)
+            ),
+            Comparison(Col(ORDER), "<", Lit.date("1993-06-01")),
+        ]
+    )
+    formula, ctx = lower_predicate(pred)
+    model = get_model(formula)
+    assert model is not None
+    # Decoded model must satisfy the predicate in SQL space.
+    from repro.predicates import eval_pred_py
+
+    row = {
+        col: ctx.decode_value(model.value(var), col)
+        for col, var in ctx.var_of_column.items()
+    }
+    assert eval_pred_py(pred, row) is True
+
+
+def test_scaling_by_constants():
+    pred = Comparison(Lit.integer(2) * Col(QTY) + Lit.integer(1), "<", Lit.integer(8))
+    formula, ctx = lower_predicate(pred)
+    var = ctx.var(QTY)
+    assert formula.expr.coeff(var) == 2
+
+
+def test_division_by_constant():
+    pred = Comparison(Col(PRICE) / Lit.integer(4), "<", Lit.integer(2))
+    formula, ctx = lower_predicate(pred)
+    assert formula.expr.coeff(ctx.var(PRICE)) == Fraction(1, 4)
+
+
+def test_division_by_zero_rejected():
+    pred = Comparison(Col(QTY) / Lit.integer(0), "<", Lit.integer(2))
+    with pytest.raises(UnsupportedPredicateError):
+        lower_predicate(pred)
+
+
+def test_nonlinear_product_is_packed():
+    pred = Comparison(Col(PRICE) * Col(TAX), "<", Lit.double(100.0))
+    formula, ctx = lower_predicate(pred)
+    assert len(ctx.packed_expr_of_var) == 1
+    assert is_satisfiable(formula)
+
+
+def test_packing_rejected_when_columns_shared():
+    # PRICE appears both inside the product and alone: section 5.2's
+    # packing trick does not apply.
+    pred = pand(
+        [
+            Comparison(Col(PRICE) * Col(TAX), "<", Lit.double(100.0)),
+            Comparison(Col(PRICE), ">", Lit.double(1.0)),
+        ]
+    )
+    with pytest.raises(UnsupportedPredicateError):
+        lower_predicate(pred)
+
+
+def test_column_quotient_is_packed():
+    pred = Comparison(Col(PRICE) / Col(TAX), "<", Lit.double(3.0))
+    _, ctx = lower_predicate(pred)
+    assert len(ctx.packed_expr_of_var) == 1
+
+
+def test_same_product_packs_once():
+    pred = pand(
+        [
+            Comparison(Col(PRICE) * Col(TAX), "<", Lit.double(100.0)),
+            Comparison(Col(PRICE) * Col(TAX), ">", Lit.double(1.0)),
+        ]
+    )
+    _, ctx = lower_predicate(pred)
+    assert len(ctx.packed_expr_of_var) == 1

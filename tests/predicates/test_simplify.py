@@ -1,0 +1,96 @@
+"""Tests for syntactic predicate simplification."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    DATE,
+    INTEGER,
+    Lit,
+    PAnd,
+    eval_pred_py,
+    pand,
+    simplify_conjunction,
+)
+
+A = Column("t", "a", INTEGER)
+B = Column("t", "b", INTEGER)
+SHIP = Column("lineitem", "l_shipdate", DATE)
+
+
+def bound(col, op, value):
+    return Comparison(Col(col), op, Lit.integer(value))
+
+
+def test_merges_upper_bounds():
+    pred = pand([bound(A, "<=", 5), bound(A, "<=", 3)])
+    simplified = simplify_conjunction(pred)
+    assert simplified == bound(A, "<=", 3)
+
+
+def test_merges_lower_bounds():
+    pred = pand([bound(A, ">", 0), bound(A, ">=", 4)])
+    simplified = simplify_conjunction(pred)
+    assert simplified == bound(A, ">=", 4)
+
+
+def test_strict_beats_nonstrict_at_same_value():
+    pred = pand([bound(A, "<", 5), bound(A, "<=", 5)])
+    assert simplify_conjunction(pred) == bound(A, "<", 5)
+
+
+def test_keeps_both_sides():
+    pred = pand([bound(A, ">=", 0), bound(A, "<=", 9)])
+    simplified = simplify_conjunction(pred)
+    assert isinstance(simplified, PAnd)
+    assert len(simplified.args) == 2
+
+
+def test_distinct_columns_untouched():
+    pred = pand([bound(A, "<=", 5), bound(B, "<=", 3)])
+    simplified = simplify_conjunction(pred)
+    assert len(list(simplified.conjuncts())) == 2
+
+
+def test_passthrough_of_complex_conjuncts():
+    complex_part = Comparison(Col(A) - Col(B), "<", Lit.integer(3))
+    pred = pand([complex_part, complex_part, bound(A, "<=", 5)])
+    simplified = simplify_conjunction(pred)
+    conjuncts = list(simplified.conjuncts())
+    assert conjuncts.count(complex_part) == 1
+
+
+def test_date_bounds_merge():
+    pred = pand(
+        [
+            Comparison(Col(SHIP), "<=", Lit.date("1993-06-19")),
+            Comparison(Col(SHIP), "<=", Lit.date("1994-01-01")),
+        ]
+    )
+    simplified = simplify_conjunction(pred)
+    assert simplified == Comparison(Col(SHIP), "<=", Lit.date("1993-06-19"))
+
+
+def test_non_conjunction_is_identity():
+    pred = bound(A, "<=", 5)
+    assert simplify_conjunction(pred) is pred
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(st.sampled_from(["<", "<=", ">", ">="]), st.integers(-10, 10)),
+        min_size=1,
+        max_size=6,
+    ),
+    probe=st.integers(min_value=-15, max_value=15),
+)
+def test_simplification_preserves_semantics(values, probe):
+    pred = pand([bound(A, op, v) for op, v in values])
+    simplified = simplify_conjunction(pred)
+    assert eval_pred_py(pred, {A: probe}) == eval_pred_py(simplified, {A: probe})

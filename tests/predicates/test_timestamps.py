@@ -1,0 +1,106 @@
+"""TIMESTAMP-typed columns through the whole predicate stack.
+
+The paper supports TIMESTAMP alongside DATE (section 4.1) with a
+seconds-based integer encoding; these tests push timestamps through
+typing, lowering, synthesis and both evaluators.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import synthesize
+from repro.errors import TypeCheckError
+from repro.predicates import (
+    Arith,
+    Col,
+    Column,
+    Comparison,
+    INTEGER,
+    Lit,
+    TIMESTAMP,
+    eval_pred_numpy,
+    eval_pred_py,
+    lower_predicate,
+    pand,
+    timestamp_to_seconds,
+)
+from repro.smt import get_model
+
+START = Column("jobs", "started_at", TIMESTAMP)
+END = Column("jobs", "finished_at", TIMESTAMP)
+
+
+def ts(text):
+    return dt.datetime.fromisoformat(text)
+
+
+def test_timestamp_arithmetic_typing():
+    diff = Col(END) - Col(START)
+    assert diff.etype == INTEGER  # seconds
+    shifted = Col(START) + Lit.integer(3600)
+    assert shifted.etype == TIMESTAMP
+    with pytest.raises(TypeCheckError):
+        Arith("*", Col(START), Lit.integer(2))
+
+
+def test_timestamp_scalar_eval():
+    pred = Comparison(Col(END) - Col(START), "<", Lit.integer(3600))
+    row = {START: ts("2020-01-01T10:00:00"), END: ts("2020-01-01T10:30:00")}
+    assert eval_pred_py(pred, row) is True
+    row_late = {START: ts("2020-01-01T10:00:00"), END: ts("2020-01-01T12:00:00")}
+    assert eval_pred_py(pred, row_late) is False
+
+
+def test_timestamp_literal_comparison():
+    pred = Comparison(Col(START), "<", Lit.timestamp("2020-06-01T00:00:00"))
+    assert eval_pred_py(pred, {START: ts("2020-01-01T00:00:00")}) is True
+    assert eval_pred_py(pred, {START: ts("2021-01-01T00:00:00")}) is False
+
+
+def test_timestamp_lowering_origin():
+    pred = pand(
+        [
+            Comparison(Col(START), ">", Lit.timestamp("2020-01-01T00:00:00")),
+            Comparison(Col(END) - Col(START), "<", Lit.integer(7200)),
+        ]
+    )
+    formula, ctx = lower_predicate(pred)
+    assert ctx.ts_origin == ts("2020-01-01T00:00:00")
+    model = get_model(formula)
+    assert model is not None
+    decoded = {
+        col: ctx.decode_value(model.value(var), col)
+        for col, var in ctx.var_of_column.items()
+    }
+    assert eval_pred_py(pred, decoded) is True
+
+
+def test_timestamp_synthesis_end_to_end():
+    other = Column("jobs", "queued_at", TIMESTAMP)
+    pred = pand(
+        [
+            Comparison(Col(START) - Col(other), "<", Lit.integer(600)),
+            Comparison(Col(other), "<", Lit.timestamp("2020-01-01T00:00:00")),
+        ]
+    )
+    out = synthesize(pred, {START})
+    assert out.status == "optimal"
+    # started_at < queued_at + 600 with queued_at <= origin - 1s:
+    # feasible iff started_at <= origin + 598s.
+    origin = ts("2020-01-01T00:00:00")
+    assert eval_pred_py(out.predicate, {START: origin + dt.timedelta(seconds=598)}) is True
+    assert eval_pred_py(out.predicate, {START: origin + dt.timedelta(seconds=599)}) is False
+
+
+def test_timestamp_numpy_eval():
+    pred = Comparison(Col(START), "<", Lit.timestamp("2020-06-01T00:00:00"))
+    values = np.array(
+        [
+            timestamp_to_seconds(ts("2020-01-01T00:00:00")),
+            timestamp_to_seconds(ts("2020-12-01T00:00:00")),
+        ]
+    )
+    truth, _ = eval_pred_numpy(pred, lambda c: (values, None), 2)
+    assert truth.tolist() == [True, False]

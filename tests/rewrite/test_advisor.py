@@ -1,0 +1,112 @@
+"""Tests for the cost-based rewrite advisor."""
+
+import pytest
+
+from repro.core import SiaConfig
+from repro.rewrite import advise, rewrite_query
+from repro.rewrite.rewriter import RewriteResult
+from repro.core.result import SynthesisOutcome, UNSUPPORTED
+from repro.sql import parse_query
+from repro.tpch import generate_catalog
+
+FAST = SiaConfig(max_iterations=6, seed=2)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(0.004, seed=4)
+
+
+def rewrite(catalog, sql):
+    query = parse_query(sql, catalog.schema())
+    return rewrite_query(query, "lineitem", FAST)
+
+
+def test_selective_rewrite_is_kept(catalog):
+    result = rewrite(
+        catalog,
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+        "AND l_shipdate - o_orderdate < 20 "
+        "AND o_orderdate < DATE '1992-06-01'",  # very early cutoff
+    )
+    assert result.succeeded
+    advice = advise(result, catalog)
+    assert advice.keep
+    assert advice.selectivity < 0.5
+    assert "pay off" in advice.reason
+
+
+def test_unselective_rewrite_is_dropped(catalog):
+    result = rewrite(
+        catalog,
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+        "AND l_shipdate - o_orderdate < 2000 "
+        "AND o_orderdate < DATE '1999-01-01'",  # accepts nearly everything
+    )
+    if not result.succeeded:
+        pytest.skip("nothing synthesized for the wide predicate")
+    advice = advise(result, catalog)
+    assert advice.selectivity > 0.9
+    assert not advice.keep
+
+
+def test_failed_rewrite(catalog):
+    query = parse_query(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey",
+        catalog.schema(),
+    )
+    result = RewriteResult(
+        query, SynthesisOutcome(status=UNSUPPORTED), "lineitem"
+    )
+    advice = advise(result, catalog)
+    assert not advice.keep
+    assert advice.sampled_rows == 0
+
+
+def test_sampling_cap(catalog):
+    result = rewrite(
+        catalog,
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+        "AND l_commitdate - o_orderdate < 45 "
+        "AND o_orderdate < DATE '1994-01-01'",
+    )
+    if not result.succeeded:
+        pytest.skip("nothing synthesized")
+    advice = advise(result, catalog, sample_rows=500)
+    assert advice.sampled_rows == 500
+
+
+def test_stats_based_advice_agrees_with_sampling(catalog):
+    from repro.engine import TableStats
+    from repro.rewrite import advise_from_stats
+
+    result = rewrite(
+        catalog,
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+        "AND l_shipdate - o_orderdate < 20 "
+        "AND o_orderdate < DATE '1992-06-01'",
+    )
+    assert result.succeeded
+    stats = TableStats.from_table(catalog.get("lineitem"))
+    sampled = advise(result, catalog)
+    estimated = advise_from_stats(result, stats)
+    assert estimated.keep == sampled.keep
+    assert abs(estimated.selectivity - sampled.selectivity) < 0.15
+    assert "histogram" in estimated.reason
+
+
+def test_stats_based_advice_failed_rewrite(catalog):
+    from repro.engine import TableStats
+    from repro.rewrite import advise_from_stats
+    from repro.rewrite.rewriter import RewriteResult
+    from repro.core.result import SynthesisOutcome, UNSUPPORTED
+    from repro.sql import parse_query
+
+    query = parse_query(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey",
+        catalog.schema(),
+    )
+    result = RewriteResult(query, SynthesisOutcome(status=UNSUPPORTED), "lineitem")
+    stats = TableStats.from_table(catalog.get("lineitem"))
+    advice = advise_from_stats(result, stats)
+    assert not advice.keep

@@ -1,0 +1,109 @@
+"""Unit tests for the Tseitin encoder."""
+
+import itertools
+
+from repro.smt import FALSE, LE, LT, TRUE, Atom, BVar, LinExpr, Not, Var, conj, disj
+from repro.smt.cnf import CnfBuilder, encode
+
+X = Var("x")
+ex = LinExpr.var(X)
+
+
+def satisfying_assignments(result):
+    """Brute-force models of the clause set over its variables."""
+    n = result.num_vars
+    models = []
+    for bits in itertools.product([False, True], repeat=n):
+        assignment = (None,) + bits  # 1-indexed
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in result.clauses
+        ):
+            models.append(assignment)
+    return models
+
+
+def test_true_produces_nothing():
+    result = encode(TRUE)
+    assert result.clauses == []
+    assert not result.trivially_false
+
+
+def test_false_is_trivially_false():
+    result = encode(FALSE)
+    assert result.trivially_false
+
+
+def test_single_atom():
+    atom = Atom(ex - 5, LE)
+    result = encode(atom)
+    assert result.var_of_atom[atom] == 1
+    assert result.clauses == [[1]]
+
+
+def test_complementary_atoms_share_variable():
+    atom = Atom(ex - 5, LE)
+    builder = CnfBuilder()
+    builder.assert_formula(atom)
+    builder.assert_formula(Not(atom))  # negation maps to -var of `atom`
+    result = builder.result
+    assert len(result.var_of_atom) == 1
+    assert [1] in result.clauses and [-1] in result.clauses
+
+
+def test_conjunction_structure():
+    a = Atom(ex - 5, LE)
+    b = BVar("flag")
+    result = encode(conj([a, b]))
+    models = satisfying_assignments(result)
+    a_var = result.var_of_atom[a]
+    b_var = result.var_of_atom[b]
+    assert models
+    for model in models:
+        assert model[a_var] and model[b_var]
+
+
+def test_disjunction_structure():
+    a = Atom(ex - 5, LE)
+    b = BVar("flag")
+    result = encode(disj([a, b]))
+    a_var = result.var_of_atom[a]
+    b_var = result.var_of_atom[b]
+    for model in satisfying_assignments(result):
+        assert model[a_var] or model[b_var]
+
+
+def test_nested_formula_equisatisfiable():
+    a = Atom(ex - 5, LE)
+    b = Atom(ex, LT)
+    bv = BVar("p")
+    formula = disj([conj([a, bv]), conj([b, Not(bv)])])
+    result = encode(formula)
+    models = satisfying_assignments(result)
+    assert models  # equisatisfiable with the satisfiable input
+    a_var, b_var, bv_var = (
+        result.var_of_atom[a],
+        result.var_of_atom[b],
+        result.var_of_atom[bv],
+    )
+    for model in models:
+        assert (model[a_var] and model[bv_var]) or (
+            model[b_var] and not model[bv_var]
+        )
+
+
+def test_incremental_assertions_accumulate():
+    builder = CnfBuilder()
+    builder.assert_formula(Atom(ex - 5, LE))
+    first_clause_count = len(builder.result.clauses)
+    builder.assert_formula(BVar("q"))
+    assert len(builder.result.clauses) == first_clause_count + 1
+    assert builder.result.num_vars == 2
+
+
+def test_atom_interned_across_assertions():
+    atom = Atom(ex - 5, LE)
+    builder = CnfBuilder()
+    builder.assert_formula(atom)
+    builder.assert_formula(conj([atom, BVar("q")]))
+    assert len([v for v in builder.result.var_of_atom.values()]) == 2

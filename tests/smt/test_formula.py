@@ -1,0 +1,221 @@
+"""Unit tests for formula construction, NNF and DNF."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt import (
+    EQ,
+    FALSE,
+    LE,
+    LT,
+    NE,
+    TRUE,
+    And,
+    Atom,
+    BVar,
+    DnfBlowupError,
+    LinExpr,
+    Not,
+    Or,
+    Var,
+    compare,
+    conj,
+    disj,
+    negate,
+    to_dnf,
+    to_nnf,
+)
+
+X = Var("x")
+Y = Var("y")
+ex = LinExpr.var(X)
+ey = LinExpr.var(Y)
+
+
+def test_compare_normalizes_direction():
+    lt = compare(ex, "<", ey)
+    gt = compare(ey, ">", ex)
+    assert lt == gt
+
+
+def test_compare_constant_folds():
+    assert compare(LinExpr.const_expr(1), "<", LinExpr.const_expr(2)) is TRUE
+    assert compare(LinExpr.const_expr(3), "<", LinExpr.const_expr(2)) is FALSE
+    assert compare(LinExpr.const_expr(2), "=", LinExpr.const_expr(2)) is TRUE
+
+
+def test_compare_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        compare(ex, "~", ey)
+
+
+def test_atom_negation_roundtrip():
+    atom = Atom(ex - 5, LE)
+    assert atom.negated().negated() == atom
+    eq_atom = Atom(ex, EQ)
+    assert eq_atom.negated().op == NE
+
+
+def test_atom_negation_is_complementary():
+    atom = Atom(ex - 5, LT)
+    for val in (-10, 4, 5, 6, 10):
+        holds = atom.holds(LinExpr.var(X).evaluate({X: val}) - 5)
+        negated = atom.negated()
+        holds_neg = negated.holds(negated.expr.evaluate({X: val}))
+        assert holds != holds_neg
+
+
+def test_conj_flattening_and_folding():
+    a = Atom(ex, LE)
+    b = Atom(ey, LT)
+    assert conj([]) is TRUE
+    assert conj([a]) is a
+    assert conj([a, TRUE, b]) == And([a, b])
+    assert conj([a, FALSE]) is FALSE
+    nested = conj([conj([a, b]), a])
+    assert isinstance(nested, And)
+    assert len(nested.args) == 3
+
+
+def test_disj_flattening_and_folding():
+    a = Atom(ex, LE)
+    assert disj([]) is FALSE
+    assert disj([a, TRUE]) is TRUE
+    assert disj([FALSE, a]) is a
+
+
+def test_negate_shallow():
+    a = Atom(ex, LE)
+    assert negate(TRUE) is FALSE
+    assert negate(negate(And([a, a]))) == And([a, a])
+    assert negate(a) == a.negated()
+
+
+def test_nnf_pushes_negation():
+    a = Atom(ex, LE)
+    b = Atom(ey, LT)
+    formula = Not(And([a, Or([b, Not(a)])]))
+    nnf = to_nnf(formula)
+    # ~(a & (b | ~a)) == ~a | (~b & a)
+    assert isinstance(nnf, Or)
+
+    def no_not_above_leaf(node):
+        if isinstance(node, Not):
+            return isinstance(node.arg, BVar)
+        if isinstance(node, (And, Or)):
+            return all(no_not_above_leaf(arg) for arg in node.args)
+        return True
+
+    assert no_not_above_leaf(nnf)
+
+
+def test_nnf_splits_disequality():
+    formula = Not(Atom(ex - 3, EQ))
+    nnf = to_nnf(formula)
+    assert isinstance(nnf, Or)
+    assert all(arg.op == LT for arg in nnf.args)
+
+
+def test_nnf_keeps_ne_when_asked():
+    formula = Not(Atom(ex - 3, EQ))
+    nnf = to_nnf(formula, split_ne=False)
+    assert isinstance(nnf, Atom)
+    assert nnf.op == NE
+
+
+def test_nnf_on_boolean_vars():
+    b = BVar("is_null")
+    assert to_nnf(Not(Not(b))) is b
+    assert to_nnf(Not(b)) == Not(b)
+
+
+def test_evaluate():
+    formula = conj([compare(ex, "<", ey), compare(ey, "<=", LinExpr.const_expr(10))])
+    assert formula.evaluate({X: 1, Y: 5})
+    assert not formula.evaluate({X: 6, Y: 5})
+    assert not formula.evaluate({X: 1, Y: 11})
+
+
+def test_evaluate_with_booleans():
+    b = BVar("flag")
+    formula = disj([b, compare(ex, "<", LinExpr.const_expr(0))])
+    assert formula.evaluate({X: 5}, {b: True})
+    assert not formula.evaluate({X: 5}, {b: False})
+
+
+def test_variables_collection():
+    formula = conj([compare(ex, "<", ey), Not(Atom(ex, EQ))])
+    assert formula.variables() == {X, Y}
+
+
+def test_atoms_in_order():
+    a = Atom(ex, LE)
+    b = Atom(ey, LT)
+    formula = conj([a, disj([b, a])])
+    assert formula.atoms() == [a, b]
+
+
+def test_dnf_of_conjunction():
+    a = Atom(ex, LE)
+    b = Atom(ey, LT)
+    cubes = to_dnf(conj([a, b]))
+    assert cubes == [[a, b]]
+
+
+def test_dnf_distributes():
+    a = Atom(ex, LE)
+    b = Atom(ey, LT)
+    c = Atom(ex - 1, LT)
+    cubes = to_dnf(conj([disj([a, b]), c]))
+    assert len(cubes) == 2
+    assert all(c in cube for cube in cubes)
+
+
+def test_dnf_true_false():
+    assert to_dnf(TRUE) == [[]]
+    assert to_dnf(FALSE) == []
+
+
+def test_dnf_blowup_guard():
+    atoms_x = [Atom(ex - i, LE) for i in range(30)]
+    atoms_y = [Atom(ey - i, LT) for i in range(30)]
+    formula = conj(
+        [disj([ax, ay]) for ax, ay in zip(atoms_x, atoms_y)]
+    )
+    with pytest.raises(DnfBlowupError):
+        to_dnf(formula)
+
+
+@given(
+    x=st.integers(min_value=-50, max_value=50),
+    y=st.integers(min_value=-50, max_value=50),
+)
+def test_nnf_preserves_semantics(x, y):
+    formula = Not(
+        And(
+            [
+                compare(ex - 3, "<", ey),
+                Or([compare(ey, "=", LinExpr.const_expr(7)), Not(Atom(ex, LE))]),
+            ]
+        )
+    )
+    assignment = {X: x, Y: y}
+    assert formula.evaluate(assignment) == to_nnf(formula).evaluate(assignment)
+
+
+@given(
+    x=st.integers(min_value=-50, max_value=50),
+    y=st.integers(min_value=-50, max_value=50),
+)
+def test_dnf_preserves_semantics(x, y):
+    formula = And(
+        [
+            Or([compare(ex, "<", ey), compare(ex, "=", LinExpr.const_expr(0))]),
+            Or([compare(ey, "<=", LinExpr.const_expr(5)), compare(ex, ">", ey)]),
+        ]
+    )
+    assignment = {X: x, Y: y}
+    cubes = to_dnf(formula)
+    dnf_value = any(all(atom.evaluate(assignment) for atom in cube) for cube in cubes)
+    assert formula.evaluate(assignment) == dnf_value

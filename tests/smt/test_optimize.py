@@ -1,0 +1,104 @@
+"""Tests for the linear optimization layer."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    LinExpr,
+    Var,
+    bounds,
+    compare,
+    conj,
+    disj,
+    maximize,
+    minimize,
+)
+
+X = Var("x")
+Y = Var("y")
+ex, ey = LinExpr.var(X), LinExpr.var(Y)
+c = LinExpr.const_expr
+
+
+def box(lo, hi):
+    return conj(
+        [
+            compare(ex, ">=", c(lo)),
+            compare(ex, "<=", c(hi)),
+            compare(ey, ">=", c(lo)),
+            compare(ey, "<=", c(hi)),
+        ]
+    )
+
+
+def test_maximize_single_var():
+    result = maximize(box(0, 10), ex)
+    assert result is not None
+    model, value = result
+    assert value == 10
+    assert model.value(X) == 10
+
+
+def test_minimize_single_var():
+    result = minimize(box(-3, 10), ex)
+    assert result is not None
+    assert result[1] == -3
+
+
+def test_maximize_combined_objective():
+    result = maximize(box(0, 5), ex + ey * 2)
+    assert result is not None
+    assert result[1] == 15
+
+
+def test_maximize_with_coupling_constraint():
+    formula = conj([box(0, 10), compare(ex + ey, "<=", c(7))])
+    result = maximize(formula, ex + ey)
+    assert result is not None
+    assert result[1] == 7
+
+
+def test_unsat_returns_none():
+    formula = conj([compare(ex, "<", c(0)), compare(ex, ">", c(0))])
+    assert maximize(formula, ex) is None
+    assert minimize(formula, ex) is None
+
+
+def test_unbounded_stops_at_budget():
+    result = maximize(compare(ex, ">=", c(0)), ex, max_steps=5)
+    assert result is not None
+    # Sound: a real model with a finite value.
+    assert result[1] >= 0
+
+
+def test_maximize_over_disjunction():
+    formula = conj(
+        [
+            box(0, 100),
+            disj([compare(ex, "<=", c(3)), compare(ex, ">=", c(90))]),
+        ]
+    )
+    result = maximize(formula, ex)
+    assert result is not None
+    assert result[1] == 100
+
+
+def test_bounds():
+    low, high = bounds(box(2, 9), ex)
+    assert (low, high) == (2, 9)
+    low, high = bounds(conj([compare(ex, "<", c(0)), compare(ex, ">", c(0))]), ex)
+    assert low is None and high is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lo=st.integers(min_value=-20, max_value=0),
+    hi=st.integers(min_value=1, max_value=20),
+    a=st.integers(min_value=1, max_value=5),
+)
+def test_maximize_linear_property(lo, hi, a):
+    result = maximize(box(lo, hi), ex * a)
+    assert result is not None
+    assert result[1] == Fraction(a * hi)

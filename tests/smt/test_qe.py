@@ -1,0 +1,209 @@
+"""Tests for quantifier elimination and the unsatisfaction-tuple region."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    FALSE,
+    REAL,
+    TRUE,
+    LinExpr,
+    Var,
+    compare,
+    conj,
+    disj,
+    eliminate_exists,
+    get_model,
+    is_satisfiable,
+    negate,
+    unsat_region,
+)
+
+A1 = Var("a1")
+A2 = Var("a2")
+B1 = Var("b1")
+e_a1, e_a2, e_b1 = LinExpr.var(A1), LinExpr.var(A2), LinExpr.var(B1)
+c = LinExpr.const_expr
+
+
+def motivating_predicate():
+    """a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0 (section 3.2)."""
+    return conj(
+        [
+            compare(e_a2 - e_b1, "<", c(20)),
+            compare(e_a1 - e_a2, "<", e_a2 - e_b1 + 10),
+            compare(e_b1, "<", c(0)),
+        ]
+    )
+
+
+def test_eliminate_unconstrained_var():
+    formula = compare(e_a1, "<", c(5))
+    result = eliminate_exists(formula, {B1})
+    # Semantically unchanged (the projection may integer-tighten the atom).
+    assert not is_satisfiable(
+        conj([result.formula, negate(formula)])
+    ) and not is_satisfiable(conj([formula, negate(result.formula)]))
+    assert result.exact
+
+
+def test_eliminate_fully():
+    formula = conj([compare(e_b1, ">", c(0)), compare(e_b1, "<", c(10))])
+    result = eliminate_exists(formula, {B1})
+    assert result.formula is TRUE
+
+
+def test_eliminate_infeasible_cube():
+    formula = conj([compare(e_b1, ">", c(10)), compare(e_b1, "<", c(0))])
+    result = eliminate_exists(formula, {B1})
+    assert result.formula is FALSE
+
+
+def test_equality_substitution():
+    # exists b1. b1 = a1 + 1 and b1 < 5  <=>  a1 < 4
+    formula = conj([compare(e_b1, "=", e_a1 + 1), compare(e_b1, "<", c(5))])
+    result = eliminate_exists(formula, {B1})
+    assert result.exact
+    model = get_model(conj([result.formula, compare(e_a1, "=", c(3))]))
+    assert model is not None
+    assert not is_satisfiable(conj([result.formula, compare(e_a1, "=", c(4))]))
+
+
+def test_fm_projection_interval():
+    # exists b1. a1 < b1 < a2  <=>  a1 < a2 - 1 over integers (tightened)
+    formula = conj([compare(e_a1, "<", e_b1), compare(e_b1, "<", e_a2)])
+    result = eliminate_exists(formula, {B1})
+    assert result.exact
+    assert is_satisfiable(
+        conj([result.formula, compare(e_a1, "=", c(0)), compare(e_a2, "=", c(2))])
+    )
+    assert not is_satisfiable(
+        conj([result.formula, compare(e_a1, "=", c(0)), compare(e_a2, "=", c(1))])
+    )
+
+
+def test_fm_projection_reals_keeps_strictness():
+    ra1, ra2, rb = Var("ra1", REAL), Var("ra2", REAL), Var("rb", REAL)
+    formula = conj(
+        [
+            compare(LinExpr.var(ra1), "<", LinExpr.var(rb)),
+            compare(LinExpr.var(rb), "<", LinExpr.var(ra2)),
+        ]
+    )
+    result = eliminate_exists(formula, {rb})
+    # Over the reals a value strictly between exists iff ra1 < ra2.
+    assert is_satisfiable(
+        conj(
+            [
+                result.formula,
+                compare(LinExpr.var(ra1), "=", c(0)),
+                compare(LinExpr.var(ra2), "=", c(1)),
+            ]
+        )
+    )
+    assert not is_satisfiable(
+        conj(
+            [
+                result.formula,
+                compare(LinExpr.var(ra1), "=", c(1)),
+                compare(LinExpr.var(ra2), "=", c(1)),
+            ]
+        )
+    )
+
+
+def test_unsat_region_motivating_example():
+    """Section 3.2 example: the unsatisfaction region over (a1, a2) is
+    exactly ``a1 - a2 > 28 or a2 > 18`` (integer-tightened).
+
+    Note: the paper's illustrative sample coordinates are mirrored
+    relative to its own stated predicate (its final predicate
+    ``a1 - a2 + 29 > 0`` has the opposite sign of what the constraints
+    imply); we assert the semantics of the stated predicate.
+    """
+    p = motivating_predicate()
+    region = unsat_region(p, {A1, A2}).formula
+
+    def in_region(a1, a2):
+        return is_satisfiable(
+            conj([region, compare(e_a1, "=", c(a1)), compare(e_a2, "=", c(a2))])
+        )
+
+    # Unsatisfaction tuples: a1 - a2 > 28, or a2 > 18.
+    assert in_region(29, 0)
+    assert in_region(0, 19)
+    assert in_region(100, 50)
+    # Feasible restrictions (some extension b1 satisfies p).
+    assert not in_region(28, 0)
+    assert not in_region(0, 18)
+    assert not in_region(-53, -47)
+    assert not in_region(-5, 1)
+
+
+def test_unsat_region_semantics_pointwise():
+    """For concrete (a1, a2): region holds iff no b1 extends to satisfy p."""
+    p = motivating_predicate()
+    region = unsat_region(p, {A1, A2}).formula
+    for a1 in range(-60, 20, 7):
+        for a2 in range(-60, 20, 7):
+            fixed = conj([compare(e_a1, "=", c(a1)), compare(e_a2, "=", c(a2))])
+            extension_exists = is_satisfiable(conj([p, fixed]))
+            in_region = is_satisfiable(conj([region, fixed]))
+            assert in_region == (not extension_exists), (a1, a2)
+
+
+def test_unsat_region_of_unconstrained_predicate():
+    # p touches only b1: every restriction to (a1,) is feasible iff p is sat.
+    p = compare(e_b1, "<", c(0))
+    region = unsat_region(p, {A1}).formula
+    assert not is_satisfiable(region)
+
+
+def test_unsat_region_with_disjunction():
+    p = disj(
+        [
+            conj([compare(e_a1, "<", c(0)), compare(e_b1, "<", c(0))]),
+            conj([compare(e_a1, ">", c(10)), compare(e_b1, ">", c(0))]),
+        ]
+    )
+    region = unsat_region(p, {A1}).formula
+    # a1 = 5 cannot be extended; a1 = -1 and a1 = 11 can.
+    assert is_satisfiable(conj([region, compare(e_a1, "=", c(5))]))
+    assert not is_satisfiable(conj([region, compare(e_a1, "=", c(-1))]))
+    assert not is_satisfiable(conj([region, compare(e_a1, "=", c(11))]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=-30, max_value=30),
+    gap=st.integers(min_value=1, max_value=20),
+    a1=st.integers(min_value=-60, max_value=60),
+)
+def test_unsat_region_random_intervals(k, gap, a1):
+    # p: a1 < b1 and b1 < k, with b1 in (a1, k); restriction a1 feasible
+    # iff a1 <= k - 2 over integers.
+    p = conj([compare(e_a1, "<", e_b1), compare(e_b1, "<", c(k))])
+    region = unsat_region(p, {A1}).formula
+    fixed = compare(e_a1, "=", c(a1))
+    expected_infeasible = a1 > k - 2
+    assert is_satisfiable(conj([region, fixed])) == expected_infeasible
+    del gap
+
+
+def test_exactness_flag_for_unit_coefficients():
+    p = conj([compare(e_a1 - e_b1, "<", c(20)), compare(e_b1, "<", c(0))])
+    assert unsat_region(p, {A1}).exact
+
+
+def test_inexact_flag_for_nonunit_coefficients():
+    p = conj(
+        [
+            compare(e_b1 * 2, "<", e_a1),
+            compare(e_a1 - 100, "<", e_b1 * 3),
+        ]
+    )
+    result = unsat_region(p, {A1})
+    # 2 and 3 as eliminated coefficients: dark-shadow condition fails.
+    assert not result.exact

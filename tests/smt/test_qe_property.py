@@ -1,0 +1,92 @@
+"""Property-based validation of quantifier elimination.
+
+Random bounded conjunctions are projected with Fourier-Motzkin and the
+result is compared pointwise against brute-force existential checks --
+the soundness property Sia's FALSE samples depend on (Lemma 4).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import LinExpr, Var, compare, conj, is_satisfiable
+from repro.smt.qe import unsat_region
+
+X = Var("x")
+Y = Var("y")
+B = Var("b")
+ex, ey, eb = LinExpr.var(X), LinExpr.var(Y), LinExpr.var(B)
+c = LinExpr.const_expr
+
+B_RANGE = range(-12, 13)
+
+coeff = st.integers(min_value=-2, max_value=2)
+const = st.integers(min_value=-15, max_value=15)
+op = st.sampled_from(["<", "<=", ">", ">="])
+
+
+@st.composite
+def bounded_predicates(draw):
+    """A conjunction over (x, y, b) with b explicitly boxed, so the
+    brute-force existential check over B_RANGE is exact."""
+    atoms = [
+        compare(eb, ">=", c(B_RANGE.start)),
+        compare(eb, "<=", c(B_RANGE.stop - 1)),
+    ]
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        a1, a2, a3 = draw(coeff), draw(coeff), draw(st.integers(-2, 2))
+        if a3 == 0:
+            a3 = 1  # keep b involved so projection has work to do
+        expr = ex * a1 + ey * a2 + eb * a3
+        atoms.append(compare(expr, draw(op), c(draw(const))))
+    return conj(atoms)
+
+
+def region_contains(region, x_value, y_value):
+    fixed = conj(
+        [
+            region,
+            compare(ex, "=", c(x_value)),
+            compare(ey, "=", c(y_value)),
+        ]
+    )
+    return is_satisfiable(fixed)
+
+
+def brute_force_extension_exists(pred, x_value, y_value):
+    assignment = {X: x_value, Y: y_value}
+    for b_value in B_RANGE:
+        assignment[B] = b_value
+        if pred.evaluate(assignment):
+            return True
+    return False
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pred=bounded_predicates(),
+    x_value=st.integers(min_value=-10, max_value=10),
+    y_value=st.integers(min_value=-10, max_value=10),
+)
+def test_unsat_region_soundness(pred, x_value, y_value):
+    """Any point in the computed region is a genuine unsatisfaction
+    tuple (no extension exists) -- soundness must hold even when the
+    projection is inexact."""
+    result = unsat_region(pred, {X, Y})
+    if region_contains(result.formula, x_value, y_value):
+        assert not brute_force_extension_exists(pred, x_value, y_value)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pred=bounded_predicates(),
+    x_value=st.integers(min_value=-10, max_value=10),
+    y_value=st.integers(min_value=-10, max_value=10),
+)
+def test_unsat_region_exactness_when_flagged(pred, x_value, y_value):
+    """When the projection reports exactness, region membership must
+    coincide with brute force in both directions."""
+    result = unsat_region(pred, {X, Y})
+    if not result.exact:
+        return
+    in_region = region_contains(result.formula, x_value, y_value)
+    assert in_region == (not brute_force_extension_exists(pred, x_value, y_value))

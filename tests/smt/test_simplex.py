@@ -1,0 +1,146 @@
+"""Unit tests for the LRA simplex with delta-rationals."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import EQ, LE, LT, Atom, LinExpr, REAL, TheoryConflict, Var
+from repro.smt.simplex import DeltaRational, Simplex, concrete_model
+
+X = Var("x", REAL)
+Y = Var("y", REAL)
+Z = Var("z", REAL)
+ex = LinExpr.var(X)
+ey = LinExpr.var(Y)
+ez = LinExpr.var(Z)
+
+
+def solve(*atoms):
+    simplex = Simplex()
+    strict = []
+    for i, atom in enumerate(atoms):
+        if atom.op == LT:
+            strict.append(atom.expr)
+        simplex.assert_atom(atom, i)
+    assignment = simplex.check()
+    return concrete_model(assignment, strict)
+
+
+def assert_model_satisfies(model, atoms):
+    for atom in atoms:
+        value = atom.expr.evaluate({v: model.get(v, Fraction(0)) for v in atom.expr.coeffs})
+        assert atom.holds(value), f"{atom} violated by {model}"
+
+
+def test_deltarational_ordering():
+    assert DeltaRational(Fraction(1)) < DeltaRational(Fraction(2))
+    assert DeltaRational(Fraction(1)) < DeltaRational(Fraction(1), Fraction(1))
+    assert DeltaRational(Fraction(1), Fraction(-1)) < DeltaRational(Fraction(1))
+
+
+def test_single_upper_bound():
+    atoms = [Atom(ex - 5, LE)]
+    model = solve(*atoms)
+    assert_model_satisfies(model, atoms)
+
+
+def test_strict_bounds_get_concrete_values():
+    atoms = [Atom(ex - 5, LT), Atom(4 - ex, LT)]  # 4 < x < 5
+    model = solve(*atoms)
+    assert Fraction(4) < model[X] < Fraction(5)
+
+
+def test_equality():
+    atoms = [Atom(ex + ey - 10, EQ), Atom(ex - ey, EQ)]
+    model = solve(*atoms)
+    assert model[X] == model[Y] == 5
+
+
+def test_conflict_two_bounds():
+    simplex = Simplex()
+    simplex.assert_atom(Atom(ex - 1, LE), "a")  # x <= 1
+    with pytest.raises(TheoryConflict) as info:
+        simplex.assert_atom(Atom(2 - ex, LE), "b")  # x >= 2
+        simplex.check()
+    assert info.value.core == {"a", "b"}
+
+
+def test_conflict_through_rows():
+    simplex = Simplex()
+    simplex.assert_atom(Atom(ex + ey - 2, LE), "sum_le_2")
+    simplex.assert_atom(Atom(3 - ex, LE), "x_ge_3")
+    simplex.assert_atom(Atom(0 - ey, LE), "y_ge_0")
+    with pytest.raises(TheoryConflict) as info:
+        simplex.check()
+    assert "sum_le_2" in info.value.core
+    assert "x_ge_3" in info.value.core
+
+
+def test_strict_cycle_conflict():
+    # x < y, y < z, z < x is infeasible.
+    simplex = Simplex()
+    simplex.assert_atom(Atom(ex - ey, LT), "xy")
+    simplex.assert_atom(Atom(ey - ez, LT), "yz")
+    simplex.assert_atom(Atom(ez - ex, LT), "zx")
+    with pytest.raises(TheoryConflict):
+        simplex.check()
+
+
+def test_strict_vs_nonstrict_boundary():
+    # x <= 3 and x >= 3 is sat; x < 3 and x >= 3 is not.
+    model = solve(Atom(ex - 3, LE), Atom(3 - ex, LE))
+    assert model[X] == 3
+    simplex = Simplex()
+    simplex.assert_atom(Atom(ex - 3, LT), "a")
+    with pytest.raises(TheoryConflict):
+        simplex.assert_atom(Atom(3 - ex, LE), "b")
+        simplex.check()
+
+
+def test_shared_linear_form():
+    # Both constraints talk about x+y: they must share a slack variable.
+    simplex = Simplex()
+    simplex.assert_atom(Atom(ex + ey - 10, LE), "a")
+    simplex.assert_atom(Atom(5 - ex - ey, LE), "b")
+    assignment = simplex.check()
+    assert simplex._slack_count == 1 or len(simplex.rows) <= 2
+    value = assignment[X].real + assignment[Y].real
+    assert Fraction(5) <= value <= Fraction(10)
+
+
+def test_motivating_example_constraints():
+    # a2 - b1 < 20, a1 - a2 < a2 - b1 + 10, b1 < 0 (section 3.2).
+    a1, a2, b1 = (Var(n, REAL) for n in ("a1", "a2", "b1"))
+    e1, e2, e3 = LinExpr.var(a1), LinExpr.var(a2), LinExpr.var(b1)
+    atoms = [
+        Atom(e2 - e3 - 20, LT),
+        Atom((e1 - e2) - (e2 - e3) - 10, LT),
+        Atom(e3, LT),
+    ]
+    model = solve(*atoms)
+    assert_model_satisfies(
+        model,
+        atoms,
+    )
+
+
+def test_degenerate_constant_atom():
+    simplex = Simplex()
+    simplex.assert_atom(Atom(LinExpr.const_expr(-1), LE), "ok")
+    with pytest.raises(TheoryConflict):
+        simplex.assert_atom(Atom(LinExpr.const_expr(1), LE), "bad")
+
+
+def test_negative_single_var_coefficient():
+    # -2x <= -6  =>  x >= 3
+    model = solve(Atom(LinExpr({X: -2}, 0) + 6, LE))
+    assert model[X] >= 3
+
+
+def test_many_constraints_feasible():
+    atoms = []
+    for i in range(1, 8):
+        atoms.append(Atom(ex * i + ey - 10 * i, LE))
+        atoms.append(Atom(-(ex * i) - ey - 10 * i, LE))
+    model = solve(*atoms)
+    assert_model_satisfies(model, atoms)

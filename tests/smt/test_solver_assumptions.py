@@ -1,0 +1,90 @@
+"""Tests for assumption-based solving on the DPLL(T) facade."""
+
+import pytest
+
+from repro.smt import (
+    LE,
+    LT,
+    SAT,
+    UNSAT,
+    Atom,
+    BVar,
+    LinExpr,
+    Not,
+    Solver,
+    SolverError,
+    Var,
+    compare,
+    conj,
+)
+
+X = Var("x")
+ex = LinExpr.var(X)
+c = LinExpr.const_expr
+
+
+def test_assumed_atom_constrains_model():
+    solver = Solver()
+    solver.add(conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(100))]))
+    assert solver.check(assumptions=[Atom(ex - 5, LE)]) == SAT
+    assert solver.model().int_value(X) <= 5
+
+
+def test_assumptions_do_not_persist():
+    solver = Solver()
+    solver.add(conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(100))]))
+    assert solver.check(assumptions=[Atom(ex - 0, LE)]) == SAT
+    assert solver.model().int_value(X) == 0
+    # Without the assumption the full range is available again.
+    assert solver.check(assumptions=[Atom(50 - ex, LE)]) == SAT
+    assert solver.model().int_value(X) >= 50
+    assert solver.check() == SAT
+
+
+def test_unsat_under_assumptions_only():
+    solver = Solver()
+    solver.add(compare(ex, ">=", c(10)))
+    assert solver.check(assumptions=[Atom(ex - 5, LT)]) == UNSAT
+    assert solver.check() == SAT
+
+
+def test_negated_atom_assumption():
+    solver = Solver()
+    solver.add(conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(10))]))
+    # NOT (x <= 7)  =>  x > 7
+    assert solver.check(assumptions=[Not(Atom(ex - 7, LE))]) == SAT
+    assert solver.model().int_value(X) > 7
+
+
+def test_boolean_assumption():
+    flag = BVar("flag")
+    solver = Solver()
+    from repro.smt import disj
+
+    solver.add(disj([flag, compare(ex, ">", c(50))]))
+    solver.add(compare(ex, "<=", c(10)))
+    assert solver.check(assumptions=[Not(flag)]) == UNSAT
+    assert solver.check(assumptions=[flag]) == SAT
+
+
+def test_non_literal_assumption_rejected():
+    solver = Solver()
+    solver.add(compare(ex, ">=", c(0)))
+    with pytest.raises(SolverError):
+        solver.check(assumptions=[conj([Atom(ex - 5, LE), Atom(-ex, LT)])])
+
+
+def test_learned_clauses_stay_sound_across_assumption_sets():
+    """Exercise the warm-solver pattern the sampler relies on."""
+    solver = Solver()
+    solver.add(conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(30))]))
+    seen = set()
+    for low in (0, 10, 20):
+        status = solver.check(
+            assumptions=[Atom(c(low) - ex, LE), Atom(ex - (low + 5), LE)]
+        )
+        assert status == SAT
+        value = solver.model().int_value(X)
+        assert low <= value <= low + 5
+        seen.add(value)
+    assert len(seen) == 3

@@ -1,0 +1,86 @@
+"""End-to-end solver validation against brute-force enumeration.
+
+Random small formulas mixing booleans, disjunctions and integer
+arithmetic over a bounded domain: the DPLL(T) verdict must agree with
+exhaustive enumeration, and returned models must actually satisfy the
+formula.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    BVar,
+    LinExpr,
+    Not,
+    SAT,
+    Solver,
+    Var,
+    compare,
+    conj,
+    disj,
+)
+
+X = Var("x")
+Y = Var("y")
+P = BVar("p")
+DOMAIN = range(-4, 5)
+
+
+def random_formula(rng: random.Random, depth: int = 0):
+    ex, ey = LinExpr.var(X), LinExpr.var(Y)
+    if depth >= 2 or rng.random() < 0.4:
+        kind = rng.random()
+        if kind < 0.25:
+            return P if rng.random() < 0.5 else Not(P)
+        lhs = rng.choice([ex, ey, ex + ey, ex - ey, ex * 2])
+        op = rng.choice(["<", "<=", ">", ">=", "=", "!="])
+        return compare(lhs, op, LinExpr.const_expr(rng.randint(-6, 6)))
+    parts = [random_formula(rng, depth + 1) for _ in range(rng.randint(2, 3))]
+    combiner = conj if rng.random() < 0.5 else disj
+    formula = combiner(parts)
+    if rng.random() < 0.3:
+        from repro.smt import negate
+
+        formula = negate(formula)
+    return formula
+
+
+def brute_force_sat(formula) -> bool:
+    for xv, yv in itertools.product(DOMAIN, DOMAIN):
+        for pv in (False, True):
+            if formula.evaluate({X: xv, Y: yv}, {P: pv}):
+                return True
+    return False
+
+
+def domain_box():
+    ex, ey = LinExpr.var(X), LinExpr.var(Y)
+    c = LinExpr.const_expr
+    return conj(
+        [
+            compare(ex, ">=", c(DOMAIN.start)),
+            compare(ex, "<=", c(DOMAIN.stop - 1)),
+            compare(ey, ">=", c(DOMAIN.start)),
+            compare(ey, "<=", c(DOMAIN.stop - 1)),
+        ]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_solver_agrees_with_bruteforce(seed):
+    rng = random.Random(seed)
+    formula = random_formula(rng)
+    boxed = conj([formula, domain_box()])
+    solver = Solver()
+    solver.add(boxed)
+    verdict = solver.check()
+    expected = brute_force_sat(formula)
+    assert (verdict == SAT) == expected, formula
+    if verdict == SAT:
+        model = solver.model()
+        assert model.satisfies(boxed), (formula, model.values, model.booleans)

@@ -1,0 +1,130 @@
+"""Unit tests for integer tightening and branch-and-bound."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import EQ, LE, LT, Atom, LinExpr, REAL, TheoryConflict, Var
+from repro.smt.theory import check_conjunction, tighten
+
+X = Var("x")
+Y = Var("y")
+R = Var("r", REAL)
+ex = LinExpr.var(X)
+ey = LinExpr.var(Y)
+er = LinExpr.var(R)
+
+
+def test_tighten_strict_to_nonstrict():
+    # x < 3  =>  x <= 2, represented as x - 2 <= 0
+    atom = tighten(Atom(ex - 3, LT))
+    assert atom.op == LE
+    assert atom.expr == ex - 2
+
+
+def test_tighten_fractional_bound():
+    # 2x <= 5  =>  x <= 2
+    atom = tighten(Atom(ex * 2 - 5, LE))
+    assert atom.expr == ex - 2
+
+
+def test_tighten_divides_content():
+    # 4x - 6y <= 7  =>  2x - 3y <= 3
+    atom = tighten(Atom(ex * 4 - ey * 6 - 7, LE))
+    assert atom.expr.coeff(X) == 2
+    assert atom.expr.coeff(Y) == -3
+    assert atom.expr.const == -3
+
+
+def test_tighten_infeasible_equality():
+    # 2x = 1 has no integer solution.
+    assert tighten(Atom(ex * 2 - 1, EQ)) is False
+
+
+def test_tighten_feasible_equality():
+    atom = tighten(Atom(ex * 2 - ey * 4 - 6, EQ))
+    assert atom.expr.coeff(X) == 1
+    assert atom.expr.coeff(Y) == -2
+    assert atom.expr.const == -3
+
+
+def test_tighten_leaves_reals_alone():
+    atom = Atom(er - Fraction(1, 2), LT)
+    assert tighten(atom) == atom
+
+
+def test_tighten_constant_folds():
+    assert tighten(Atom(LinExpr.const_expr(-1), LE)) is True
+    assert tighten(Atom(LinExpr.const_expr(1), LE)) is False
+
+
+def test_integer_model():
+    model = check_conjunction([(Atom(ex * 2 - 5, LE), "a"), (Atom(1 - ex, LE), "b")])
+    assert model[X].denominator == 1
+    assert 1 <= model[X] <= 2
+
+
+def test_branch_and_bound_finds_integer_point():
+    # 3 <= 2x <= 3.9 has rational but no integer solutions.
+    with pytest.raises(TheoryConflict):
+        check_conjunction(
+            [
+                (Atom(3 - ex * 2, LE), "lo"),
+                (Atom(ex * 2 - Fraction(39, 10), LE), "hi"),
+            ]
+        )
+
+
+def test_branch_core_excludes_branch_tags():
+    try:
+        check_conjunction(
+            [
+                (Atom(3 - ex * 2, LE), "lo"),
+                (Atom(ex * 2 - Fraction(39, 10), LE), "hi"),
+                (Atom(ey - 100, LE), "unrelated"),
+            ]
+        )
+    except TheoryConflict as conflict:
+        assert conflict.core <= {"lo", "hi"}
+    else:  # pragma: no cover
+        pytest.fail("expected conflict")
+
+
+def test_mixed_int_real():
+    model = check_conjunction(
+        [
+            (Atom(er - ex, LT), "r_lt_x"),
+            (Atom(ex - er - Fraction(1, 2), LT), "x_near_r"),
+            (Atom(3 - ex, LE), "x_ge_3"),
+        ]
+    )
+    assert model[X].denominator == 1
+    assert model[R] < model[X] < model[R] + Fraction(1, 2)
+
+
+def test_unsat_core_is_relevant():
+    try:
+        check_conjunction(
+            [
+                (Atom(ex - 1, LE), "a"),
+                (Atom(2 - ex, LE), "b"),
+                (Atom(ey - 7, LE), "noise"),
+            ]
+        )
+    except TheoryConflict as conflict:
+        assert "noise" not in conflict.core
+    else:  # pragma: no cover
+        pytest.fail("expected conflict")
+
+
+def test_equalities_and_inequalities_combined():
+    model = check_conjunction(
+        [
+            (Atom(ex + ey - 10, EQ), "sum"),
+            (Atom(ex - ey, LT), "x_lt_y"),
+            (Atom(1 - ex, LE), "x_ge_1"),
+        ]
+    )
+    assert model[X] + model[Y] == 10
+    assert model[X] < model[Y]
+    assert model[X] >= 1

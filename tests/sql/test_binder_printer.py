@@ -1,0 +1,185 @@
+"""Tests for name resolution, typing, and SQL rendering."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import CatalogError, TypeCheckError
+from repro.predicates import (
+    Comparison,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    IsNull,
+    Lit,
+    PAnd,
+    PNot,
+)
+from repro.sql import (
+    parse_bound_predicate,
+    parse_query,
+    render_pred,
+    render_query,
+)
+
+SCHEMA = {
+    "lineitem": {
+        "l_orderkey": INTEGER,
+        "l_quantity": INTEGER,
+        "l_extendedprice": DOUBLE,
+        "l_shipdate": DATE,
+        "l_commitdate": DATE,
+        "l_receiptdate": DATE,
+    },
+    "orders": {
+        "o_orderkey": INTEGER,
+        "o_orderdate": DATE,
+        "o_totalprice": DOUBLE,
+    },
+}
+
+
+def test_bind_paper_query():
+    query = parse_query(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+        "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01'",
+        SCHEMA,
+    )
+    assert query.tables == ["lineitem", "orders"]
+    assert isinstance(query.where, PAnd)
+    cols = {c.qualified for c in query.where.columns()}
+    assert "orders.o_orderdate" in cols
+    assert "lineitem.l_shipdate" in cols
+
+
+def test_string_coerced_to_date():
+    pred = parse_bound_predicate(
+        "l_shipdate < '1993-06-01'", SCHEMA, ["lineitem"]
+    )
+    assert isinstance(pred, Comparison)
+    assert pred.right.etype == DATE
+    assert pred.right.value == dt.date(1993, 6, 1)
+
+
+def test_interval_becomes_integer_days():
+    pred = parse_bound_predicate(
+        "l_shipdate - l_commitdate < INTERVAL '20' DAY", SCHEMA, ["lineitem"]
+    )
+    assert pred.right.value == 20
+    assert pred.right.etype == INTEGER
+
+
+def test_unknown_table_and_column():
+    with pytest.raises(CatalogError):
+        parse_query("SELECT * FROM nosuch", SCHEMA)
+    with pytest.raises(CatalogError):
+        parse_bound_predicate("nope < 1", SCHEMA, ["lineitem"])
+
+
+def test_ambiguous_column():
+    schema = {
+        "a": {"val": INTEGER},
+        "b": {"val": INTEGER},
+    }
+    with pytest.raises(CatalogError):
+        parse_bound_predicate("val < 1", schema, ["a", "b"])
+
+
+def test_qualified_resolution_with_alias():
+    query = parse_query(
+        "SELECT * FROM lineitem l WHERE l.l_quantity > 5", SCHEMA
+    )
+    (col,) = query.where.columns()
+    assert col.qualified == "lineitem.l_quantity"
+
+
+def test_two_strings_cannot_be_compared():
+    with pytest.raises(TypeCheckError):
+        parse_bound_predicate("'a' < 'b'", SCHEMA, ["lineitem"])
+
+
+def test_string_against_integer_rejected():
+    with pytest.raises(TypeCheckError):
+        parse_bound_predicate("l_quantity < 'abc'", SCHEMA, ["lineitem"])
+
+
+def test_between_expands_to_conjunction():
+    pred = parse_bound_predicate(
+        "l_quantity BETWEEN 1 AND 5", SCHEMA, ["lineitem"]
+    )
+    assert isinstance(pred, PAnd)
+    assert len(pred.args) == 2
+
+
+def test_not_is_null_folds():
+    pred = parse_bound_predicate(
+        "NOT l_shipdate IS NULL", SCHEMA, ["lineitem"]
+    )
+    assert isinstance(pred, IsNull)
+    assert pred.negated
+
+
+def test_negative_literal():
+    pred = parse_bound_predicate("l_quantity > -5", SCHEMA, ["lineitem"])
+    assert pred.right.value == -5
+
+
+def test_decimal_literal_is_double():
+    pred = parse_bound_predicate("l_extendedprice > 1.5", SCHEMA, ["lineitem"])
+    assert pred.right.etype == DOUBLE
+
+
+# ----------------------------------------------------------------------
+# Printer round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "lineitem.l_quantity < 5",
+        "lineitem.l_shipdate < DATE '1993-06-01'",
+        "lineitem.l_shipdate - lineitem.l_commitdate < 20",
+        "lineitem.l_quantity + 2 * lineitem.l_orderkey <= 100",
+        "NOT (lineitem.l_quantity = 3)",
+        "lineitem.l_quantity < 1 OR lineitem.l_quantity > 5 AND lineitem.l_orderkey = 2",
+        "lineitem.l_shipdate IS NOT NULL",
+    ],
+)
+def test_render_parse_roundtrip(sql):
+    pred = parse_bound_predicate(sql, SCHEMA, ["lineitem"])
+    rendered = render_pred(pred)
+    reparsed = parse_bound_predicate(rendered, SCHEMA, ["lineitem"])
+    assert render_pred(reparsed) == rendered
+
+
+def test_render_query():
+    query = parse_query(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey",
+        SCHEMA,
+    )
+    text = render_query(query)
+    assert text.startswith("SELECT * FROM lineitem, orders WHERE")
+    # Round-trip.
+    again = parse_query(text, SCHEMA)
+    assert render_query(again) == text
+
+
+def test_render_parenthesizes_or_inside_and():
+    pred = parse_bound_predicate(
+        "(lineitem.l_quantity < 1 OR lineitem.l_quantity > 5) AND lineitem.l_orderkey = 2",
+        SCHEMA,
+        ["lineitem"],
+    )
+    rendered = render_pred(pred)
+    reparsed = parse_bound_predicate(rendered, SCHEMA, ["lineitem"])
+    assert render_pred(reparsed) == rendered
+    assert "(" in rendered
+
+
+def test_render_subtraction_associativity():
+    pred = parse_bound_predicate(
+        "lineitem.l_quantity - (lineitem.l_orderkey - 3) < 10", SCHEMA, ["lineitem"]
+    )
+    rendered = render_pred(pred)
+    reparsed = parse_bound_predicate(rendered, SCHEMA, ["lineitem"])
+    # Semantics preserved under re-rendering.
+    assert render_pred(reparsed) == rendered

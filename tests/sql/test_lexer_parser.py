@@ -1,0 +1,190 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import parse_predicate, parse_select, tokenize
+from repro.sql import ast
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql)[:-1]]
+
+
+def test_tokenize_basic():
+    tokens = kinds("SELECT * FROM lineitem WHERE a < 10")
+    assert tokens[0] == ("KEYWORD", "SELECT")
+    assert ("OP", "*") in tokens
+    assert ("IDENT", "lineitem") in tokens
+    assert ("NUMBER", "10") in tokens
+
+
+def test_tokenize_string_escape():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].text == "it's"
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize("'oops")
+
+
+def test_tokenize_comments():
+    tokens = kinds("a -- comment\n< 5")
+    assert tokens == [("IDENT", "a"), ("OP", "<"), ("NUMBER", "5")]
+
+
+def test_tokenize_decimal_vs_qualifier():
+    assert kinds("1.5") == [("NUMBER", "1.5")]
+    assert kinds("t.c") == [("IDENT", "t"), ("PUNCT", "."), ("IDENT", "c")]
+
+
+def test_tokenize_operators():
+    assert [t for _, t in kinds("a <= b >= c <> d != e")] == [
+        "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e",
+    ]
+
+
+def test_tokenize_bad_char():
+    with pytest.raises(ParseError):
+        tokenize("a @ b")
+
+
+# ----------------------------------------------------------------------
+def test_parse_select_star_comma_join():
+    stmt = parse_select(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey"
+    )
+    assert stmt.projections is None
+    assert [t.name for t in stmt.tables] == ["lineitem", "orders"]
+    assert isinstance(stmt.where, ast.CompareExpr)
+
+
+def test_parse_select_projection_list():
+    stmt = parse_select("SELECT l_orderkey, l_shipdate FROM lineitem")
+    assert stmt.projections is not None
+    assert len(stmt.projections) == 2
+
+
+def test_parse_explicit_join_folds_on_condition():
+    stmt = parse_select(
+        "SELECT * FROM lineitem JOIN orders ON o_orderkey = l_orderkey "
+        "WHERE l_quantity > 10"
+    )
+    assert isinstance(stmt.where, ast.AndExpr)
+    assert len(stmt.where.args) == 2
+
+
+def test_parse_table_alias():
+    stmt = parse_select("SELECT * FROM lineitem l WHERE l.l_quantity > 0")
+    assert stmt.tables[0].alias == "l"
+    stmt2 = parse_select("SELECT * FROM lineitem AS li")
+    assert stmt2.tables[0].alias == "li"
+
+
+def test_parse_group_by():
+    stmt = parse_select(
+        "SELECT l_orderkey FROM lineitem GROUP BY l_orderkey"
+    )
+    assert len(stmt.group_by) == 1
+
+
+def test_parse_precedence_and_or():
+    node = parse_predicate("a < 1 OR b < 2 AND c < 3")
+    assert isinstance(node, ast.OrExpr)
+    assert isinstance(node.args[1], ast.AndExpr)
+
+
+def test_parse_not():
+    node = parse_predicate("NOT a < 1")
+    assert isinstance(node, ast.NotExpr)
+
+
+def test_parse_arith_precedence():
+    node = parse_predicate("a + b * 2 < 10")
+    assert isinstance(node, ast.CompareExpr)
+    assert isinstance(node.left, ast.BinOp)
+    assert node.left.op == "+"
+    assert isinstance(node.left.right, ast.BinOp)
+    assert node.left.right.op == "*"
+
+
+def test_parse_parenthesised_arith():
+    node = parse_predicate("(a + b) * 2 < 10")
+    assert isinstance(node.left, ast.BinOp)
+    assert node.left.op == "*"
+
+
+def test_parse_parenthesised_boolean():
+    node = parse_predicate("(a < 1 OR b < 2) AND c < 3")
+    assert isinstance(node, ast.AndExpr)
+    assert isinstance(node.args[0], ast.OrExpr)
+
+
+def test_parse_date_literal():
+    node = parse_predicate("l_shipdate < DATE '1993-06-01'")
+    assert isinstance(node.right, ast.DateLit)
+    assert node.right.value == "1993-06-01"
+
+
+def test_parse_bare_string_literal():
+    node = parse_predicate("l_shipdate < '1993-06-01'")
+    assert isinstance(node.right, ast.StringLit)
+
+
+def test_parse_interval():
+    node = parse_predicate("l_shipdate - o_orderdate < INTERVAL '20' DAY")
+    assert isinstance(node.right, ast.IntervalLit)
+    assert node.right.amount == 20
+    assert node.right.unit == "DAY"
+
+
+def test_parse_between():
+    node = parse_predicate("a BETWEEN 1 AND 5")
+    assert isinstance(node, ast.BetweenExpr)
+    node2 = parse_predicate("a NOT BETWEEN 1 AND 5")
+    assert node2.negated
+
+
+def test_parse_is_null():
+    node = parse_predicate("a IS NULL")
+    assert isinstance(node, ast.IsNullExpr)
+    node2 = parse_predicate("a IS NOT NULL")
+    assert node2.negated
+
+
+def test_parse_unary_minus():
+    node = parse_predicate("-a < 5")
+    assert isinstance(node.left, ast.Neg)
+
+
+def test_parse_true_false():
+    assert isinstance(parse_predicate("TRUE"), ast.BoolLit)
+    assert parse_predicate("FALSE").value is False
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_select("SELECT FROM lineitem")
+    with pytest.raises(ParseError):
+        parse_select("SELECT * lineitem")
+    with pytest.raises(ParseError):
+        parse_predicate("a <")
+    with pytest.raises(ParseError):
+        parse_predicate("a < 1 extra stuff")
+
+
+def test_parse_trailing_semicolon():
+    stmt = parse_select("SELECT * FROM lineitem;")
+    assert stmt.tables[0].name == "lineitem"
+
+
+def test_parse_paper_query_q1():
+    sql = """
+    SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey
+      AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01'
+      AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10;
+    """
+    stmt = parse_select(sql)
+    assert isinstance(stmt.where, ast.AndExpr)
+    assert len(stmt.where.args) == 4

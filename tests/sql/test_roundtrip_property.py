@@ -1,0 +1,85 @@
+"""Property test: render -> parse round trip preserves semantics."""
+
+import datetime as dt
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    Col,
+    Column,
+    Comparison,
+    DATE,
+    INTEGER,
+    Lit,
+    PNot,
+    Pred,
+    eval_pred_py,
+    pand,
+    por,
+)
+from repro.sql import parse_bound_predicate, render_pred
+
+A = Column("t", "a", INTEGER)
+B = Column("t", "b", INTEGER)
+D = Column("t", "d", DATE)
+
+SCHEMA = {"t": {"a": INTEGER, "b": INTEGER, "d": DATE}}
+
+
+def random_expr(rng: random.Random):
+    choice = rng.random()
+    if choice < 0.35:
+        return Col(rng.choice((A, B)))
+    if choice < 0.55:
+        return Lit.integer(rng.randint(-50, 50))
+    left = random_expr(rng)
+    right = random_expr(rng)
+    op = rng.choice("+-")
+    return left + right if op == "+" else left - right
+
+
+def random_pred(rng: random.Random, depth: int = 0) -> Pred:
+    if depth >= 2 or rng.random() < 0.55:
+        kind = rng.random()
+        if kind < 0.8:
+            return Comparison(
+                random_expr(rng),
+                rng.choice(["<", "<=", ">", ">=", "=", "!="]),
+                random_expr(rng),
+            )
+        # date comparison
+        day = dt.date(1993, 1, 1) + dt.timedelta(days=rng.randrange(1000))
+        return Comparison(Col(D), rng.choice(["<", ">="]), Lit.date(day))
+    combiner = rng.choice([pand, por])
+    parts = [random_pred(rng, depth + 1) for _ in range(rng.randint(2, 3))]
+    if rng.random() < 0.25:
+        return PNot(combiner(parts))
+    return combiner(parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    a=st.integers(min_value=-60, max_value=60),
+    b=st.integers(min_value=-60, max_value=60),
+    day_offset=st.integers(min_value=0, max_value=1200),
+)
+def test_render_parse_preserves_evaluation(seed, a, b, day_offset):
+    rng = random.Random(seed)
+    pred = random_pred(rng)
+    rendered = render_pred(pred)
+    reparsed = parse_bound_predicate(rendered, SCHEMA, ["t"])
+    row = {A: a, B: b, D: dt.date(1993, 1, 1) + dt.timedelta(days=day_offset)}
+    assert eval_pred_py(pred, row) == eval_pred_py(reparsed, row), rendered
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_double_round_trip_is_stable(seed):
+    rng = random.Random(seed)
+    pred = random_pred(rng)
+    once = render_pred(parse_bound_predicate(render_pred(pred), SCHEMA, ["t"]))
+    twice = render_pred(parse_bound_predicate(once, SCHEMA, ["t"]))
+    assert once == twice

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_rewrite_command(capsys):
+    code = main(
+        [
+            "rewrite",
+            "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+            "AND l_shipdate - o_orderdate < 20 "
+            "AND o_orderdate < DATE '1993-06-01'",
+            "--table",
+            "lineitem",
+            "--iterations",
+            "6",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- synthesized" in out
+    assert "l_shipdate" in out
+    assert "SELECT * FROM lineitem, orders WHERE" in out
+
+
+def test_rewrite_explain(capsys):
+    code = main(
+        [
+            "rewrite",
+            "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+            "AND l_commitdate - o_orderdate < 30 "
+            "AND o_orderdate < DATE '1995-01-01'",
+            "--explain",
+            "--iterations",
+            "6",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "HashJoin" in out
+    assert "-- rewritten plan:" in out
+
+
+def test_rewrite_nothing_to_synthesize(capsys):
+    code = main(
+        [
+            "rewrite",
+            "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+            "AND o_orderdate < DATE '1994-01-01'",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "no predicate synthesized" in out
+
+
+def test_parse_error_reported(capsys):
+    code = main(["rewrite", "SELEC broken"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_command(capsys):
+    code = main(
+        [
+            "run",
+            "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10",
+            "--scale-factor",
+            "0.002",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- plan:" in out
+    assert "Aggregate" in out
+    assert "1 rows" in out
+
+
+def test_run_with_rewrite(capsys):
+    code = main(
+        [
+            "run",
+            "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+            "AND l_shipdate - o_orderdate < 20 "
+            "AND o_orderdate < DATE '1993-01-01'",
+            "--scale-factor",
+            "0.002",
+            "--rewrite",
+            "lineitem",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- synthesized:" in out
+    assert "HashJoin" in out
+
+
+def test_run_no_pushdown(capsys):
+    code = main(
+        [
+            "run",
+            "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+            "AND l_quantity < 5 LIMIT 3",
+            "--scale-factor",
+            "0.002",
+            "--no-pushdown",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "more rows" in out or "rows in" in out

@@ -1,0 +1,49 @@
+"""Tests for the top-level package surface."""
+
+import pytest
+
+import repro
+
+
+def test_version_present():
+    assert repro.__version__
+
+
+def test_lazy_exports_resolve():
+    assert callable(repro.synthesize)
+    assert callable(repro.rewrite_query)
+    assert repro.SIA_DEFAULT.max_iterations == 41
+    assert repro.SiaConfig is not None
+    assert repro.SIA_V1.initial_true_samples == 110
+    assert repro.SIA_V2.initial_false_samples == 220
+
+
+def test_lazy_export_caches():
+    first = repro.Synthesizer
+    second = repro.Synthesizer
+    assert first is second
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.no_such_symbol
+
+
+def test_all_lists_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_subpackages_importable():
+    import repro.bench
+    import repro.core
+    import repro.engine
+    import repro.learn
+    import repro.predicates
+    import repro.rewrite
+    import repro.smt
+    import repro.sql
+    import repro.tpch
+
+    assert repro.smt.Solver is not None
+    assert repro.engine.execute is not None

@@ -1,0 +1,104 @@
+"""Tests for the TPC-H data generator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.predicates import date_to_days
+from repro.tpch import BASE_ROWS, TPCH_SCHEMA, generate_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(0.01, seed=7)
+
+
+def test_all_tables_present(catalog):
+    for name in TPCH_SCHEMA:
+        assert name in catalog
+
+
+def test_cardinalities(catalog):
+    assert catalog.get("orders").num_rows == int(BASE_ROWS["orders"] * 0.01)
+    assert catalog.get("customer").num_rows == int(BASE_ROWS["customer"] * 0.01)
+    assert catalog.get("region").num_rows == 5
+    assert catalog.get("nation").num_rows == 25
+    lineitem = catalog.get("lineitem").num_rows
+    orders = catalog.get("orders").num_rows
+    assert 1 * orders <= lineitem <= 7 * orders
+
+
+def test_schema_matches_columns(catalog):
+    for name in TPCH_SCHEMA:
+        table = catalog.get(name)
+        assert set(table.columns) == set(TPCH_SCHEMA[name])
+
+
+def test_orderdate_range(catalog):
+    dates = catalog.get("orders").columns["o_orderdate"]
+    assert dates.min() >= date_to_days(dt.date(1992, 1, 1))
+    assert dates.max() <= date_to_days(dt.date(1998, 8, 2))
+
+
+def test_lineitem_date_relationships(catalog):
+    lineitem = catalog.get("lineitem")
+    orders = catalog.get("orders")
+    order_dates = dict(
+        zip(orders.columns["o_orderkey"].tolist(), orders.columns["o_orderdate"].tolist())
+    )
+    ship = lineitem.columns["l_shipdate"]
+    commit = lineitem.columns["l_commitdate"]
+    receipt = lineitem.columns["l_receiptdate"]
+    okeys = lineitem.columns["l_orderkey"]
+    odates = np.array([order_dates[k] for k in okeys.tolist()])
+    # dbgen invariants.
+    assert ((ship - odates) >= 1).all()
+    assert ((ship - odates) <= 121).all()
+    assert ((commit - odates) >= 30).all()
+    assert ((commit - odates) <= 90).all()
+    assert ((receipt - ship) >= 1).all()
+    assert ((receipt - ship) <= 30).all()
+
+
+def test_lineitem_linenumbers(catalog):
+    lineitem = catalog.get("lineitem")
+    okeys = lineitem.columns["l_orderkey"]
+    linenos = lineitem.columns["l_linenumber"]
+    # Line numbers restart at 1 per order and increment.
+    restart = np.flatnonzero(np.diff(okeys) != 0) + 1
+    assert (linenos[restart] == 1).all()
+    assert linenos[0] == 1
+
+
+def test_quantity_and_prices(catalog):
+    lineitem = catalog.get("lineitem")
+    qty = lineitem.columns["l_quantity"]
+    assert qty.min() >= 1 and qty.max() <= 50
+    disc = lineitem.columns["l_discount"]
+    assert disc.min() >= 0.0 and disc.max() <= 0.10
+
+
+def test_determinism():
+    c1 = generate_catalog(0.002, seed=3)
+    c2 = generate_catalog(0.002, seed=3)
+    a = c1.get("lineitem").columns["l_shipdate"]
+    b = c2.get("lineitem").columns["l_shipdate"]
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    c1 = generate_catalog(0.002, seed=3)
+    c2 = generate_catalog(0.002, seed=4)
+    a = c1.get("lineitem").columns["l_shipdate"]
+    b = c2.get("lineitem").columns["l_shipdate"]
+    assert len(a) != len(b) or not np.array_equal(a, b)
+
+
+def test_foreign_keys_resolve(catalog):
+    orders = catalog.get("orders")
+    n_cust = catalog.get("customer").num_rows
+    assert orders.columns["o_custkey"].min() >= 1
+    assert orders.columns["o_custkey"].max() <= n_cust
+    ps = catalog.get("partsupp")
+    assert ps.columns["ps_partkey"].max() <= catalog.get("part").num_rows

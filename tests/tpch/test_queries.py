@@ -1,0 +1,121 @@
+"""Tests for the TPC-H query library plus the new SQL clauses
+(aggregates in SELECT, ORDER BY, LIMIT)."""
+
+import pytest
+
+from repro.engine import build_plan, execute
+from repro.errors import TypeCheckError
+from repro.predicates import Column, DOUBLE, INTEGER
+from repro.sql import parse_query, render_query
+from repro.tpch import generate_catalog
+from repro.tpch.queries import all_queries, get_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(0.004, seed=2)
+
+
+def test_library_lookup():
+    query = get_query("q6_forecast_revenue")
+    assert "SUM(l_extendedprice)" in query.sql
+    with pytest.raises(KeyError):
+        get_query("q99")
+    assert len(all_queries()) >= 6
+
+
+def test_all_library_queries_parse_and_run(catalog):
+    for library_query in all_queries():
+        bound = parse_query(library_query.sql, catalog.schema())
+        relation, stats = execute(build_plan(bound), catalog)
+        assert relation.num_rows >= 0
+        assert stats.elapsed_ms >= 0
+
+
+def test_q6_global_aggregate(catalog):
+    bound = parse_query(get_query("q6_forecast_revenue").sql, catalog.schema())
+    relation, _ = execute(build_plan(bound), catalog)
+    assert relation.num_rows == 1
+    count = relation.column(Column("__agg__", "count", INTEGER))[0]
+    total = relation.column(
+        Column("__agg__", "sum_l_extendedprice", DOUBLE)
+    )[0]
+    # Cross-check with a direct numpy computation.
+    lineitem = catalog.get("lineitem")
+    from repro.predicates import date_to_days
+    import datetime as dt
+
+    ship = lineitem.columns["l_shipdate"]
+    disc = lineitem.columns["l_discount"]
+    qty = lineitem.columns["l_quantity"]
+    price = lineitem.columns["l_extendedprice"]
+    mask = (
+        (ship >= date_to_days(dt.date(1994, 1, 1)))
+        & (ship < date_to_days(dt.date(1995, 1, 1)))
+        & (disc >= 0.05)
+        & (disc <= 0.07)
+        & (qty < 24)
+    )
+    assert count == int(mask.sum())
+    assert total == pytest.approx(float(price[mask].sum()))
+
+
+def test_q1_group_by_order(catalog):
+    bound = parse_query(get_query("q1_pricing_summary").sql, catalog.schema())
+    relation, _ = execute(build_plan(bound), catalog)
+    keys = relation.column(Column("lineitem", "l_linenumber", INTEGER))
+    assert list(keys) == sorted(keys)
+    assert 1 <= relation.num_rows <= 7
+
+
+def test_q3_limit(catalog):
+    bound = parse_query(get_query("q3_shipping_priority").sql, catalog.schema())
+    relation, _ = execute(build_plan(bound), catalog)
+    assert relation.num_rows <= 10
+
+
+def test_order_by_desc(catalog):
+    sql = (
+        "SELECT l_orderkey, COUNT(*) FROM lineitem GROUP BY l_orderkey "
+        "ORDER BY l_orderkey DESC LIMIT 5"
+    )
+    bound = parse_query(sql, catalog.schema())
+    relation, _ = execute(build_plan(bound), catalog)
+    keys = relation.column(Column("lineitem", "l_orderkey", INTEGER)).tolist()
+    assert keys == sorted(keys, reverse=True)
+    assert len(keys) == 5
+
+
+def test_render_query_with_new_clauses(catalog):
+    sql = (
+        "SELECT l_linenumber, COUNT(*), SUM(l_quantity) FROM lineitem "
+        "WHERE l_quantity < 10 GROUP BY l_linenumber "
+        "ORDER BY l_linenumber DESC LIMIT 3"
+    )
+    bound = parse_query(sql, catalog.schema())
+    rendered = render_query(bound)
+    assert "COUNT(*)" in rendered
+    assert "SUM(lineitem.l_quantity)" in rendered
+    assert rendered.endswith("LIMIT 3")
+    rebound = parse_query(rendered, catalog.schema())
+    assert render_query(rebound) == rendered
+
+
+def test_non_grouped_projection_rejected(catalog):
+    sql = "SELECT l_orderkey, COUNT(*) FROM lineitem GROUP BY l_linenumber"
+    with pytest.raises(TypeCheckError):
+        parse_query(sql, catalog.schema())
+
+
+def test_rewritable_q12_actually_rewrites(catalog):
+    from repro.core import SiaConfig
+    from repro.rewrite import rewrite_query
+
+    library_query = get_query("q12_shipping_modes")
+    bound = parse_query(library_query.sql, catalog.schema())
+    result = rewrite_query(bound, "lineitem", SiaConfig(max_iterations=6))
+    assert result.succeeded
+    rel_o, _ = execute(build_plan(bound), catalog)
+    rel_r, _ = execute(build_plan(result.rewritten), catalog)
+    count_col = Column("__agg__", "count", INTEGER)
+    assert rel_o.column(count_col)[0] == rel_r.column(count_col)[0]

