@@ -1,0 +1,294 @@
+"""Structural invariant checking of live IR trees.
+
+The type system cannot see the invariants the SMT/rewrite stack relies
+on, so this module walks actual :class:`~repro.smt.formula.Formula` and
+:class:`~repro.predicates.expr.Pred` objects and verifies them:
+
+* **SIA101 arity** -- n-ary connectives carry >= 2 arguments (the smart
+  constructors ``conj``/``disj``/``pand``/``por`` guarantee this; a
+  violation means somebody bypassed them), operators are drawn from the
+  legal sets.
+* **SIA102 sorts** -- every :class:`LinExpr` coefficient and constant
+  is an exact :class:`~fractions.Fraction` (never a float), ``Var``
+  sorts are valid, SQL comparisons satisfy the typing rules of section
+  4.1 and literals carry values of the declared type.
+* **SIA103 aliasing** -- no mutable container (a ``LinExpr`` coefficient
+  map) is shared between two distinct owners.  Sharing *immutable*
+  subtrees is explicitly fine -- formulas are DAGs by design -- but a
+  shared dict means an in-place update in one node would corrupt the
+  other.
+* **SIA104 cycles** -- no node is its own ancestor; every traversal in
+  the codebase assumes well-founded trees.
+
+Checks are defensive: they re-validate what constructors already
+enforce, because ``object.__setattr__`` and pickling can both produce
+nodes that never went through a constructor.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from fractions import Fraction
+
+from ..errors import TypeCheckError
+from ..predicates.expr import (
+    Arith,
+    Col,
+    Comparison,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    IsNull,
+    Lit,
+    PAnd,
+    PNot,
+    POr,
+    Pred,
+    TIMESTAMP,
+    _PConst,
+)
+from ..smt.formula import And, Atom, BVar, EQ, Formula, LE, LT, NE, Not, Or, _Const
+from ..smt.terms import INT, LinExpr, REAL, Var
+from .findings import Finding
+
+_ATOM_OPS = frozenset({LE, LT, EQ, NE})
+_SORTS = frozenset({INT, REAL})
+_LIT_TYPES: dict[str, tuple[type, ...]] = {
+    INTEGER: (int,),
+    DOUBLE: (int, Fraction),
+    DATE: (_dt.date,),
+    TIMESTAMP: (_dt.datetime,),
+}
+
+
+class _Checker:
+    """Shared traversal state for one checked tree."""
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self.findings: list[Finding] = []
+        # id(container) -> (id(owner), description), for the aliasing check.
+        self._container_owners: dict[int, tuple[int, str]] = {}
+        self._visited: set[int] = set()
+
+    def report(self, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.origin,
+                line=0,
+                col=0,
+                rule=rule,
+                message=message,
+                pass_name="invariant",
+            )
+        )
+
+    # -- shared sub-checks ---------------------------------------------
+    def check_linexpr(self, expr: object, owner: str) -> None:
+        if not isinstance(expr, LinExpr):
+            self.report(
+                "SIA102", f"{owner}: expected LinExpr, got {type(expr).__name__}"
+            )
+            return
+        if id(expr) in self._visited:
+            # The same (immutable) LinExpr reached through two parents:
+            # legitimate DAG sharing, already checked once.
+            return
+        self._visited.add(id(expr))
+        coeffs = expr.coeffs
+        if not isinstance(coeffs, dict):
+            self.report(
+                "SIA102",
+                f"{owner}: coefficient map is {type(coeffs).__name__}, not dict",
+            )
+            return
+        previous = self._container_owners.setdefault(id(coeffs), (id(expr), owner))
+        if previous[0] != id(expr):
+            # Two *distinct* LinExpr objects alias one dict: an in-place
+            # update through either would silently rewrite the other.
+            self.report(
+                "SIA103",
+                f"{owner} shares its coefficient map with {previous[1]}",
+            )
+        for var, coeff in coeffs.items():
+            self._check_var(var, owner)
+            self._check_scalar(coeff, f"{owner} coefficient of {var!r}")
+        self._check_scalar(expr.const, f"{owner} constant term")
+
+    def _check_var(self, var: object, owner: str) -> None:
+        if not isinstance(var, Var):
+            self.report(
+                "SIA102", f"{owner}: expected Var, got {type(var).__name__}"
+            )
+        elif var.sort not in _SORTS:
+            self.report("SIA102", f"{owner}: unknown sort {var.sort!r}")
+
+    def _check_scalar(self, value: object, owner: str) -> None:
+        # bool is an int subclass but is never a legal coefficient, and
+        # float is exactly the leak this analyzer exists to catch.
+        if isinstance(value, bool) or not isinstance(value, (int, Fraction)):
+            self.report(
+                "SIA102",
+                f"{owner} is {type(value).__name__}, not an exact scalar",
+            )
+
+    def enter(self, node: object, path: set[int], kind: str) -> bool:
+        """Cycle bookkeeping; returns False when the node closes a cycle
+        or was already fully checked via another parent (DAG sharing)."""
+        if id(node) in path:
+            self.report(
+                "SIA104", f"{kind} node {type(node).__name__} is its own ancestor"
+            )
+            return False
+        if id(node) in self._visited:
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Formula trees
+# ----------------------------------------------------------------------
+def check_formula(formula: Formula, origin: str = "<formula>") -> list[Finding]:
+    """Structural invariants of one SMT formula tree."""
+    checker = _Checker(origin)
+    _walk_formula(formula, checker, set())
+    return checker.findings
+
+
+def _walk_formula(node: object, checker: _Checker, path: set[int]) -> None:
+    if not checker.enter(node, path, "formula"):
+        return
+    if isinstance(node, _Const):
+        return
+    checker._visited.add(id(node))
+    if isinstance(node, Atom):
+        if node.op not in _ATOM_OPS:
+            checker.report("SIA101", f"atom has unknown operator {node.op!r}")
+        checker.check_linexpr(node.expr, f"atom {node!r}")
+        return
+    if isinstance(node, BVar):
+        if not isinstance(node.name, str) or not node.name:
+            checker.report("SIA102", "propositional variable with empty name")
+        return
+    if isinstance(node, Not):
+        path.add(id(node))
+        _walk_formula(node.arg, checker, path)
+        path.discard(id(node))
+        return
+    if isinstance(node, (And, Or)):
+        args = node.args
+        if not isinstance(args, tuple):
+            checker.report(
+                "SIA103",
+                f"{type(node).__name__} stores args in a mutable "
+                f"{type(args).__name__}",
+            )
+            args = tuple(args)
+        if len(args) < 2:
+            checker.report(
+                "SIA101",
+                f"{type(node).__name__} has {len(args)} argument(s); smart "
+                "constructors guarantee >= 2",
+            )
+        path.add(id(node))
+        for arg in args:
+            _walk_formula(arg, checker, path)
+        path.discard(id(node))
+        return
+    checker.report(
+        "SIA102", f"foreign object {type(node).__name__} in formula tree"
+    )
+
+
+# ----------------------------------------------------------------------
+# Predicate trees
+# ----------------------------------------------------------------------
+def check_pred(pred: Pred, origin: str = "<pred>") -> list[Finding]:
+    """Structural invariants of one SQL predicate tree."""
+    checker = _Checker(origin)
+    _walk_pred(pred, checker, set())
+    return checker.findings
+
+
+def _walk_pred(node: object, checker: _Checker, path: set[int]) -> None:
+    if not checker.enter(node, path, "predicate"):
+        return
+    if isinstance(node, _PConst):
+        return
+    checker._visited.add(id(node))
+    if isinstance(node, Comparison):
+        try:
+            # Re-runs the section 4.1 typing judgment over the operands.
+            Comparison(node.left, node.op, node.right)
+        except TypeCheckError as exc:
+            checker.report("SIA102", f"comparison {node!r}: {exc}")
+        path.add(id(node))
+        _walk_expr(node.left, checker, path)
+        _walk_expr(node.right, checker, path)
+        path.discard(id(node))
+        return
+    if isinstance(node, (PAnd, POr)):
+        args = node.args
+        if not isinstance(args, tuple):
+            checker.report(
+                "SIA103",
+                f"{type(node).__name__} stores args in a mutable "
+                f"{type(args).__name__}",
+            )
+            args = tuple(args)
+        if len(args) < 2:
+            checker.report(
+                "SIA101",
+                f"{type(node).__name__} has {len(args)} argument(s); smart "
+                "constructors guarantee >= 2",
+            )
+        path.add(id(node))
+        for arg in args:
+            _walk_pred(arg, checker, path)
+        path.discard(id(node))
+        return
+    if isinstance(node, PNot):
+        path.add(id(node))
+        _walk_pred(node.arg, checker, path)
+        path.discard(id(node))
+        return
+    if isinstance(node, IsNull):
+        path.add(id(node))
+        _walk_expr(node.expr, checker, path)
+        path.discard(id(node))
+        return
+    checker.report(
+        "SIA102", f"foreign object {type(node).__name__} in predicate tree"
+    )
+
+
+def _walk_expr(node: object, checker: _Checker, path: set[int]) -> None:
+    if not checker.enter(node, path, "expression"):
+        return
+    checker._visited.add(id(node))
+    if isinstance(node, Col):
+        return
+    if isinstance(node, Lit):
+        expected = _LIT_TYPES.get(node.ltype)
+        if expected is None:
+            checker.report("SIA102", f"literal with unknown type {node.ltype!r}")
+        elif isinstance(node.value, bool) or not isinstance(node.value, expected):
+            checker.report(
+                "SIA102",
+                f"literal {node.value!r} ({type(node.value).__name__}) does "
+                f"not inhabit {node.ltype}",
+            )
+        return
+    if isinstance(node, Arith):
+        try:
+            node.etype  # re-run the typing judgment
+        except TypeCheckError as exc:
+            checker.report("SIA102", f"arithmetic node {node!r}: {exc}")
+        path.add(id(node))
+        _walk_expr(node.left, checker, path)
+        _walk_expr(node.right, checker, path)
+        path.discard(id(node))
+        return
+    checker.report(
+        "SIA102", f"foreign object {type(node).__name__} in expression tree"
+    )

@@ -1,0 +1,286 @@
+"""AST-based soundness linter for project-specific invariants.
+
+Off-the-shelf linters cannot express the invariants this codebase
+actually depends on, so this module walks the ``ast`` of every source
+file and enforces them directly:
+
+* **Exact-arithmetic purity** (SIA001/SIA002/SIA003).  Everything under
+  ``repro/smt/`` and ``repro/predicates/`` is the *exact zone*: the
+  DPLL(T) core and the predicate IR must stay in int/Fraction
+  arithmetic end-to-end, because a single float leaking into the
+  simplex or Fourier-Motzkin path silently breaks verification
+  (docs/INTERNALS.md).  ``repro/learn/`` is the *boundary zone*: numpy
+  floats are its native currency, but every ``float()`` crossing must
+  be explicitly sanctioned with ``# sia: allow-float`` so the set of
+  crossings stays auditable.
+
+* **Dynamic evaluation and exception hygiene** (SIA004/SIA005),
+  enforced project-wide.
+
+* **Frozen-node discipline** (SIA006/SIA007).  IR nodes are interned
+  and shared; mutating one after construction corrupts every formula
+  that references it.
+
+The linter is purely syntactic -- it never imports the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .findings import Finding
+from .pragmas import extract_pragmas, is_suppressed
+
+# Zone classification by path segment (works for the real tree and for
+# test fixture trees alike).
+EXACT_ZONE = "exact"
+BOUNDARY_ZONE = "boundary"
+GENERAL_ZONE = "general"
+
+_EXACT_PARTS = frozenset({"smt", "predicates"})
+_BOUNDARY_PARTS = frozenset({"learn"})
+
+# Class names whose subclasses are hot-path IR nodes (SIA007).
+_NODE_BASES = frozenset({"Formula", "Pred", "Expr", "_NAry", "_PNAry"})
+
+# Methods in which object.__setattr__ is part of constructing a frozen
+# node rather than mutating one (SIA006).
+_SANCTIONED_MUTATORS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__setattr__", "__delattr__"}
+)
+
+
+def zone_of(path: Path) -> str:
+    """Lint zone of a source file, derived from its path segments."""
+    parts = frozenset(path.parts)
+    if parts & _EXACT_PARTS:
+        return EXACT_ZONE
+    if parts & _BOUNDARY_PARTS:
+        return BOUNDARY_ZONE
+    return GENERAL_ZONE
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, zone: str) -> None:
+        self.path = path
+        self.zone = zone
+        self.findings: list[Finding] = []
+        self._class_stack: list[str] = []
+        self._func_stack: list[str] = []
+        # Float constants already reported through a SIA003 comparison,
+        # so SIA001 does not double-report the same token.
+        self._consumed_constants: set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+                pass_name="lint",
+            )
+        )
+
+    @staticmethod
+    def _is_float_operand(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return _Linter._is_float_operand(node.operand)
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        )
+
+    def _mark_consumed(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Constant):
+            self._consumed_constants.add(id(node))
+        elif isinstance(node, ast.UnaryOp):
+            self._mark_consumed(node.operand)
+
+    # -- visitors ------------------------------------------------------
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            self.zone == EXACT_ZONE
+            and type(node.value) is float
+            and id(node) not in self._consumed_constants
+        ):
+            self._report(
+                node,
+                "SIA001",
+                f"float literal {node.value!r} in exact-arithmetic zone",
+            )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.zone == EXACT_ZONE and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(self._is_float_operand(operand) for operand in operands):
+                for operand in operands:
+                    self._mark_consumed(operand)
+                self._report(
+                    node, "SIA003", "==/!= comparison on a float operand"
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "float" and self.zone in (EXACT_ZONE, BOUNDARY_ZONE):
+                self._report(
+                    node,
+                    "SIA002",
+                    "float() cast crosses out of exact arithmetic",
+                )
+            elif func.id in ("eval", "exec"):
+                self._report(node, "SIA004", f"call to {func.id}()")
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            enclosing = self._func_stack[-1] if self._func_stack else None
+            if not (self._class_stack and enclosing in _SANCTIONED_MUTATORS):
+                self._report(
+                    node,
+                    "SIA006",
+                    "object.__setattr__ outside a constructor mutates a "
+                    "frozen node",
+                )
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(node, "SIA005", "bare except clause")
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.zone == EXACT_ZONE and self._is_node_subclass(node):
+            if not (self._is_frozen_dataclass(node) or self._has_slots(node)):
+                self._report(
+                    node,
+                    "SIA007",
+                    f"IR node class {node.name!r} lacks __slots__ and is "
+                    "not a frozen dataclass",
+                )
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    # -- class-shape helpers -------------------------------------------
+    @staticmethod
+    def _is_node_subclass(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if name in _NODE_BASES:
+                return True
+        return False
+
+    @staticmethod
+    def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "dataclass":
+                continue
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _has_slots(node: ast.ClassDef) -> bool:
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        return False
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    *,
+    honor_pragmas: bool = True,
+) -> list[Finding]:
+    """Lint one source string as if it lived at ``path``."""
+    tree = ast.parse(source, filename=str(path))
+    linter = _Linter(str(path), zone_of(path))
+    linter.visit(tree)
+    if not honor_pragmas:
+        return sorted(linter.findings)
+    pragmas = extract_pragmas(source)
+    return sorted(
+        finding
+        for finding in linter.findings
+        if not is_suppressed(pragmas, finding.line, finding.rule)
+    )
+
+
+def lint_file(path: Path, *, honor_pragmas: bool = True) -> list[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path, honor_pragmas=honor_pragmas)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """All .py files under the given files/directories, de-duplicated."""
+    out: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if "__pycache__" not in child.parts:
+                    out.setdefault(child)
+        elif path.suffix == ".py":
+            out.setdefault(path)
+    return list(out)
+
+
+def lint_paths(
+    paths: list[Path], *, honor_pragmas: bool = True
+) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns the findings plus the number of files examined.
+    """
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        findings.extend(lint_file(file_path, honor_pragmas=honor_pragmas))
+    return sorted(findings), len(files)

@@ -1,0 +1,125 @@
+"""Orchestration of the analysis passes and report rendering.
+
+``run_analysis`` composes the three passes:
+
+1. the AST lint pass over the given paths (:mod:`repro.analysis.lint`),
+2. the structural invariant pass over every registered rewrite rule's
+   predicate trees and their 3VL encodings
+   (:mod:`repro.analysis.invariants`),
+3. the null-soundness pass discharging each rule's obligation through
+   the SMT solver (:mod:`repro.analysis.soundness`).
+
+Findings are data (:class:`repro.analysis.findings.Finding`); this
+module only aggregates and renders them, as human-readable text or as
+JSON for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+from .lint import lint_paths
+from .soundness import check_registry
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+JSON_SCHEMA_VERSION = 1
+
+
+class AnalysisError(Exception):
+    """Internal analyzer failure (bad paths, unparsable input, ...)."""
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated outcome of one ``repro analyze`` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_linted: int = 0
+    rules_checked: int = 0
+    obligations_discharged: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if self.clean else EXIT_FINDINGS
+
+    def to_json(self) -> dict[str, object]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "clean": self.clean,
+            "summary": {
+                "files_linted": self.files_linted,
+                "rules_checked": self.rules_checked,
+                "obligations_discharged": self.obligations_discharged,
+                "findings": len(self.findings),
+                "by_rule": counts,
+            },
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def run_analysis(
+    paths: list[str] | None = None,
+    *,
+    lint: bool = True,
+    domain: bool = True,
+) -> AnalysisReport:
+    """Run the configured passes and return the aggregated report.
+
+    ``paths`` feeds the lint pass (default: ``src``).  The domain
+    passes (invariants + soundness over the rewrite-rule registry) are
+    path-independent; disable them with ``domain=False`` when linting
+    fixture trees.
+    """
+    report = AnalysisReport()
+    if lint:
+        resolved: list[Path] = []
+        for raw in paths or ["src"]:
+            path = Path(raw)
+            if not path.exists():
+                raise AnalysisError(f"no such file or directory: {raw}")
+            resolved.append(path)
+        findings, files = lint_paths(resolved)
+        report.findings.extend(findings)
+        report.files_linted = files
+    if domain:
+        soundness = check_registry()
+        report.findings.extend(soundness.findings)
+        report.rules_checked = soundness.rules_checked
+        report.obligations_discharged = soundness.obligations_discharged
+    report.findings.sort()
+    return report
+
+
+def render_text(report: AnalysisReport, *, fix_hints: bool = False) -> str:
+    """Human-readable rendering (one line per finding + a summary)."""
+    lines = [
+        finding.render(fix_hints=fix_hints) for finding in report.findings
+    ]
+    summary = (
+        f"analyzed {report.files_linted} file(s), "
+        f"verified {report.rules_checked} rewrite rule(s) "
+        f"({report.obligations_discharged} solver obligation(s)): "
+    )
+    summary += (
+        "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Stable JSON rendering for CI annotation tooling."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

@@ -15,6 +15,7 @@ could be synthesized); ``--explain`` additionally shows both plans.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 
@@ -80,6 +81,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="run the paper's motivating example")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the invariant checker + soundness linter "
+        "(exit 0 clean / 1 findings / 2 internal error)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as JSON for CI annotations",
+    )
+    analyze.add_argument(
+        "--fix-hints",
+        action="store_true",
+        help="append a remediation hint to each finding",
+    )
+    analyze.add_argument(
+        "--skip-domain",
+        action="store_true",
+        help="lint only; skip the rewrite-rule soundness pass",
+    )
     return parser
 
 
@@ -108,6 +137,37 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         print("\n-- rewritten plan:")
         print(build_plan(result.rewritten).describe())
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        AnalysisError,
+        EXIT_INTERNAL_ERROR,
+        render_json,
+        render_text,
+        run_analysis,
+    )
+
+    try:
+        report = run_analysis(args.paths, domain=not args.skip_domain)
+    except AnalysisError as exc:
+        print(f"analyze: error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        print(f"analyze: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+    try:
+        if args.as_json:
+            print(render_json(report))
+        else:
+            print(render_text(report, fix_hints=args.fix_hints))
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; the findings it
+        # did read are valid, so keep the exit-code contract.  Point
+        # stdout at devnull so the interpreter's exit-time flush does
+        # not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return report.exit_code
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -154,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_rewrite(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         # demo
         from .engine import execute
         from .tpch import generate_catalog

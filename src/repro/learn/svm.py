@@ -113,5 +113,8 @@ def train_linear_svm(
             break
 
     weights = w[:dim] / scale
+    # sia: allow-float -- documented learn-boundary crossing: the SVM is
+    # float-native; rationalize_weights() restores exactness before the
+    # hyperplane re-enters the SMT pipeline.
     bias = float(w[dim] * bias_scale)
     return SvmModel(weights, bias)

@@ -289,12 +289,16 @@ class _PNAry(Pred):
 class PAnd(_PNAry):
     """Conjunction of predicates."""
 
+    __slots__ = ()
+
     def __repr__(self) -> str:
         return "(" + " AND ".join(map(repr, self.args)) + ")"
 
 
 class POr(_PNAry):
     """Disjunction of predicates."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:
         return "(" + " OR ".join(map(repr, self.args)) + ")"

@@ -4,12 +4,37 @@ Includes the section 6.2 "syntax-based prospective" test: a query
 qualifies when some predicate spans multiple tables and at least one of
 those tables has no single-table predicate of its own -- that table
 must then be fully scanned unless a predicate is synthesized for it.
+
+Also hosts :data:`REWRITE_RULES`, the registry of predicate identities
+the rewriting stack is allowed to rely on.  Each entry carries a
+machine-checkable proof obligation under SQL three-valued logic which
+``python -m repro analyze`` discharges through the repo's own SMT
+solver (:mod:`repro.analysis.soundness`); a rule that is only sound
+under two-valued logic must be registered with ``equivalence=False``
+or it will fail CI.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from fractions import Fraction
+
 from ..engine.optimizer import split_where
-from ..predicates import Column, Pred, TRUE_PRED, pand
+from ..predicates import (
+    Col,
+    Column,
+    Comparison,
+    DATE,
+    DOUBLE,
+    Expr,
+    INTEGER,
+    Lit,
+    PNot,
+    Pred,
+    TRUE_PRED,
+    pand,
+    por,
+)
 from ..sql.binder import BoundQuery
 
 
@@ -48,3 +73,143 @@ def pushdown_blocked_tables(query: BoundQuery) -> list[str]:
 def is_syntax_based_prospective(query: BoundQuery) -> bool:
     """Whether the query qualifies for the section 6.2 case study."""
     return bool(pushdown_blocked_tables(query)) and query.where is not TRUE_PRED
+
+
+# ----------------------------------------------------------------------
+# The rewrite-rule registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RewriteRule:
+    """A predicate identity with a null-aware proof obligation.
+
+    ``equivalence=True`` obliges ``T(lhs) <=> T(rhs)`` under the
+    three-valued-logic lift of section 5.2; ``equivalence=False``
+    obliges only ``T(lhs) => T(rhs)`` (a *weakening*, the direction
+    Lemma 4 needs for synthesized predicates).  ``note`` documents why
+    the rule holds -- or, for implication-only rules, why the reverse
+    direction fails in SQL semantics.
+    """
+
+    name: str
+    lhs: Pred
+    rhs: Pred
+    equivalence: bool = True
+    note: str = ""
+
+
+# Schematic columns for rule templates.  Linear-arithmetic identities
+# are uniform in the column, so one concrete instance per shape is a
+# faithful regression check of the identity the code applies.
+_X = Col(Column("t", "x", INTEGER))
+_Y = Col(Column("t", "y", INTEGER))
+_D = Col(Column("t", "d", DOUBLE))
+_SHIP = Col(Column("lineitem", "l_shipdate", DATE))
+
+
+def _cmp(left: Expr, op: str, right: Expr) -> Pred:
+    return Comparison(left, op, right)
+
+
+REWRITE_RULES: tuple[RewriteRule, ...] = (
+    # -- identities behind predicates.simplify.simplify_conjunction ----
+    RewriteRule(
+        name="and-tighten-upper",
+        lhs=_cmp(_X, "<=", Lit.integer(3)) & _cmp(_X, "<=", Lit.integer(5)),
+        rhs=_cmp(_X, "<=", Lit.integer(3)),
+        note="same-column upper bounds merge to the tightest one",
+    ),
+    RewriteRule(
+        name="and-tighten-strictness",
+        lhs=_cmp(_X, "<", Lit.integer(5)) & _cmp(_X, "<=", Lit.integer(5)),
+        rhs=_cmp(_X, "<", Lit.integer(5)),
+        note="on an equal bound the strict comparison wins",
+    ),
+    RewriteRule(
+        name="and-idempotent",
+        lhs=_cmp(_X, "<", Lit.integer(5)) & _cmp(_X, "<", Lit.integer(5)),
+        rhs=_cmp(_X, "<", Lit.integer(5)),
+        note="duplicate conjuncts are dropped",
+    ),
+    RewriteRule(
+        name="and-tighten-lower-double",
+        lhs=_cmp(_D, ">=", Lit.double(Fraction(1, 2)))
+        & _cmp(_D, ">", Lit.double(Fraction(1, 4))),
+        rhs=_cmp(_D, ">=", Lit.double(Fraction(1, 2))),
+        note="lower-bound merge over a real-sorted column",
+    ),
+    RewriteRule(
+        name="and-tighten-upper-date",
+        lhs=_cmp(_SHIP, "<", Lit.date("1995-01-01"))
+        & _cmp(_SHIP, "<", Lit.date("1996-01-01")),
+        rhs=_cmp(_SHIP, "<", Lit.date("1995-01-01")),
+        note="bound merge survives the DATE -> day-offset encoding",
+    ),
+    # -- boolean-algebra identities, valid in Kleene logic -------------
+    RewriteRule(
+        name="not-not",
+        lhs=PNot(PNot(_cmp(_X, "<", Lit.integer(5)))),
+        rhs=_cmp(_X, "<", Lit.integer(5)),
+        note="double negation is the identity in 3VL",
+    ),
+    RewriteRule(
+        name="de-morgan-and",
+        lhs=PNot(_cmp(_X, "<", Lit.integer(5)) & _cmp(_Y, "<", Lit.integer(5))),
+        rhs=por(
+            [
+                PNot(_cmp(_X, "<", Lit.integer(5))),
+                PNot(_cmp(_Y, "<", Lit.integer(5))),
+            ]
+        ),
+        note="De Morgan holds in Kleene logic",
+    ),
+    RewriteRule(
+        name="not-comparison-flip",
+        lhs=PNot(_cmp(_X, "<", Lit.integer(5))),
+        rhs=_cmp(_X, ">=", Lit.integer(5)),
+        note="NOT(x < c) = x >= c: both sides are NULL exactly when x is",
+    ),
+    RewriteRule(
+        name="or-absorption",
+        lhs=por(
+            [
+                _cmp(_X, "<", Lit.integer(3)),
+                _cmp(_X, "<", Lit.integer(3)) & _cmp(_Y, "<", Lit.integer(5)),
+            ]
+        ),
+        rhs=_cmp(_X, "<", Lit.integer(3)),
+        note="absorption holds in Kleene logic",
+    ),
+    # -- weakenings: lhs => rhs only (Lemma 4 direction) ---------------
+    RewriteRule(
+        name="and-weaken",
+        lhs=_cmp(_X, "<", Lit.integer(5)) & _cmp(_Y, "<", Lit.integer(5)),
+        rhs=_cmp(_X, "<", Lit.integer(5)),
+        equivalence=False,
+        note="dropping conjuncts is always a valid weakening",
+    ),
+    RewriteRule(
+        name="or-widen",
+        lhs=_cmp(_X, "<", Lit.integer(5)),
+        rhs=por([_cmp(_X, "<", Lit.integer(5)), _cmp(_Y, "<", Lit.integer(5))]),
+        equivalence=False,
+        note="adding disjuncts is always a valid widening",
+    ),
+    RewriteRule(
+        name="reflexive-equality-weaken",
+        lhs=_cmp(_X, "=", _X),
+        rhs=TRUE_PRED,
+        equivalence=False,
+        note="the classic 3VL trap: x = x is TRUE only for non-NULL x "
+        "(NULL = NULL is NULL), so this is a weakening, not an "
+        "equivalence -- registering it with equivalence=True fails "
+        "the analyzer's reverse obligation",
+    ),
+    RewriteRule(
+        name="excluded-middle-weaken",
+        lhs=por([_cmp(_X, "<", Lit.integer(5)), _cmp(_X, ">=", Lit.integer(5))]),
+        rhs=TRUE_PRED,
+        equivalence=False,
+        note="x < c OR x >= c is NULL (not TRUE) when x is NULL",
+    ),
+)
+

@@ -160,12 +160,16 @@ class _NAry(Formula):
 class And(_NAry):
     """Conjunction node (build via :func:`conj`)."""
 
+    __slots__ = ()
+
     def __repr__(self) -> str:
         return "(" + " & ".join(map(repr, self.args)) + ")"
 
 
 class Or(_NAry):
     """Disjunction node (build via :func:`disj`)."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:
         return "(" + " | ".join(map(repr, self.args)) + ")"

@@ -43,10 +43,13 @@ class SatSolver:
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
         self.qhead = 0
-        self.activity: list[float] = [0.0]
+        # VSIDS activity scores are a branching *heuristic*: they pick
+        # decision order and never touch theory arithmetic, so floats
+        # are sound here (any drift only changes the search path).
+        self.activity: list[float] = [0.0]  # sia: allow-float
         self.phase: list[bool] = [False]
-        self.var_inc = 1.0
-        self.var_decay = 0.95
+        self.var_inc = 1.0  # sia: allow-float
+        self.var_decay = 0.95  # sia: allow-float
         self.ok = True
         self.conflicts = 0
 
@@ -58,7 +61,7 @@ class SatSolver:
         self.assign.append(UNASSIGNED)
         self.level.append(0)
         self.reason.append(None)
-        self.activity.append(0.0)
+        self.activity.append(0.0)  # sia: allow-float -- VSIDS heuristic
         self.phase.append(False)
         return self.num_vars
 
@@ -196,11 +199,13 @@ class SatSolver:
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
     def _bump(self, var: int) -> None:
+        # sia: allow-float -- VSIDS activity rescale (branching
+        # heuristic only; see __init__)
         self.activity[var] += self.var_inc
-        if self.activity[var] > 1e100:
+        if self.activity[var] > 1e100:  # sia: allow-float
             for v in range(1, self.num_vars + 1):
-                self.activity[v] *= 1e-100
-            self.var_inc *= 1e-100
+                self.activity[v] *= 1e-100  # sia: allow-float
+            self.var_inc *= 1e-100  # sia: allow-float
 
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """Returns (learnt clause, backjump level)."""
@@ -255,7 +260,7 @@ class SatSolver:
     # ------------------------------------------------------------------
     def _pick_branch(self) -> int:
         best_var = 0
-        best_act = -1.0
+        best_act = -1.0  # sia: allow-float -- VSIDS heuristic
         for var in range(1, self.num_vars + 1):
             if self.assign[var] == UNASSIGNED and self.activity[var] > best_act:
                 best_act = self.activity[var]

@@ -67,7 +67,9 @@ def _dr(real: Fraction | int, k: Fraction | int = 0) -> DeltaRational:
 
 
 @functools.lru_cache(maxsize=262_144)
-def _describe_atom(atom: Atom):
+def _describe_atom(
+    atom: Atom,
+) -> tuple[str, bool] | tuple[str, Fraction, Fraction, bool]:
     """Per-atom assertion preprocessing, memoised across Simplex
     instances (the DPLL(T) loop rebuilds the tableau every round, but
     the exact-rational normalisation of each atom never changes).

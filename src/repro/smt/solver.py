@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable
+from typing import Any, Iterable
 
 from .cnf import CnfBuilder
 from .formula import LT, NE, Atom, BVar, Formula
@@ -274,7 +274,14 @@ class Solver:
                 self._insert_bound(chains, side, bound, strict, sat_var)
         self._sync_clauses()
 
-    def _insert_bound(self, chains, side: str, bound, strict: bool, sat_var: int) -> None:
+    def _insert_bound(
+        self,
+        chains: dict[str, list[Any]],
+        side: str,
+        bound: Fraction,
+        strict: bool,
+        sat_var: int,
+    ) -> None:
         import bisect
 
         # Strength keys: uppers ascend (smaller bound stronger), lowers
@@ -303,12 +310,20 @@ class Solver:
             self._link_eq_to_bound(value, eq_var, side, bound, strict, sat_var)
 
     @staticmethod
-    def _incompatible(side: str, bound, strict: bool, other_bound, other_strict) -> bool:
+    def _incompatible(
+        side: str,
+        bound: Fraction,
+        strict: bool,
+        other_bound: Fraction,
+        other_strict: bool,
+    ) -> bool:
         upper_b, upper_s = (bound, strict) if side == "upper" else (other_bound, other_strict)
         lower_b, lower_s = (other_bound, other_strict) if side == "upper" else (bound, strict)
         return upper_b < lower_b or (upper_b == lower_b and (upper_s or lower_s))
 
-    def _insert_eq(self, chains, value, sat_var: int) -> None:
+    def _insert_eq(
+        self, chains: dict[str, list[Any]], value: Fraction, sat_var: int
+    ) -> None:
         for other_value, other_var in chains["eq"]:
             if other_value != value:
                 self._lemma([-sat_var, -other_var])
@@ -319,7 +334,13 @@ class Solver:
             self._link_eq_to_bound(value, sat_var, "lower", entry[2], entry[3], entry[4])
 
     def _link_eq_to_bound(
-        self, value, eq_var: int, side: str, bound, strict: bool, bound_var: int
+        self,
+        value: Fraction,
+        eq_var: int,
+        side: str,
+        bound: Fraction,
+        strict: bool,
+        bound_var: int,
     ) -> None:
         """x = value either satisfies the bound (implication) or not
         (conflict)."""

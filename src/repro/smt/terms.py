@@ -212,6 +212,8 @@ class LinExpr:
         cached = self._hash
         if cached is None:
             cached = hash((frozenset(self.coeffs.items()), self.const))
+            # sia: allow-mutation -- idempotent hash-cache write, not
+            # observable through the value semantics
             object.__setattr__(self, "_hash", cached)
         return cached
 

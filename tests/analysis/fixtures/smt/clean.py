@@ -1,0 +1,18 @@
+"""Fixture: a clean exact-zone module -- zero findings expected."""
+
+from fractions import Fraction
+
+
+class Formula:
+    __slots__ = ()
+
+
+class Leaf(Formula):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        object.__setattr__(self, "value", Fraction(value))
+
+
+def halve(value):
+    return Fraction(value) / 2

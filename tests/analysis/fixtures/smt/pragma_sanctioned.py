@@ -1,0 +1,12 @@
+"""Fixture: pragmas suppress each band of rules -- zero findings."""
+
+SCORE = 0.5  # sia: allow-float -- heuristic score, not theory arithmetic
+
+# sia: allow-float -- documented crossing with a multi-line
+# justification carried in the comment block above the statement.
+BOUND = float("1e9")
+
+
+def touch(node, value):
+    # sia: allow(SIA006) -- fixture exercising the generic pragma form
+    object.__setattr__(node, "cached", value)

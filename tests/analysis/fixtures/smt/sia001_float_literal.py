@@ -1,0 +1,3 @@
+"""Fixture: SIA001 -- float literal inside the exact-arithmetic zone."""
+
+THRESHOLD = 0.5  # planted violation (line 3)

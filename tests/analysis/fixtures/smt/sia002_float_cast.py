@@ -1,0 +1,5 @@
+"""Fixture: SIA002 -- float() cast inside the exact-arithmetic zone."""
+
+
+def leak(value):
+    return float(value)  # planted violation (line 5)

@@ -1,0 +1,5 @@
+"""Fixture: SIA003 -- ==/!= on a float operand in the exact zone."""
+
+
+def compare(value):
+    return value == 1.5  # planted violation (line 5)

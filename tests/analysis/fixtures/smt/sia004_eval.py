@@ -1,0 +1,5 @@
+"""Fixture: SIA004 -- dynamic evaluation."""
+
+
+def run(snippet):
+    return eval(snippet)  # planted violation (line 5)

@@ -1,0 +1,8 @@
+"""Fixture: SIA005 -- bare except clause."""
+
+
+def swallow(action):
+    try:
+        action()
+    except:  # planted violation (line 7)
+        return None

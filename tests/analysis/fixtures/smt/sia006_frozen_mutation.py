@@ -1,0 +1,5 @@
+"""Fixture: SIA006 -- mutating a frozen node outside construction."""
+
+
+def retarget(atom, expr):
+    object.__setattr__(atom, "expr", expr)  # planted violation (line 5)

@@ -1,0 +1,10 @@
+"""Fixture: SIA007 -- IR node subclass without __slots__ or frozen."""
+
+
+class Formula:
+    __slots__ = ()
+
+
+class Leaky(Formula):  # planted violation (line 8)
+    def __init__(self, arg):
+        self.arg = arg

@@ -1,0 +1,65 @@
+"""CLI contract of ``repro analyze``: exit codes and --json output."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures" / "smt"
+
+
+def test_analyze_src_is_clean(capsys):
+    # The headline acceptance criterion: the shipped tree has zero
+    # findings and every rewrite rule re-verifies through the solver.
+    code = main(["analyze", str(ROOT / "src")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+    assert "rewrite rule" in out
+
+
+def test_analyze_fixtures_exit_code_one(capsys):
+    code = main(["analyze", "--skip-domain", str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SIA001" in out
+
+
+def test_analyze_json_output(capsys):
+    code = main(["analyze", "--skip-domain", "--json", str(FIXTURES)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == 1
+    assert payload["clean"] is False
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    by_rule = payload["summary"]["by_rule"]
+    for rule in ("SIA001", "SIA002", "SIA003", "SIA004", "SIA005", "SIA006", "SIA007"):
+        assert by_rule.get(rule, 0) >= 1, rule
+    sample = payload["findings"][0]
+    assert set(sample) == {
+        "rule", "title", "file", "line", "col", "message", "hint", "pass",
+    }
+
+
+def test_analyze_fix_hints(capsys):
+    code = main(["analyze", "--skip-domain", "--fix-hints", str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "hint:" in out
+
+
+def test_analyze_bad_path_is_internal_error(capsys):
+    code = main(["analyze", str(ROOT / "no" / "such" / "dir")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error" in err
+
+
+def test_analyze_unparsable_file_is_internal_error(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def (:\n")
+    code = main(["analyze", "--skip-domain", str(bad)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "internal error" in err

@@ -1,0 +1,92 @@
+"""Linter tests: every planted fixture violation is caught with the
+right rule ID, file and line; sanctioned code yields zero findings."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file, lint_paths, zone_of
+from repro.analysis.lint import BOUNDARY_ZONE, EXACT_ZONE, GENERAL_ZONE
+
+FIXTURES = Path(__file__).parent / "fixtures" / "smt"
+
+PLANTED = [
+    ("sia001_float_literal.py", "SIA001", 3),
+    ("sia002_float_cast.py", "SIA002", 5),
+    ("sia003_float_equality.py", "SIA003", 5),
+    ("sia004_eval.py", "SIA004", 5),
+    ("sia005_bare_except.py", "SIA005", 7),
+    ("sia006_frozen_mutation.py", "SIA006", 5),
+    ("sia007_missing_slots.py", "SIA007", 8),
+]
+
+
+@pytest.mark.parametrize("filename,rule,line", PLANTED)
+def test_planted_violation_is_caught(filename, rule, line):
+    findings = lint_file(FIXTURES / filename)
+    assert findings, f"{filename}: expected a finding"
+    matching = [f for f in findings if f.rule == rule]
+    assert matching, f"{filename}: no {rule} among {findings}"
+    finding = matching[0]
+    assert finding.line == line
+    assert finding.file.endswith(filename)
+
+
+@pytest.mark.parametrize("filename,rule,line", PLANTED)
+def test_planted_violation_is_the_only_finding(filename, rule, line):
+    findings = lint_file(FIXTURES / filename)
+    assert {f.rule for f in findings} == {rule}
+
+
+def test_clean_fixture_has_zero_findings():
+    assert lint_file(FIXTURES / "clean.py") == []
+
+
+def test_pragmas_suppress_sanctioned_lines():
+    assert lint_file(FIXTURES / "pragma_sanctioned.py") == []
+
+
+def test_pragmas_can_be_ignored_for_auditing():
+    findings = lint_file(FIXTURES / "pragma_sanctioned.py", honor_pragmas=False)
+    assert {f.rule for f in findings} == {"SIA001", "SIA002", "SIA006"}
+
+
+def test_lint_paths_walks_directories():
+    findings, files = lint_paths([FIXTURES])
+    assert files == len(list(FIXTURES.glob("*.py")))
+    rules = {f.rule for f in findings}
+    assert {rule for _, rule, _ in PLANTED} <= rules
+
+
+def test_zone_classification():
+    assert zone_of(Path("src/repro/smt/solver.py")) == EXACT_ZONE
+    assert zone_of(Path("src/repro/predicates/expr.py")) == EXACT_ZONE
+    assert zone_of(Path("src/repro/learn/svm.py")) == BOUNDARY_ZONE
+    assert zone_of(Path("src/repro/engine/executor.py")) == GENERAL_ZONE
+
+
+def test_float_literals_fine_outside_exact_zone(tmp_path):
+    path = tmp_path / "engine" / "stats.py"
+    path.parent.mkdir()
+    path.write_text("RATE = 0.5\n")
+    assert lint_file(path) == []
+
+
+def test_float_cast_flagged_in_boundary_zone(tmp_path):
+    path = tmp_path / "learn" / "model.py"
+    path.parent.mkdir()
+    path.write_text("def f(x):\n    return float(x)\n")
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["SIA002"]
+
+
+def test_sanctioned_constructor_mutation_not_flagged(tmp_path):
+    path = tmp_path / "smt" / "node.py"
+    path.parent.mkdir()
+    path.write_text(
+        "class Node:\n"
+        "    __slots__ = ('x',)\n"
+        "    def __init__(self, x):\n"
+        "        object.__setattr__(self, 'x', x)\n"
+    )
+    assert lint_file(path) == []

@@ -1,0 +1,84 @@
+"""Null-soundness pass: every registered rewrite rule verifies through
+the repo's own solver, and planted unsound rules are rejected."""
+
+from repro.analysis import check_registry, check_rule
+from repro.predicates import Col, Column, Comparison, Lit, TRUE_PRED, por
+from repro.predicates.expr import INTEGER
+from repro.rewrite.rules import REWRITE_RULES, RewriteRule
+
+X = Col(Column("t", "x", INTEGER))
+Y = Col(Column("t", "y", INTEGER))
+
+
+def _rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def test_every_registered_rule_is_null_sound():
+    report = check_registry()
+    assert report.rules_checked == len(REWRITE_RULES)
+    assert report.findings == []
+
+
+def test_registry_counts_obligations():
+    report = check_registry()
+    expected = sum(2 if rule.equivalence else 1 for rule in REWRITE_RULES)
+    assert report.obligations_discharged == expected
+
+
+def test_unsound_forward_direction_is_caught():
+    # TRUE does not imply x < 5: a tuple with x = 7 is a witness.
+    bogus = RewriteRule(
+        name="bogus-strengthen",
+        lhs=TRUE_PRED,
+        rhs=Comparison(X, "<", Lit.integer(5)),
+        equivalence=False,
+    )
+    assert "SIA201" in _rules_of(check_rule(bogus))
+
+
+def test_3vl_trap_equivalence_is_caught():
+    # x = x <=> TRUE holds in two-valued logic but NOT in SQL: when x
+    # is NULL the lhs evaluates to NULL and filters the tuple out.
+    trap = RewriteRule(
+        name="reflexive-as-equivalence",
+        lhs=Comparison(X, "=", X),
+        rhs=TRUE_PRED,
+        equivalence=True,
+    )
+    findings = check_rule(trap)
+    assert "SIA202" in _rules_of(findings)
+    # The forward (weakening) direction is still fine.
+    assert "SIA201" not in _rules_of(findings)
+
+
+def test_excluded_middle_equivalence_is_caught():
+    trap = RewriteRule(
+        name="excluded-middle-as-equivalence",
+        lhs=por(
+            [Comparison(X, "<", Lit.integer(5)), Comparison(X, ">=", Lit.integer(5))]
+        ),
+        rhs=TRUE_PRED,
+        equivalence=True,
+    )
+    assert _rules_of(check_rule(trap)) == {"SIA202"}
+
+
+def test_cross_column_unsoundness_is_caught():
+    # x < 5 says nothing about y.
+    bogus = RewriteRule(
+        name="bogus-cross-column",
+        lhs=Comparison(X, "<", Lit.integer(5)),
+        rhs=Comparison(Y, "<", Lit.integer(5)),
+        equivalence=False,
+    )
+    assert "SIA201" in _rules_of(check_rule(bogus))
+
+
+def test_sound_rule_has_no_findings():
+    ok = RewriteRule(
+        name="local-tighten",
+        lhs=Comparison(X, "<", Lit.integer(3)) & Comparison(X, "<", Lit.integer(9)),
+        rhs=Comparison(X, "<", Lit.integer(3)),
+    )
+    assert check_rule(ok) == []
