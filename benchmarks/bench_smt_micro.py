@@ -91,3 +91,65 @@ def test_disjunctive_formula_check(benchmark):
     ]
     formula = conj([disj(branches), compare(ex, ">", c(57))])
     benchmark(lambda: is_satisfiable(formula))
+
+
+# ----------------------------------------------------------------------
+# Proof logging / core minimization
+# ----------------------------------------------------------------------
+def unsat_disjunctive_formula():
+    """UNSAT formula with redundant side constraints: without core
+    minimization, theory conflicts can drag the wide bounds into the
+    blocking clauses."""
+    branches = [
+        conj([compare(ex, ">=", c(i * 10 + 6)), compare(ex, "<", c(i * 10 + 9))])
+        for i in range(8)
+    ]
+    return conj(
+        [
+            disj(branches),
+            compare(ex, ">=", c(-10_000)),
+            compare(ex, "<=", c(10_000)),
+            disj([compare(ex * 10, "=", c(5)), compare(ex * 10, "=", c(15))]),
+        ]
+    )
+
+
+def blocking_clause_sizes(minimize: bool) -> list[int]:
+    solver = Solver(proof=True, minimize_cores=minimize)
+    solver.add(unsat_disjunctive_formula())
+    solver.check()
+    assert solver.proof_log is not None
+    return [len(s.lits) for s in solver.proof_log.theory_steps()]
+
+
+def test_unsat_with_proof_logging(benchmark):
+    """Overhead of proof logging on an UNSAT disjunctive formula."""
+    formula = unsat_disjunctive_formula()
+
+    def solve():
+        solver = Solver(proof=True)
+        solver.add(formula)
+        return solver.check()
+
+    benchmark(solve)
+
+
+def test_unsat_with_core_minimization(benchmark):
+    """Cost of deletion-based core minimization; reports the blocking-
+    clause size delta against the unminimized run."""
+    formula = unsat_disjunctive_formula()
+
+    def solve():
+        solver = Solver(proof=True, minimize_cores=True)
+        solver.add(formula)
+        return solver.check()
+
+    benchmark(solve)
+
+    plain = blocking_clause_sizes(minimize=False)
+    minimized = blocking_clause_sizes(minimize=True)
+    if plain and minimized:
+        benchmark.extra_info["blocking_clause_lits_plain"] = sum(plain)
+        benchmark.extra_info["blocking_clause_lits_minimized"] = sum(minimized)
+        benchmark.extra_info["clause_size_delta"] = sum(plain) - sum(minimized)
+        assert sum(minimized) <= sum(plain)

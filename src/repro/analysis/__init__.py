@@ -8,11 +8,15 @@ analysis"):
 * frozen-node discipline of the IR,
 * structural well-formedness of live formula/predicate trees,
 * null-soundness of every registered rewrite rule, discharged through
-  the repo's own solver.
+  the repo's own solver,
+* certified UNSAT: independent replay of solver proof logs
+  (``--certify``), so no UNSAT verdict has to be taken on trust.
 
-CLI: ``python -m repro analyze [--json] [--fix-hints] [paths...]``.
+CLI: ``python -m repro analyze [--json] [--fix-hints] [--certify]
+[paths...]``.
 """
 
+from .certify import audit_proof
 from .findings import Finding, RULE_CATALOG, RuleInfo
 from .invariants import check_formula, check_pred
 from .lint import lint_file, lint_paths, lint_source, zone_of
@@ -23,6 +27,7 @@ from .runner import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_INTERNAL_ERROR,
+    certify_registry,
     render_json,
     render_text,
     run_analysis,
@@ -39,6 +44,8 @@ __all__ = [
     "RULE_CATALOG",
     "RuleInfo",
     "SoundnessReport",
+    "audit_proof",
+    "certify_registry",
     "check_formula",
     "check_pred",
     "check_registry",

@@ -1,0 +1,487 @@
+"""Independent auditor for solver proof logs (SIA301-SIA303).
+
+The DPLL(T) solver can be asked (``Solver(proof=True)``) to log every
+clause it adds -- Tseitin axioms, CDCL-learned clauses, theory lemmas
+with their certificates -- plus the final empty clause.  This module
+re-checks that log without trusting the solver:
+
+* **RUP replay** (learned and empty steps): asserting the negation of
+  every literal of the step (plus the step's assumptions, for the
+  final empty clause) and unit-propagating over *all* earlier clauses
+  must produce a conflict.  The solver's recorded antecedents are
+  ignored -- full-database propagation is at least as strong as
+  whatever resolution sequence produced the clause, so nothing the
+  solver says needs to be believed.
+* **Certificate checking** (theory steps): a Farkas combination must
+  be a correctly signed rational combination of the constraints its
+  literals assert, cancelling every variable and leaving a positive
+  constant (or zero with a strict inequality in play); integer
+  tightenings are recomputed from scratch; branch-and-bound split
+  certificates are checked recursively; divisibility and trichotomy
+  certificates are checked structurally.
+* **Gap detection**: an UNSAT verdict that rests on an uncertified
+  theory step or on a budget-blocking clause (added when branch and
+  bound gave up) is not certifiable.
+
+Deliberate independence: this module imports **only** the value types
+of :mod:`repro.smt.terms` and the findings machinery -- never the
+solver, the simplex, or the proof module itself (proof logs are
+consumed structurally).  A soundness bug in solver code therefore
+cannot hide itself from the audit.
+
+Findings:
+
+* ``SIA301`` -- broken clause step (RUP replay failed, or an UNSAT
+  verdict with no refutation step).
+* ``SIA302`` -- bad certificate (wrong constraints, bad signs, no
+  contradiction, broken tightening or split structure).
+* ``SIA303`` -- missing certificate (uncertified theory step or
+  budget-blocking clause under an UNSAT verdict).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Any, Iterable, Optional
+
+from ..smt.terms import LinExpr, Var
+from .findings import Finding
+
+# Operator spellings, duplicated from repro.smt.formula on purpose:
+# importing the formula module would pull in solver-adjacent code.
+LE = "<="
+LT = "<"
+EQ = "="
+NE = "!="
+BOOL = "bool"
+
+_CLAUSE_KINDS = {
+    "input",
+    "learned",
+    "theory",
+    "trichotomy",
+    "budget-block",
+    "empty",
+}
+
+
+def audit_proof(log: Any, *, origin: str = "proof") -> list[Finding]:
+    """Audit a proof log; returns all findings (empty when certified).
+
+    ``log`` is consumed structurally (``steps``, ``atoms``,
+    ``result``), so any object shaped like
+    :class:`repro.smt.proof.ProofLog` works.
+    """
+    return _Audit(log, origin).run()
+
+
+class _Audit:
+    def __init__(self, log: Any, origin: str) -> None:
+        self.log = log
+        self.origin = origin
+        self.atoms: dict[int, tuple[Optional[LinExpr], str]] = dict(log.atoms)
+        self.findings: list[Finding] = []
+        self.unsat = log.result == "unsat"
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        db: list[tuple[int, ...]] = []
+        refuted = False
+        for step in self.log.steps:
+            kind = step.kind
+            if kind not in _CLAUSE_KINDS:
+                self._report(
+                    step.index, "SIA301", f"unknown step kind {kind!r}"
+                )
+            elif kind in ("learned", "empty"):
+                assumptions = getattr(step, "assumptions", ())
+                if not self._rup(step.lits, assumptions, db):
+                    self._report(
+                        step.index,
+                        "SIA301",
+                        f"{kind} clause {list(step.lits)} is not RUP over "
+                        "the preceding steps",
+                    )
+            elif kind in ("theory", "trichotomy"):
+                if step.cert is None:
+                    if self.unsat:
+                        self._report(
+                            step.index,
+                            "SIA303",
+                            f"theory step {list(step.lits)} carries no "
+                            "certificate",
+                        )
+                else:
+                    ok, message = self._check_step_cert(step)
+                    if not ok:
+                        self._report(step.index, "SIA302", message or "")
+            elif kind == "budget-block" and self.unsat:
+                self._report(
+                    step.index,
+                    "SIA303",
+                    "UNSAT verdict rests on a budget-blocking clause "
+                    "(branch and bound gave up on this assignment)",
+                )
+            if not step.lits:
+                refuted = True
+            db.append(tuple(step.lits))
+        if self.unsat and not refuted:
+            self._report(
+                len(self.log.steps),
+                "SIA301",
+                "result is UNSAT but the log contains no refutation step",
+            )
+        self.findings.sort()
+        return self.findings
+
+    def _report(self, step_index: int, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.origin,
+                line=step_index,
+                col=0,
+                rule=rule,
+                message=message,
+                pass_name="certify",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # RUP replay
+    # ------------------------------------------------------------------
+    def _rup(
+        self,
+        lits: Iterable[int],
+        assumptions: Iterable[int],
+        db: list[tuple[int, ...]],
+    ) -> bool:
+        assign: set[int] = set()
+
+        def assert_lit(lit: int) -> bool:
+            """Returns True when asserting ``lit`` conflicts."""
+            if -lit in assign:
+                return True
+            assign.add(lit)
+            return False
+
+        for lit in lits:
+            if assert_lit(-lit):
+                return True
+        for lit in assumptions:
+            if assert_lit(lit):
+                return True
+        changed = True
+        while changed:
+            changed = False
+            for clause in db:
+                unassigned: set[int] = set()
+                satisfied = False
+                for lit in clause:
+                    if lit in assign:
+                        satisfied = True
+                        break
+                    if -lit not in assign:
+                        unassigned.add(lit)
+                if satisfied:
+                    continue
+                if not unassigned:
+                    return True  # conflict reached: the step is RUP
+                if len(unassigned) == 1:
+                    assign.add(unassigned.pop())
+                    changed = True
+        return False
+
+    # ------------------------------------------------------------------
+    # Certificates
+    # ------------------------------------------------------------------
+    def _check_step_cert(self, step: Any) -> tuple[bool, Optional[str]]:
+        cert = step.cert
+        kind = getattr(cert, "kind", None)
+        if kind == "trichotomy":
+            return self._check_trichotomy(step, cert)
+        if kind == "split":
+            ok, message, lits = self._check_split(cert, {})
+        elif kind == "farkas":
+            ok, message, lits = self._check_farkas(cert, {})
+        elif kind == "intdiv":
+            ok, message, lits = self._check_intdiv(cert)
+        else:
+            return False, f"unknown certificate kind {kind!r}"
+        if not ok:
+            return False, message
+        # Clause soundness: the certificate refutes the conjunction of
+        # the constraints its literals assert, so the clause is valid
+        # iff it contains the negation of every certificate literal
+        # (supersets only weaken the clause).
+        clause = set(step.lits)
+        missing = [lit for lit in lits if -lit not in clause]
+        if missing:
+            return False, (
+                f"certificate refutes literals {sorted(lits)} but the "
+                f"clause {sorted(clause)} misses the negation of "
+                f"{sorted(missing)}"
+            )
+        return True, None
+
+    def _constraint_of(self, lit: int) -> Optional[tuple[LinExpr, str]]:
+        """Linear constraint ``expr op 0`` asserted by a SAT literal."""
+        entry = self.atoms.get(abs(lit))
+        if entry is None:
+            return None
+        expr, op = entry
+        if expr is None or op == BOOL:
+            return None
+        if lit > 0:
+            return expr, op
+        # Mirrors Atom.negated(): the negation of `e <= 0` is
+        # `-e < 0`, of `e < 0` is `-e <= 0`; a negated equality is a
+        # disequality, which is not a linear constraint.
+        if op == LE:
+            return -expr, LT
+        if op == LT:
+            return -expr, LE
+        return None
+
+    @staticmethod
+    def _tighten(expr: LinExpr, op: str) -> tuple[LinExpr, str] | bool | None:
+        """Independent re-derivation of integer tightening.
+
+        Mirrors the *specification* (normalise to integer coefficients,
+        divide by the content, round the bound) without importing the
+        solver's implementation.
+        """
+        if expr.is_constant:
+            return _const_holds(expr.const, op)
+        if not all(var.is_int for var in expr.coeffs):
+            return expr, op
+        scaled = expr.scaled_integral()
+        content = scaled.content()
+        if content == 0:
+            return _const_holds(scaled.const, op)
+        homogeneous = LinExpr(scaled.coeffs)
+        bound = -scaled.const
+        if op == EQ:
+            if bound % content != 0:
+                return False
+            return homogeneous / content - bound / content, EQ
+        if op == LT:
+            tight = Fraction(math.ceil(bound) - 1)
+        elif op == LE:
+            tight = Fraction(math.floor(bound))
+        else:
+            return None
+        tight = Fraction(math.floor(tight / content))
+        return homogeneous / content - tight, LE
+
+    def _valid_use(self, entry: Any) -> bool:
+        """Whether ``used`` is ``orig`` or its integer tightening."""
+        if (
+            entry.used_expr == entry.orig_expr
+            and entry.used_op == entry.orig_op
+        ):
+            return True
+        tight = self._tighten(entry.orig_expr, entry.orig_op)
+        return isinstance(tight, tuple) and tight == (
+            entry.used_expr,
+            entry.used_op,
+        )
+
+    def _check_farkas(
+        self,
+        cert: Any,
+        env: dict[int, tuple[LinExpr, str]],
+    ) -> tuple[bool, Optional[str], set[int]]:
+        lits: set[int] = set()
+        if not cert.entries:
+            return False, "empty Farkas combination", lits
+        total = LinExpr({})
+        strict = False
+        for entry in cert.entries:
+            coeff = entry.coeff
+            if not isinstance(coeff, Fraction):
+                return False, f"non-exact coefficient {coeff!r}", lits
+            if entry.branch is not None:
+                expected = env.get(entry.branch)
+                if expected is None:
+                    return (
+                        False,
+                        f"branch reference {entry.branch} is not in scope",
+                        lits,
+                    )
+            elif entry.lit is not None:
+                expected = self._constraint_of(entry.lit)
+                if expected is None:
+                    return (
+                        False,
+                        f"literal {entry.lit} asserts no linear constraint",
+                        lits,
+                    )
+                lits.add(entry.lit)
+            else:
+                return (
+                    False,
+                    "entry references neither a literal nor a branch",
+                    lits,
+                )
+            if (entry.orig_expr, entry.orig_op) != expected:
+                return (
+                    False,
+                    f"entry constraint {entry.orig_expr!r} {entry.orig_op} 0 "
+                    "does not match what its literal asserts",
+                    lits,
+                )
+            if not self._valid_use(entry):
+                return (
+                    False,
+                    "used constraint is neither the original nor its "
+                    "integer tightening",
+                    lits,
+                )
+            if entry.used_op not in (LE, LT, EQ):
+                return (
+                    False,
+                    f"operator {entry.used_op!r} cannot enter a Farkas "
+                    "combination",
+                    lits,
+                )
+            if coeff < 0 and entry.used_op != EQ:
+                return (
+                    False,
+                    f"negative coefficient {coeff} on an inequality",
+                    lits,
+                )
+            total = total + entry.used_expr * coeff
+            if entry.used_op == LT and coeff > 0:
+                strict = True
+        if total.coeffs:
+            leftover = ", ".join(sorted(v.name for v in total.coeffs))
+            return (
+                False,
+                f"combination does not cancel variables: {leftover}",
+                lits,
+            )
+        if total.const > 0 or (total.const == 0 and strict):
+            return True, None, lits
+        return (
+            False,
+            f"combination sums to {total.const} <= 0; no contradiction",
+            lits,
+        )
+
+    def _check_intdiv(
+        self, cert: Any
+    ) -> tuple[bool, Optional[str], set[int]]:
+        lits: set[int] = set()
+        if not cert.lit:
+            return False, "divisibility certificate names no literal", lits
+        expected = self._constraint_of(cert.lit)
+        lits.add(cert.lit)
+        if expected != (cert.expr, EQ):
+            return (
+                False,
+                f"literal {cert.lit} does not assert {cert.expr!r} = 0",
+                lits,
+            )
+        if not cert.expr.coeffs or not all(
+            var.is_int for var in cert.expr.coeffs
+        ):
+            return (
+                False,
+                "divisibility argument needs integer variables only",
+                lits,
+            )
+        scaled = cert.expr.scaled_integral()
+        content = scaled.content()
+        if content == 0 or (-scaled.const) % content == 0:
+            return (
+                False,
+                f"content {content} divides the constant; no refutation",
+                lits,
+            )
+        return True, None, lits
+
+    def _check_split(
+        self,
+        cert: Any,
+        env: dict[int, tuple[LinExpr, str]],
+    ) -> tuple[bool, Optional[str], set[int]]:
+        var = cert.var
+        if not isinstance(var, Var) or not var.is_int:
+            return False, f"split on non-integer variable {var!r}", set()
+        floor_v = cert.floor
+        if isinstance(floor_v, Fraction):
+            if floor_v.denominator != 1:
+                return False, f"split at non-integer {floor_v}", set()
+            floor_v = int(floor_v)
+        if not isinstance(floor_v, int) or isinstance(floor_v, bool):
+            return False, f"split at non-integer {cert.floor!r}", set()
+        if cert.le_ref == cert.ge_ref or cert.le_ref in env or cert.ge_ref in env:
+            return False, "split branch references collide", set()
+        # x <= floor on the low branch, x >= floor + 1 on the high one:
+        # every integer point satisfies one of the two, so refuting both
+        # branches refutes the unsplit constraint set.
+        le_bound = (LinExpr.var(var) - floor_v, LE)
+        ge_bound = ((floor_v + 1) - LinExpr.var(var), LE)
+        ok, message, lits = self._check_cert(
+            cert.le_cert, {**env, cert.le_ref: le_bound}
+        )
+        if not ok:
+            return False, f"low branch: {message}", lits
+        ok, message, ge_lits = self._check_cert(
+            cert.ge_cert, {**env, cert.ge_ref: ge_bound}
+        )
+        if not ok:
+            return False, f"high branch: {message}", lits | ge_lits
+        return True, None, lits | ge_lits
+
+    def _check_cert(
+        self,
+        cert: Any,
+        env: dict[int, tuple[LinExpr, str]],
+    ) -> tuple[bool, Optional[str], set[int]]:
+        kind = getattr(cert, "kind", None)
+        if kind == "farkas":
+            return self._check_farkas(cert, env)
+        if kind == "intdiv":
+            return self._check_intdiv(cert)
+        if kind == "split":
+            return self._check_split(cert, env)
+        return False, f"unknown certificate kind {kind!r}", set()
+
+    def _check_trichotomy(
+        self, step: Any, cert: Any
+    ) -> tuple[bool, Optional[str]]:
+        lits = tuple(step.lits)
+        if len(lits) != 3 or any(lit <= 0 for lit in lits):
+            return (
+                False,
+                "trichotomy clause must hold exactly three positive literals",
+            )
+        actual: set[tuple[LinExpr, str]] = set()
+        for lit in lits:
+            constraint = self._constraint_of(lit)
+            if constraint is None:
+                return False, f"literal {lit} asserts no linear constraint"
+            actual.add(constraint)
+        expr = cert.expr
+        expected = {(expr, EQ), (expr, LT), (-expr, LT)}
+        if actual != expected:
+            return (
+                False,
+                f"literals do not spell e = 0 | e < 0 | -e < 0 for "
+                f"e = {expr!r}",
+            )
+        return True, None
+
+
+def _const_holds(value: Fraction, op: str) -> bool:
+    if op == LE:
+        return value <= 0
+    if op == LT:
+        return value < 0
+    if op == EQ:
+        return value == 0
+    if op == NE:
+        return value != 0
+    raise ValueError(f"unknown operator {op!r}")

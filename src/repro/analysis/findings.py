@@ -12,7 +12,9 @@ The catalog is split in three bands:
 * ``SIA1xx`` -- structural invariants of live IR trees
   (:mod:`repro.analysis.invariants`),
 * ``SIA2xx`` -- semantic soundness obligations discharged through the
-  SMT solver (:mod:`repro.analysis.soundness`).
+  SMT solver (:mod:`repro.analysis.soundness`),
+* ``SIA3xx`` -- solver-run audits: defects found while independently
+  checking proof logs (:mod:`repro.analysis.certify`).
 """
 
 from __future__ import annotations
@@ -76,6 +78,13 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "frozen dataclasses so instances stay compact and immutable",
         ),
         RuleInfo(
+            "SIA008",
+            "solver model read without a SAT verdict check",
+            "guard every model() read with a check that check()/solve() "
+            "returned SAT; an unchecked read raises or returns stale "
+            "values on UNSAT paths",
+        ),
+        RuleInfo(
             "SIA101",
             "arity violation in IR tree",
             "n-ary nodes need >= 2 arguments and valid operators; build "
@@ -110,6 +119,27 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "rewrite rule claims an equivalence its reverse direction lacks",
             "T(rhs) & ~T(lhs) is satisfiable; register the rule with "
             "equivalence=False if only lhs => rhs is intended",
+        ),
+        RuleInfo(
+            "SIA301",
+            "broken clause step in a proof log",
+            "the step is not RUP over the preceding steps (or the UNSAT "
+            "log lacks a refutation step); the solver derived a clause "
+            "its own log cannot justify",
+        ),
+        RuleInfo(
+            "SIA302",
+            "bad theory certificate in a proof log",
+            "the Farkas/divisibility/split/trichotomy certificate does "
+            "not refute what its literals assert; the theory lemma may "
+            "be unsound",
+        ),
+        RuleInfo(
+            "SIA303",
+            "uncertified step under an UNSAT verdict",
+            "a theory lemma carries no certificate or the verdict rests "
+            "on a budget-blocking clause; the UNSAT answer is not "
+            "certifiable",
         ),
     )
 }

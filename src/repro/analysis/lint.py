@@ -21,6 +21,16 @@ file and enforces them directly:
   and shared; mutating one after construction corrupts every formula
   that references it.
 
+* **Solver API discipline** (SIA008), enforced project-wide: reading a
+  solver model without a dominating check of the verdict.  ``model()``
+  raises (or worse, returns stale values) unless the preceding
+  ``check()``/``solve()`` returned SAT, so every ``.model()`` call must
+  be reachable only after the verdict was actually inspected -- a
+  comparison against ``SAT``/``UNSAT`` (or the ``"sat"``/``"unsat"``
+  strings), or a ``check()``/``solve()`` call inside an ``if``/
+  ``while``/``assert`` condition.  A bare ``solver.check()`` statement
+  whose verdict is discarded does *not* count.
+
 The linter is purely syntactic -- it never imports the code it checks.
 """
 
@@ -71,6 +81,9 @@ class _Linter(ast.NodeVisitor):
         # Float constants already reported through a SIA003 comparison,
         # so SIA001 does not double-report the same token.
         self._consumed_constants: set[int] = set()
+        # One frame per enclosing scope (module + functions): whether a
+        # solver-verdict check has been seen yet in that scope (SIA008).
+        self._verdict_seen: list[bool] = [False]
 
     # -- helpers -------------------------------------------------------
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
@@ -103,6 +116,26 @@ class _Linter(ast.NodeVisitor):
         elif isinstance(node, ast.UnaryOp):
             self._mark_consumed(node.operand)
 
+    @staticmethod
+    def _has_verdict_marker(node: ast.AST) -> bool:
+        """Whether a subtree inspects a solver verdict (SIA008)."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in ("SAT", "UNSAT"):
+                return True
+            if isinstance(sub, ast.Constant) and sub.value in ("sat", "unsat"):
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("check", "solve")
+            ):
+                return True
+        return False
+
+    def _note_verdict_check(self, test: ast.AST) -> None:
+        if self._has_verdict_marker(test):
+            self._verdict_seen[-1] = True
+
     # -- visitors ------------------------------------------------------
     def visit_Constant(self, node: ast.Constant) -> None:
         if (
@@ -116,7 +149,20 @@ class _Linter(ast.NodeVisitor):
                 f"float literal {node.value!r} in exact-arithmetic zone",
             )
 
+    def visit_If(self, node: ast.If) -> None:
+        self._note_verdict_check(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._note_verdict_check(node.test)
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._note_verdict_check(node.test)
+        self.generic_visit(node)
+
     def visit_Compare(self, node: ast.Compare) -> None:
+        self._note_verdict_check(node)
         if self.zone == EXACT_ZONE and any(
             isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
         ):
@@ -140,6 +186,19 @@ class _Linter(ast.NodeVisitor):
                 )
             elif func.id in ("eval", "exec"):
                 self._report(node, "SIA004", f"call to {func.id}()")
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "model"
+            and not node.args
+            and not node.keywords
+        ):
+            if not any(self._verdict_seen):
+                self._report(
+                    node,
+                    "SIA008",
+                    "model() read without checking the solver verdict "
+                    "first",
+                )
         elif (
             isinstance(func, ast.Attribute)
             and func.attr == "__setattr__"
@@ -184,7 +243,9 @@ class _Linter(ast.NodeVisitor):
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> None:
         self._func_stack.append(node.name)
+        self._verdict_seen.append(False)
         self.generic_visit(node)
+        self._verdict_seen.pop()
         self._func_stack.pop()
 
     # -- class-shape helpers -------------------------------------------

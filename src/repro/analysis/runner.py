@@ -7,7 +7,11 @@
    predicate trees and their 3VL encodings
    (:mod:`repro.analysis.invariants`),
 3. the null-soundness pass discharging each rule's obligation through
-   the SMT solver (:mod:`repro.analysis.soundness`).
+   the SMT solver (:mod:`repro.analysis.soundness`),
+4. (opt-in, ``certify=True``) the proof-certification pass: every
+   registry obligation is re-run with ``Solver(proof=True)`` and the
+   resulting proof log is replayed by the independent auditor
+   (:mod:`repro.analysis.certify`).
 
 Findings are data (:class:`repro.analysis.findings.Finding`); this
 module only aggregates and renders them, as human-readable text or as
@@ -43,6 +47,7 @@ class AnalysisReport:
     files_linted: int = 0
     rules_checked: int = 0
     obligations_discharged: int = 0
+    proofs_audited: int = 0
 
     @property
     def clean(self) -> bool:
@@ -63,6 +68,7 @@ class AnalysisReport:
                 "files_linted": self.files_linted,
                 "rules_checked": self.rules_checked,
                 "obligations_discharged": self.obligations_discharged,
+                "proofs_audited": self.proofs_audited,
                 "findings": len(self.findings),
                 "by_rule": counts,
             },
@@ -75,13 +81,15 @@ def run_analysis(
     *,
     lint: bool = True,
     domain: bool = True,
+    certify: bool = False,
 ) -> AnalysisReport:
     """Run the configured passes and return the aggregated report.
 
     ``paths`` feeds the lint pass (default: ``src``).  The domain
     passes (invariants + soundness over the rewrite-rule registry) are
     path-independent; disable them with ``domain=False`` when linting
-    fixture trees.
+    fixture trees.  ``certify=True`` additionally re-runs every
+    registry obligation with proof logging on and audits the logs.
     """
     report = AnalysisReport()
     if lint:
@@ -99,8 +107,58 @@ def run_analysis(
         report.findings.extend(soundness.findings)
         report.rules_checked = soundness.rules_checked
         report.obligations_discharged = soundness.obligations_discharged
+    if certify:
+        findings, audited = certify_registry()
+        report.findings.extend(findings)
+        report.proofs_audited = audited
     report.findings.sort()
     return report
+
+
+def certify_registry(
+    *, bnb_budget: int = 4000
+) -> tuple[list[Finding], int]:
+    """Audit a proof for every rewrite-rule solver obligation.
+
+    Re-runs the null-soundness obligations of the registered rules
+    (the TPC-H verification corpus) with ``Solver(proof=True)`` and
+    hands each proof log to the independent auditor.  Kept here rather
+    than in :mod:`repro.analysis.certify` so the auditor itself never
+    imports solver machinery.
+    """
+    from ..predicates import truth_formula
+    from ..predicates.normalize import LinearizationContext
+    from ..rewrite.rules import REWRITE_RULES
+    from ..smt import SolverError, conj, negate
+    from ..smt.solver import Solver
+    from ..smt.theory import SolverBudgetError
+    from .certify import audit_proof
+
+    findings: list[Finding] = []
+    audited = 0
+    for rule in REWRITE_RULES:
+        ctx = LinearizationContext.for_predicate(rule.lhs & rule.rhs)
+        t_lhs = truth_formula(rule.lhs, ctx)
+        t_rhs = truth_formula(rule.rhs, ctx)
+        directions = [("forward", t_lhs, t_rhs)]
+        if rule.equivalence:
+            directions.append(("reverse", t_rhs, t_lhs))
+        for part, antecedent, consequent in directions:
+            solver = Solver(bnb_budget=bnb_budget, proof=True)
+            solver.add(conj([antecedent, negate(consequent)]))
+            try:
+                solver.check()
+            except (SolverError, SolverBudgetError):
+                continue  # no verdict claimed, nothing to certify
+            audited += 1
+            assert solver.proof_log is not None
+            findings.extend(
+                audit_proof(
+                    solver.proof_log,
+                    origin=f"rewrite-rule:{rule.name}:{part}",
+                )
+            )
+    return findings, audited
 
 
 def render_text(report: AnalysisReport, *, fix_hints: bool = False) -> str:
@@ -111,7 +169,13 @@ def render_text(report: AnalysisReport, *, fix_hints: bool = False) -> str:
     summary = (
         f"analyzed {report.files_linted} file(s), "
         f"verified {report.rules_checked} rewrite rule(s) "
-        f"({report.obligations_discharged} solver obligation(s)): "
+        f"({report.obligations_discharged} solver obligation(s)"
+        + (
+            f", {report.proofs_audited} proof(s) audited"
+            if report.proofs_audited
+            else ""
+        )
+        + "): "
     )
     summary += (
         "clean" if report.clean else f"{len(report.findings)} finding(s)"

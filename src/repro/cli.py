@@ -109,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="lint only; skip the rewrite-rule soundness pass",
     )
+    analyze.add_argument(
+        "--certify",
+        action="store_true",
+        help="re-run every rewrite-rule solver obligation with proof "
+        "logging and audit the proofs (SIA301-SIA303)",
+    )
     return parser
 
 
@@ -149,7 +155,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
 
     try:
-        report = run_analysis(args.paths, domain=not args.skip_domain)
+        report = run_analysis(
+            args.paths,
+            domain=not args.skip_domain,
+            certify=args.certify,
+        )
     except AnalysisError as exc:
         print(f"analyze: error: {exc}", file=sys.stderr)
         return EXIT_INTERNAL_ERROR

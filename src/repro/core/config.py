@@ -34,6 +34,12 @@ class SiaConfig:
     bnb_budget: int = 4000
     verify_budget: int = 800
     enumeration_limit: int = 2000
+    # Proof-carrying Verify: run the validity check with proof logging
+    # and accept UNSAT only after the independent certificate auditor
+    # (repro.analysis.certify) replays the proof.  Off by default --
+    # it roughly doubles verification work -- but recommended whenever
+    # machine-discovered predicates are shipped without human review.
+    certify_verify: bool = False
     # Wall-clock budget for one synthesis; None = unlimited.  Section
     # 6.2: "the optimizer may use SIA with an explicit timeout".  On
     # expiry the loop returns the best valid predicate found so far.

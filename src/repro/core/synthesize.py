@@ -160,14 +160,30 @@ class ValidPredicate:
 logger = logging.getLogger(__name__)
 
 
-def _implication_holds(negated_implication: Formula, bnb_budget: int) -> bool:
+def _implication_holds(
+    negated_implication: Formula, bnb_budget: int, *, certify: bool = False
+) -> bool:
     """UNSAT check with conservative handling of resource exhaustion:
-    an unknown result counts as 'implication not proven'."""
+    an unknown result counts as 'implication not proven'.
+
+    With ``certify=True`` the UNSAT verdict additionally has to survive
+    the independent proof audit (see :func:`repro.core.verify.verify_implied`).
+    """
     from ..smt import SolverError, is_satisfiable
     from ..smt.theory import SolverBudgetError
 
     try:
-        return not is_satisfiable(negated_implication, bnb_budget=bnb_budget)
+        if not certify:
+            return not is_satisfiable(negated_implication, bnb_budget=bnb_budget)
+        from ..analysis.certify import audit_proof
+        from ..smt import UNSAT, Solver
+
+        solver = Solver(bnb_budget=bnb_budget, proof=True)
+        solver.add(negated_implication)
+        if solver.check() != UNSAT:
+            return False
+        assert solver.proof_log is not None
+        return not audit_proof(solver.proof_log, origin="counter-f")
     except (SolverError, SolverBudgetError):
         return False
 
@@ -285,7 +301,11 @@ class Synthesizer:
                 # integer feasibility checks from crawling; an unknown
                 # verdict is treated as invalid (sound, section 5.5).
                 valid = verify_implied(
-                    pred, p2, ctx, bnb_budget=self.config.verify_budget
+                    pred,
+                    p2,
+                    ctx,
+                    bnb_budget=self.config.verify_budget,
+                    certify=self.config.certify_verify,
                 )
             trace = IterationTrace(index=iteration, learned=str(p2), valid=valid)
             outcome.trace.append(trace)
@@ -346,6 +366,7 @@ class Synthesizer:
                         sub_optimal = not _implication_holds(
                             conj([region.formula, p1.formula()]),
                             self.config.bnb_budget,
+                            certify=self.config.certify_verify,
                         )
                     if sub_optimal:
                         status = VALID

@@ -45,20 +45,39 @@ def verify_implied(
     ctx: LinearizationContext,
     *,
     bnb_budget: int = 4000,
+    certify: bool = False,
 ) -> bool:
     """True iff ``original`` implies ``learned`` under three-valued logic.
 
     Conservative on solver resource exhaustion: an *unknown* answer is
     reported as "not valid", so Sia can never emit a predicate whose
     validity was not actually proven.
+
+    ``certify=True`` removes the remaining trust in the solver itself:
+    the check runs with proof logging on and the UNSAT verdict only
+    counts once the independent auditor
+    (:mod:`repro.analysis.certify`) accepts the proof.  An audited
+    verdict that fails certification is treated as unproven, exactly
+    like a resource-exhausted one.
     """
     from ..smt import SolverError
     from ..smt.theory import SolverBudgetError
 
     t_p = truth_formula(original, ctx)
     t_p1 = learned_truth_formula(learned, ctx)
+    obligation = conj([t_p, negate(t_p1)])
     try:
-        return not is_satisfiable(conj([t_p, negate(t_p1)]), bnb_budget=bnb_budget)
+        if not certify:
+            return not is_satisfiable(obligation, bnb_budget=bnb_budget)
+        from ..analysis.certify import audit_proof
+        from ..smt import UNSAT, Solver
+
+        solver = Solver(bnb_budget=bnb_budget, proof=True)
+        solver.add(obligation)
+        if solver.check() != UNSAT:
+            return False
+        assert solver.proof_log is not None
+        return not audit_proof(solver.proof_log, origin="verify")
     except (SolverError, SolverBudgetError):
         return False
 

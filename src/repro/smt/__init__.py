@@ -8,6 +8,8 @@ substitution table).  Public surface:
   comparison builders, NNF/DNF
 * solving: :class:`Solver`, :class:`Model`, ``is_satisfiable``,
   ``get_model``, ``implies``, ``all_models``
+* proofs: :class:`ProofLog` and the certificate types
+  (``Solver(proof=True)``; audited by :mod:`repro.analysis.certify`)
 * quantifier elimination: ``eliminate_exists``, ``unsat_region``
 """
 
@@ -37,6 +39,15 @@ from .formula import (
     to_nnf,
 )
 from .optimize import bounds, maximize, minimize
+from .proof import (
+    ClauseStep,
+    FarkasCert,
+    FarkasEntry,
+    IntDivCert,
+    ProofLog,
+    SplitCert,
+    TrichotomyCert,
+)
 from .qe import EliminationResult, eliminate_exists, unsat_region
 from .simplex import DeltaRational, Simplex, TheoryConflict
 from .solver import (
@@ -57,13 +68,17 @@ __all__ = [
     "And",
     "Atom",
     "BVar",
+    "ClauseStep",
     "DeltaRational",
     "DnfBlowupError",
     "EliminationResult",
     "EQ",
     "FALSE",
+    "FarkasCert",
+    "FarkasEntry",
     "Formula",
     "INT",
+    "IntDivCert",
     "LE",
     "LT",
     "LinExpr",
@@ -71,9 +86,12 @@ __all__ = [
     "NE",
     "Not",
     "Or",
+    "ProofLog",
     "REAL",
     "SAT",
     "Simplex",
+    "SplitCert",
+    "TrichotomyCert",
     "Solver",
     "SolverBudgetError",
     "SolverError",

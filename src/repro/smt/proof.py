@@ -1,0 +1,239 @@
+"""Proof objects for certified UNSAT verdicts.
+
+This module holds *data only*: the clause-step log the CDCL core
+appends to (DRAT/RUP style) and the theory-lemma certificates the
+simplex and branch-and-bound layers attach to their conflicts.  It
+deliberately imports nothing from the solver machinery -- only the
+:mod:`repro.smt.terms` value types -- so that the independent
+certificate auditor (:mod:`repro.analysis.certify`) can consume proof
+logs without ever trusting solver code.
+
+Proof format
+------------
+
+A :class:`ProofLog` is an ordered list of :class:`ClauseStep` records
+plus an atom table mapping SAT variables to the linear constraint they
+encode.  Step kinds:
+
+* ``input`` -- a clause of the Tseitin encoding (axiom of the encoded
+  formula; trusted by construction).
+* ``learned`` -- a CDCL-learned clause.  Checkable by RUP: asserting
+  the negation of every literal and unit-propagating over all earlier
+  steps must yield a conflict.
+* ``theory`` -- a theory lemma (blocking clause or bound lemma).
+  Carries a certificate: a :class:`FarkasCert` leaf, an
+  :class:`IntDivCert` divisibility refutation, or a :class:`SplitCert`
+  branch composition.
+* ``trichotomy`` -- the disequality-split lemma
+  ``e = 0 \\/ e < 0 \\/ -e < 0``; checkable structurally against the
+  atom table.
+* ``budget-block`` -- an *unjustified* search note added when branch
+  and bound exhausted its budget.  An UNSAT verdict that coexists with
+  such a step is not certifiable (the auditor reports SIA303).
+* ``empty`` -- the final (assumption-relative) empty clause; checkable
+  by RUP like a learned step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Union
+
+from .terms import LinExpr, Var
+
+# Marker used in the atom table for propositional (BVar) variables.
+BOOL = "bool"
+
+
+# ----------------------------------------------------------------------
+# Theory certificates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FarkasEntry:
+    """One constraint of a Farkas combination.
+
+    ``lit`` is the SAT literal whose truth asserts the constraint
+    (positive literal: the atom itself; negative literal: its exact
+    negation); ``branch`` replaces ``lit`` for branch-and-bound bounds,
+    referencing the enclosing :class:`SplitCert`.  ``orig`` is the
+    constraint the literal asserts, ``used`` the integer-tightened form
+    the simplex actually reasoned over (equal to ``orig`` for real or
+    untightened atoms).
+    """
+
+    coeff: Fraction
+    lit: Optional[int]
+    orig_expr: LinExpr
+    orig_op: str
+    used_expr: LinExpr
+    used_op: str
+    branch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FarkasCert:
+    """Non-negative rational combination deriving a contradiction.
+
+    Summing ``coeff * used_expr`` over the entries must cancel every
+    variable and leave a constant ``d`` with ``d > 0``, or ``d == 0``
+    when some strict (``<``) entry has a positive coefficient --
+    refuting the conjunction ``used_expr op 0`` of the entries.
+    """
+
+    entries: tuple[FarkasEntry, ...]
+
+    kind = "farkas"
+
+
+@dataclass(frozen=True)
+class IntDivCert:
+    """Integer divisibility refutation of a single equality.
+
+    The atom ``expr = 0`` ranges over integer variables only and, after
+    scaling to integer coefficients, the gcd of the variable
+    coefficients does not divide the constant -- so no integer point
+    satisfies it.
+    """
+
+    lit: int
+    expr: LinExpr
+
+    kind = "intdiv"
+
+
+@dataclass(frozen=True)
+class SplitCert:
+    """Branch-and-bound composition of two certificates.
+
+    ``var`` is integer-sorted and ``floor`` an integer; ``le_cert``
+    refutes the constraints plus ``var <= floor`` and ``ge_cert``
+    refutes them plus ``var >= floor + 1``.  Entries inside the
+    sub-certificates reference the two branch bounds through the
+    ``le_ref`` / ``ge_ref`` identifiers instead of SAT literals.
+    """
+
+    var: Var
+    floor: int
+    le_ref: int
+    ge_ref: int
+    le_cert: "TheoryCert"
+    ge_cert: "TheoryCert"
+
+    kind = "split"
+
+
+@dataclass(frozen=True)
+class TrichotomyCert:
+    """Certificate for the eq-split clause ``e = 0 | e < 0 | -e < 0``.
+
+    The clause is a tautology of linear order; the auditor verifies the
+    three (all-positive) literals map to exactly those three atoms.
+    """
+
+    expr: LinExpr
+
+    kind = "trichotomy"
+
+
+TheoryCert = Union[FarkasCert, IntDivCert, SplitCert, TrichotomyCert]
+
+
+# ----------------------------------------------------------------------
+# Clause steps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClauseStep:
+    """One appended clause (or the final empty clause) of a proof."""
+
+    index: int
+    lits: tuple[int, ...]
+    kind: str
+    antecedents: tuple[int, ...] = ()
+    cert: Optional[TheoryCert] = None
+    assumptions: tuple[int, ...] = ()
+
+
+class ProofLog:
+    """Append-only proof log shared by the SAT core and the driver.
+
+    The DPLL(T) driver registers the theory justification of a clause
+    *before* handing the clause to the SAT core (:meth:`expect`); when
+    the core logs the clause the pending certificate is attached.
+    Clauses with no pending justification are ``input`` axioms of the
+    Tseitin encoding.
+    """
+
+    def __init__(self) -> None:
+        self.steps: list[ClauseStep] = []
+        # SAT variable -> (expr, op) for theory atoms, (None, BOOL) for
+        # propositional variables.
+        self.atoms: dict[int, tuple[Optional[LinExpr], str]] = {}
+        self.result: Optional[str] = None
+        self._pending: dict[frozenset[int], list[tuple[str, Optional[TheoryCert]]]] = {}
+
+    # ------------------------------------------------------------------
+    def register_atom(self, sat_var: int, expr: Optional[LinExpr], op: str) -> None:
+        self.atoms[sat_var] = (expr, op)
+
+    def expect(
+        self, lits: list[int], kind: str, cert: Optional[TheoryCert]
+    ) -> None:
+        """Pre-register the justification of the next matching clause."""
+        self._pending.setdefault(frozenset(lits), []).append((kind, cert))
+
+    # ------------------------------------------------------------------
+    def log_clause(
+        self,
+        lits: list[int] | tuple[int, ...],
+        *,
+        kind: Optional[str] = None,
+        antecedents: tuple[int, ...] = (),
+    ) -> int:
+        """Append a clause step; resolves pending justifications."""
+        cert: Optional[TheoryCert] = None
+        if kind is None:
+            pending = self._pending.get(frozenset(lits))
+            if pending:
+                kind, cert = pending.pop(0)
+            else:
+                kind = "input"
+        index = len(self.steps)
+        self.steps.append(
+            ClauseStep(
+                index=index,
+                lits=tuple(lits),
+                kind=kind,
+                antecedents=antecedents,
+                cert=cert,
+            )
+        )
+        return index
+
+    def log_empty(self, *, assumptions: tuple[int, ...] = ()) -> int:
+        """Append the final (assumption-relative) empty clause."""
+        index = len(self.steps)
+        self.steps.append(
+            ClauseStep(
+                index=index, lits=(), kind="empty", assumptions=assumptions
+            )
+        )
+        return index
+
+    # ------------------------------------------------------------------
+    @property
+    def has_refutation(self) -> bool:
+        """Whether the log contains a step claiming the empty clause."""
+        return any(not step.lits for step in self.steps)
+
+    def theory_steps(self) -> list[ClauseStep]:
+        return [s for s in self.steps if s.kind in ("theory", "trichotomy")]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds: dict[str, int] = {}
+        for step in self.steps:
+            kinds[step.kind] = kinds.get(step.kind, 0) + 1
+        return f"ProofLog({len(self.steps)} steps, {kinds}, result={self.result!r})"

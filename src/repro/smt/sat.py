@@ -12,6 +12,8 @@ literal ``v``, negative literal ``-v``.
 
 from __future__ import annotations
 
+from .proof import ProofLog
+
 UNASSIGNED = -1
 
 
@@ -52,6 +54,13 @@ class SatSolver:
         self.var_decay = 0.95  # sia: allow-float
         self.ok = True
         self.conflicts = 0
+        # Optional proof logging (set by the DPLL(T) driver).  Every
+        # added clause, learned clause and the final empty clause is
+        # appended; clause indices map to step indices so learned steps
+        # can cite their resolution antecedents as checker hints.
+        self.proof: ProofLog | None = None
+        self._clause_step: dict[int, int] = {}
+        self._last_antecedents: list[int] = []
 
     # ------------------------------------------------------------------
     # Variable / clause management
@@ -87,6 +96,10 @@ class SatSolver:
         self._cancel_until(0)
         for lit in lits:
             self.ensure_vars(abs(lit))
+        # Log the clause as given: the shrunk form below is an internal
+        # optimisation, while the proof must record the actual axiom /
+        # lemma (whose justification was pre-registered by the driver).
+        step = self.proof.log_clause(lits) if self.proof is not None else None
         # Remove duplicates / detect tautologies, drop false literals.
         seen: set[int] = set()
         out: list[int] = []
@@ -103,23 +116,52 @@ class SatSolver:
             seen.add(lit)
             out.append(lit)
         if not out:
+            self._log_empty()
             self.ok = False
             return False
         if len(out) == 1:
             self._enqueue(out[0], None)
             conflict = self._propagate()
             if conflict is not None:
+                self._log_empty()
                 self.ok = False
                 return False
             return True
         idx = len(self.clauses)
         self.clauses.append(out)
+        if step is not None:
+            self._clause_step[idx] = step
         self._watch(out[0], idx)
         self._watch(out[1], idx)
         return True
 
     def _watch(self, lit: int, clause_idx: int) -> None:
         self.watches.setdefault(lit, []).append(clause_idx)
+
+    # ------------------------------------------------------------------
+    # Proof logging
+    # ------------------------------------------------------------------
+    def _log_empty(self, assumptions: list[int] | None = None) -> None:
+        if self.proof is not None:
+            self.proof.log_empty(assumptions=tuple(assumptions or ()))
+
+    def _log_learned(
+        self, learnt: list[int], clause_idx: int | None = None
+    ) -> None:
+        if self.proof is None:
+            return
+        antecedents = tuple(
+            step
+            for step in (
+                self._clause_step.get(ci) for ci in self._last_antecedents
+            )
+            if step is not None
+        )
+        step_idx = self.proof.log_clause(
+            learnt, kind="learned", antecedents=antecedents
+        )
+        if clause_idx is not None:
+            self._clause_step[clause_idx] = step_idx
 
     # ------------------------------------------------------------------
     # Trail management
@@ -210,6 +252,7 @@ class SatSolver:
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """Returns (learnt clause, backjump level)."""
         learnt: list[int] = [0]  # placeholder for the asserting literal
+        self._last_antecedents = [conflict]
         seen = [False] * (self.num_vars + 1)
         counter = 0
         lit = 0
@@ -238,6 +281,7 @@ class SatSolver:
                 break
             reason = self.reason[abs(lit)]
             assert reason is not None, "resolved literal must have a reason"
+            self._last_antecedents.append(reason)
             clause = self.clauses[reason]
             # The enqueued literal of a reason clause is kept at position
             # 0 by propagation; a position-1 swap keeps both watches valid.
@@ -280,6 +324,7 @@ class SatSolver:
         self._cancel_until(0)
         conflict = self._propagate()
         if conflict is not None:
+            self._log_empty()
             self.ok = False
             return False
 
@@ -292,19 +337,23 @@ class SatSolver:
                 self.conflicts += 1
                 conflicts_here += 1
                 if self._decision_level() == 0:
+                    self._log_empty()
                     self.ok = False
                     return False
                 learnt, back_level = self._analyze(conflict)
                 self._cancel_until(back_level)
                 if len(learnt) == 1:
+                    self._log_learned(learnt)
                     if self.value(learnt[0]) == UNASSIGNED:
                         self._enqueue(learnt[0], None)
                     elif self.value(learnt[0]) == 0:
+                        self._log_empty()
                         self.ok = False
                         return False
                 else:
                     idx = len(self.clauses)
                     self.clauses.append(learnt)
+                    self._log_learned(learnt, idx)
                     self._watch(learnt[0], idx)
                     self._watch(learnt[1], idx)
                     self._enqueue(learnt[0], idx)
@@ -324,6 +373,7 @@ class SatSolver:
                 val = self.value(lit)
                 if val == 0:
                     self._cancel_until(0)
+                    self._log_empty(assumptions)
                     return False
                 self.trail_lim.append(len(self.trail))
                 if val == UNASSIGNED:

@@ -92,17 +92,43 @@ def _describe_atom(
 
 
 class TheoryConflict(Exception):
-    """An asserted constraint set is infeasible; carries the core tags."""
+    """An asserted constraint set is infeasible; carries the core tags.
 
-    def __init__(self, core: frozenset[Tag]) -> None:
+    ``farkas`` justifies the conflict as a rational combination: a list
+    of ``(coeff, tag, expr, op)`` tuples such that ``sum(coeff * expr)``
+    cancels every variable and violates the combined comparison (see
+    :mod:`repro.smt.proof`).  ``cert`` is the composed certificate tree
+    attached by the theory layer (:mod:`repro.smt.theory`).
+    """
+
+    def __init__(
+        self,
+        core: frozenset[Tag],
+        *,
+        farkas: tuple[tuple[Fraction, Tag, LinExpr, str], ...] | None = None,
+        cert: object | None = None,
+    ) -> None:
         super().__init__(f"theory conflict: {sorted(map(str, core))}")
         self.core = core
+        self.farkas = farkas
+        self.cert = cert
 
 
 @dataclass
 class _Bound:
+    """An asserted bound plus the data to rebuild its Farkas witness.
+
+    ``mu`` is the positive-for-inequalities scalar such that the bound's
+    defining inequality, rewritten over the original variables, equals
+    ``mu * expr`` -- an upper bound ``v <= rhs`` is ``expr / scale <= 0``
+    and a lower bound ``v >= rhs`` is ``-expr / scale <= 0``.
+    """
+
     value: DeltaRational
     tag: Tag
+    mu: Fraction
+    expr: LinExpr
+    op: str
 
 
 class Simplex:
@@ -183,7 +209,9 @@ class Simplex:
         descriptor = _describe_atom(atom)
         if descriptor[0] == "const":
             if not descriptor[1]:
-                raise TheoryConflict(frozenset([tag]))
+                raise TheoryConflict(
+                    frozenset([tag]), farkas=(_const_refutation(atom, tag),)
+                )
             return
         _, scale, rhs, strict = descriptor
         expr = atom.expr
@@ -191,35 +219,52 @@ class Simplex:
         if strict:
             self._strict_atoms.append((expr, tag))
         if atom.op == EQ:
-            self._assert_upper(slack, _dr(rhs), tag)
-            self._assert_lower(slack, _dr(rhs), tag)
+            inv = Fraction(1) / scale
+            self._assert_upper(
+                slack, _Bound(_dr(rhs), tag, inv, expr, atom.op)
+            )
+            self._assert_lower(
+                slack, _Bound(_dr(rhs), tag, -inv, expr, atom.op)
+            )
         elif scale > 0:
             bound = _dr(rhs, -1 if strict else 0)
-            self._assert_upper(slack, bound, tag)
+            self._assert_upper(
+                slack, _Bound(bound, tag, Fraction(1) / scale, expr, atom.op)
+            )
         else:
             # Dividing by a negative scale flips the inequality.
             bound = _dr(rhs, 1 if strict else 0)
-            self._assert_lower(slack, bound, tag)
+            self._assert_lower(
+                slack, _Bound(bound, tag, Fraction(-1) / scale, expr, atom.op)
+            )
 
-    def _assert_upper(self, var: Var, value: DeltaRational, tag: Tag) -> None:
+    def _assert_upper(self, var: Var, new: _Bound) -> None:
+        value = new.value
         low = self.lower.get(var)
         if low is not None and value < low.value:
-            raise TheoryConflict(frozenset([tag, low.tag]))
+            raise TheoryConflict(
+                frozenset([new.tag, low.tag]),
+                farkas=_merge_farkas([(Fraction(1), new), (Fraction(1), low)]),
+            )
         up = self.upper.get(var)
         if up is not None and up.value <= value:
             return
-        self.upper[var] = _Bound(value, tag)
+        self.upper[var] = new
         if var not in self.rows and self.beta[var] > value:
             self._update(var, value)
 
-    def _assert_lower(self, var: Var, value: DeltaRational, tag: Tag) -> None:
+    def _assert_lower(self, var: Var, new: _Bound) -> None:
+        value = new.value
         up = self.upper.get(var)
         if up is not None and up.value < value:
-            raise TheoryConflict(frozenset([tag, up.tag]))
+            raise TheoryConflict(
+                frozenset([new.tag, up.tag]),
+                farkas=_merge_farkas([(Fraction(1), new), (Fraction(1), up)]),
+            )
         low = self.lower.get(var)
         if low is not None and low.value >= value:
             return
-        self.lower[var] = _Bound(value, tag)
+        self.lower[var] = new
         if var not in self.rows and self.beta[var] < value:
             self._update(var, value)
 
@@ -290,7 +335,7 @@ class Simplex:
             )
             entering = self._find_entering(basic, needs_increase)
             if entering is None:
-                raise TheoryConflict(self._conflict_core(basic, needs_increase))
+                raise self._conflict(basic, needs_increase)
             self._pivot_and_update(basic, entering, target)
 
     def _find_violating_basic(self) -> tuple[Var, bool] | None:
@@ -341,59 +386,107 @@ class Simplex:
         low = self.lower.get(var)
         return low is None or self.beta[var] > low.value
 
-    def _conflict_core(self, basic: Var, needs_increase: bool) -> frozenset[Tag]:
+    def _conflict(self, basic: Var, needs_increase: bool) -> TheoryConflict:
+        """Conflict core plus its Farkas witness.
+
+        The violated row reads ``basic = sum(coeff * nonbasic)``.  The
+        witness combines each blocking bound's defining inequality with
+        the weight the row assigns it: weight 1 on the violated bound of
+        ``basic``, ``|coeff|`` on the bound of each nonbasic -- the row
+        identity makes the variable parts cancel, which the independent
+        auditor re-verifies over the original atom expressions.
+        """
         row = self.rows[basic]
-        tags: set[Tag] = set()
+        uses: list[tuple[Fraction, _Bound]] = []
         if needs_increase:
-            tags.add(self.lower[basic].tag)
+            uses.append((Fraction(1), self.lower[basic]))
             for nonbasic, coeff in row.items():
                 if coeff > 0:
-                    tags.add(self.upper[nonbasic].tag)
+                    uses.append((coeff, self.upper[nonbasic]))
                 elif coeff < 0:
-                    tags.add(self.lower[nonbasic].tag)
+                    uses.append((-coeff, self.lower[nonbasic]))
         else:
-            tags.add(self.upper[basic].tag)
+            uses.append((Fraction(1), self.upper[basic]))
             for nonbasic, coeff in row.items():
                 if coeff > 0:
-                    tags.add(self.lower[nonbasic].tag)
+                    uses.append((coeff, self.lower[nonbasic]))
                 elif coeff < 0:
-                    tags.add(self.upper[nonbasic].tag)
-        return frozenset(tags)
+                    uses.append((-coeff, self.upper[nonbasic]))
+        return TheoryConflict(
+            frozenset(bound.tag for _, bound in uses),
+            farkas=_merge_farkas(uses),
+        )
+
+
+def _merge_farkas(
+    uses: Iterable[tuple[Fraction, _Bound]],
+) -> tuple[tuple[Fraction, Tag, LinExpr, str], ...]:
+    """Aggregate weighted bound uses into per-tag Farkas coefficients.
+
+    An equality atom can appear through both of its bounds in one
+    conflict; its signed contributions are summed (any sign is valid
+    for an ``=`` constraint).
+    """
+    merged: dict[Tag, tuple[Fraction, LinExpr, str]] = {}
+    for weight, bound in uses:
+        coeff = weight * bound.mu
+        prior = merged.get(bound.tag)
+        if prior is not None:
+            coeff = prior[0] + coeff
+        merged[bound.tag] = (coeff, bound.expr, bound.op)
+    return tuple(
+        (coeff, tag, expr, op) for tag, (coeff, expr, op) in merged.items()
+    )
+
+
+def _const_refutation(
+    atom: Atom, tag: Tag
+) -> tuple[Fraction, Tag, LinExpr, str]:
+    """Farkas entry refuting a constant atom that evaluates to false."""
+    sign = Fraction(-1) if atom.op == EQ and atom.expr.const < 0 else Fraction(1)
+    return (sign, tag, atom.expr, atom.op)
 
 
 def concretize_delta(
     assignment: Mapping[Var, DeltaRational],
     strict_exprs: Iterable[LinExpr],
+    nonstrict_exprs: Iterable[LinExpr] = (),
 ) -> Fraction:
-    """A concrete positive value for delta validating all strict atoms.
+    """A concrete positive value for delta validating all asserted atoms.
 
     Given a delta-rational assignment that satisfies every asserted
     constraint symbolically, every ``expr < 0`` atom evaluates to
-    ``r + k*delta`` with either ``r < 0`` or (``r == 0`` and ``k < 0``).
-    Any delta below ``min(-r/k)`` over atoms with ``k > 0`` works; we
-    also cap at 1.
+    ``r + k*delta`` with either ``r < 0`` or (``r == 0`` and ``k < 0``),
+    and any delta below ``min(-r/k)`` over atoms with ``k > 0`` keeps it
+    negative.  Non-strict ``expr <= 0`` atoms with ``r < 0 < k`` impose
+    the same cap (``delta <= -r/k``): ignoring them can push the
+    concrete point past a competing weak bound.  Also capped at 1.
     """
     bound = Fraction(1)
-    for expr in strict_exprs:
-        real = expr.const
-        k = Fraction(0)
-        for var, coeff in expr.coeffs.items():
-            value = assignment[var]
-            real += coeff * value.real
-            k += coeff * value.k
-        if k > 0:
-            # real + k*delta < 0 requires delta < -real/k (real < 0 here).
-            limit = -real / k
-            if limit <= 0:
-                raise AssertionError("strict atom infeasible at concretization")
-            bound = min(bound, limit / 2)
+    for strict, exprs in ((True, strict_exprs), (False, nonstrict_exprs)):
+        for expr in exprs:
+            real = expr.const
+            k = Fraction(0)
+            for var, coeff in expr.coeffs.items():
+                value = assignment[var]
+                real += coeff * value.real
+                k += coeff * value.k
+            if k > 0:
+                # real + k*delta (<|<=) 0 requires delta (<|<=) -real/k.
+                limit = -real / k
+                if limit <= 0:
+                    # delta must be positive, so a zero cap is already
+                    # a symbolic violation.
+                    raise AssertionError("atom infeasible at concretization")
+                bound = min(bound, limit / 2 if strict else limit)
     return bound
 
 
 def concrete_model(
     assignment: Mapping[Var, DeltaRational],
     strict_exprs: Iterable[LinExpr],
+    nonstrict_exprs: Iterable[LinExpr] = (),
 ) -> dict[Var, Fraction]:
     """Substitute a concrete delta into a delta-rational assignment."""
-    delta = concretize_delta(assignment, strict_exprs)
+    delta = concretize_delta(assignment, strict_exprs, nonstrict_exprs)
     return {var: value.real + value.k * delta for var, value in assignment.items()}

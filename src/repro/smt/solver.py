@@ -24,7 +24,14 @@ from fractions import Fraction
 from typing import Any, Iterable
 
 from .cnf import CnfBuilder
-from .formula import LT, NE, Atom, BVar, Formula
+from .formula import EQ, LE, LT, NE, Atom, BVar, Formula
+from .proof import (
+    BOOL,
+    FarkasCert,
+    FarkasEntry,
+    ProofLog,
+    TrichotomyCert,
+)
 from .sat import SatSolver
 from .simplex import TheoryConflict
 from .terms import LinExpr, Var
@@ -81,6 +88,8 @@ class Solver:
         max_rounds: int = 50_000,
         bnb_budget: int = 4000,
         ordering_lemmas: bool = True,
+        proof: bool = False,
+        minimize_cores: bool = False,
     ) -> None:
         self._builder = CnfBuilder()
         self._sat = SatSolver()
@@ -88,6 +97,7 @@ class Solver:
         self._max_rounds = max_rounds
         self._bnb_budget = bnb_budget
         self._ordering_lemmas = ordering_lemmas
+        self._minimize_cores = minimize_cores
         self._model: Model | None = None
         self._eq_split: set[Atom] = set()
         self._budget_events = 0
@@ -95,6 +105,11 @@ class Solver:
         self._emitted_lemmas: set[tuple[int, ...]] = set()
         # var -> sorted bound chains for incremental ordering lemmas.
         self._chains: dict[Var, dict[str, list]] = {}
+        # Proof logging: UNSAT verdicts become independently checkable
+        # by repro.analysis.certify when enabled.
+        self.proof_log: ProofLog | None = ProofLog() if proof else None
+        self._sat.proof = self.proof_log
+        self._atoms_registered = 0
 
     # ------------------------------------------------------------------
     def add(self, *formulas: Formula) -> None:
@@ -105,13 +120,38 @@ class Solver:
     def _sync_clauses(self) -> None:
         result = self._builder.result
         self._sat.ensure_vars(result.num_vars)
+        self._register_atoms()
         while self._clauses_sent < len(result.clauses):
             clause = result.clauses[self._clauses_sent]
             self._clauses_sent += 1
             if not clause:
+                # An empty clause of the encoding is an axiom of the
+                # asserted formulas; record it so the proof log still
+                # holds a refutation step.
+                if self.proof_log is not None:
+                    self.proof_log.log_clause([], kind="input")
                 self._sat.ok = False
                 continue
             self._sat.add_clause(list(clause))
+
+    def _register_atoms(self) -> None:
+        """Mirror the CNF builder's atom table into the proof log."""
+        if self.proof_log is None:
+            return
+        atom_map = self._builder.result.atom_of_var
+        num_vars = self._builder.result.num_vars
+        if num_vars == self._atoms_registered:
+            return
+        # Leaf variables get their atom at allocation time, so every
+        # variable above the watermark is either a known leaf or a
+        # Tseitin auxiliary (registered as propositional).
+        for sat_var in range(self._atoms_registered + 1, num_vars + 1):
+            leaf = atom_map.get(sat_var)
+            if isinstance(leaf, Atom):
+                self.proof_log.register_atom(sat_var, leaf.expr, leaf.op)
+            else:
+                self.proof_log.register_atom(sat_var, None, BOOL)
+        self._atoms_registered = num_vars
 
     # ------------------------------------------------------------------
     def check(self, assumptions: list[Formula] | None = None) -> str:
@@ -127,6 +167,12 @@ class Solver:
         self._model = None
         self._budget_events = 0
         if self._builder.result.trivially_false or not self._sat.ok:
+            if self.proof_log is not None:
+                if not self.proof_log.has_refutation:
+                    # Trivially-false encoding: a ``False`` axiom was
+                    # asserted before any clause reached the SAT core.
+                    self.proof_log.log_clause([], kind="input")
+                self.proof_log.result = UNSAT
             return UNSAT
         assumption_lits = (
             [self._literal(formula) for formula in assumptions]
@@ -134,14 +180,19 @@ class Solver:
             else []
         )
         self._add_bound_lemmas()
+        self._register_atoms()
         for _ in range(self._max_rounds):
             self._sat.finish()
             if not self._sat.solve(assumptions=assumption_lits):
+                if self.proof_log is not None:
+                    self.proof_log.result = UNSAT
                 return UNSAT
             sat_model = self._sat.model()
             outcome = self._theory_round(sat_model)
             if outcome is not None:
                 self._model = outcome
+                if self.proof_log is not None:
+                    self.proof_log.result = SAT
                 return SAT
         raise SolverError(f"lazy SMT loop exceeded {self._max_rounds} rounds")
 
@@ -200,10 +251,17 @@ class Solver:
         try:
             values = check_conjunction(constraints, max_nodes=self._bnb_budget)
         except TheoryConflict as conflict:
+            if self._minimize_cores:
+                conflict = self._minimize_conflict(conflict, constraints)
             blocking = [-lit for lit in conflict.core]
             if not blocking:
+                if self.proof_log is not None:
+                    self.proof_log.expect([], "theory", conflict.cert)
+                    self.proof_log.log_clause([])
                 self._sat.ok = False
                 return None
+            if self.proof_log is not None:
+                self.proof_log.expect(blocking, "theory", conflict.cert)
             self._sat.finish()
             self._sat.add_clause(blocking)
             return None
@@ -224,11 +282,49 @@ class Solver:
             ]
             if not blocking:
                 raise
+            if self.proof_log is not None:
+                # Deliberately unjustified: the auditor refuses to
+                # certify an UNSAT verdict that rests on such a step.
+                self.proof_log.expect(blocking, "budget-block", None)
             self._sat.finish()
             self._sat.add_clause(blocking)
             return None
 
         return Model(values=dict(values), booleans=booleans)
+
+    def _minimize_conflict(
+        self,
+        conflict: TheoryConflict,
+        constraints: list[tuple[Atom, int]],
+    ) -> TheoryConflict:
+        """Deletion-based minimization of a theory conflict core.
+
+        Tries dropping each core tag in turn; a drop sticks when the
+        remaining constraints are still infeasible on their own (the
+        re-check's conflict -- certificate included -- replaces the
+        current one, and may itself shed further tags).  The result is
+        a shorter blocking clause, which prunes the boolean search
+        harder per lemma.
+        """
+        atom_of_tag = {tag: atom for atom, tag in constraints}
+        core = set(conflict.core)
+        best = conflict
+        for tag in sorted(core, key=lambda t: (abs(t), t)):
+            if tag not in core or len(core) <= 1:
+                continue
+            trial = [
+                (atom_of_tag[t], t)
+                for t in sorted(core - {tag}, key=lambda t: (abs(t), t))
+                if t in atom_of_tag
+            ]
+            try:
+                check_conjunction(trial, max_nodes=self._bnb_budget)
+            except TheoryConflict as sub:
+                core = set(sub.core)
+                best = sub
+            except SolverBudgetError:
+                continue  # too expensive to decide; keep the tag
+        return best
 
     # ------------------------------------------------------------------
     # Static theory-propagation lemmas
@@ -358,14 +454,71 @@ class Solver:
         if key in self._emitted_lemmas:
             return
         self._emitted_lemmas.add(key)
+        if self.proof_log is not None:
+            self.proof_log.expect(clause, "theory", self._lemma_cert(clause))
         self._builder.add_clause(clause)
+
+    def _lemma_cert(self, clause: list[int]) -> FarkasCert | None:
+        """Farkas certificate for a binary single-variable bound lemma.
+
+        A lemma clause ``[l1, l2]`` claims the conjunction of the
+        *negated* literals infeasible; both constraints range over the
+        same single variable, so a two-entry combination cancelling it
+        always exists when the lemma is sound.
+        """
+        atom_of_var = self._builder.result.atom_of_var
+        asserted: list[tuple[int, Atom]] = []
+        for lit in clause:
+            neg = -lit
+            leaf = atom_of_var.get(abs(neg))
+            if not isinstance(leaf, Atom):
+                return None
+            atom = leaf if neg > 0 else leaf.negated()
+            if atom.op not in (LE, LT, EQ):
+                return None
+            asserted.append((neg, atom))
+        if len(asserted) != 2:
+            return None
+        (l1, a1), (l2, a2) = asserted
+        c1 = list(a1.expr.coeffs.items())
+        c2 = list(a2.expr.coeffs.items())
+        if len(c1) != 1 or len(c2) != 1 or c1[0][0] != c2[0][0]:
+            return None
+        lam1 = Fraction(1)
+        lam2 = -c1[0][1] / c2[0][1]
+        for scale in (Fraction(1), Fraction(-1)):
+            k1, k2 = scale * lam1, scale * lam2
+            if (k1 < 0 and a1.op != EQ) or (k2 < 0 and a2.op != EQ):
+                continue
+            d = k1 * a1.expr.const + k2 * a2.expr.const
+            strict = (a1.op == LT and k1 > 0) or (a2.op == LT and k2 > 0)
+            if d > 0 or (d == 0 and strict):
+                return FarkasCert(
+                    tuple(
+                        FarkasEntry(
+                            coeff=k,
+                            lit=lit,
+                            orig_expr=atom.expr,
+                            orig_op=atom.op,
+                            used_expr=atom.expr,
+                            used_op=atom.op,
+                        )
+                        for k, lit, atom in ((k1, l1, a1), (k2, l2, a2))
+                    )
+                )
+        return None
 
     def _add_eq_split(self, eq_atom: Atom, eq_sat_var: int) -> None:
         """Lemma: ~(e = 0) -> (e < 0 | -e < 0)."""
         self._eq_split.add(eq_atom)
         lt_var = self._builder.var_for(Atom(eq_atom.expr, LT))
         gt_var = self._builder.var_for(Atom(-eq_atom.expr, LT))
-        self._builder.add_clause([eq_sat_var, lt_var, gt_var])
+        clause = [eq_sat_var, lt_var, gt_var]
+        if self.proof_log is not None:
+            self.proof_log.expect(
+                clause, "trichotomy", TrichotomyCert(eq_atom.expr)
+            )
+        self._builder.add_clause(clause)
 
     # ------------------------------------------------------------------
     def model(self) -> Model:

@@ -27,6 +27,7 @@ from fractions import Fraction
 from typing import Hashable, Sequence
 
 from .formula import EQ, LE, LT, Atom
+from .proof import FarkasCert, FarkasEntry, IntDivCert, SplitCert, TheoryCert
 from .simplex import Simplex, TheoryConflict, concrete_model
 from .terms import LinExpr, Var
 
@@ -39,10 +40,21 @@ class SolverBudgetError(Exception):
 
 @dataclass(frozen=True)
 class _BranchTag:
-    """Pseudo-tag for branching bounds (filtered out of conflict cores)."""
+    """Pseudo-tag for branching bounds.
+
+    Branch tags are internal to branch and bound: each split frame
+    removes its *own* two tags when merging its children's cores (the
+    split certificate justifies the removal), so no branch tag ever
+    reaches the conflict core surfaced to the SAT layer.
+    """
 
     depth: int
     side: str
+
+    @property
+    def ref(self) -> int:
+        """Stable identifier used by split certificates."""
+        return self.depth * 2 + (1 if self.side == "ge" else 0)
 
 
 def _is_pure_int(expr: LinExpr) -> bool:
@@ -101,14 +113,84 @@ def check_conjunction(
     or :class:`SolverBudgetError` when branch and bound gives up.
     """
     prepared: list[tuple[Atom, Tag]] = []
+    orig_of_tag: dict[Tag, Atom] = {}
     for atom, tag in constraints:
+        orig_of_tag.setdefault(tag, atom)
         tightened = tighten(atom)
         if tightened is True:
             continue
         if tightened is False:
-            raise TheoryConflict(frozenset([tag]))
+            raise TheoryConflict(
+                frozenset([tag]), cert=_refute_folded(atom, tag)
+            )
         prepared.append((tightened, tag))
-    return _branch_and_bound(prepared, max_nodes)
+    return _branch_and_bound(prepared, max_nodes, orig_of_tag)
+
+
+def _refute_folded(atom: Atom, tag: Tag) -> TheoryCert:
+    """Certificate for an atom :func:`tighten` folded to False.
+
+    Either the atom is a false constant (one-entry Farkas) or it is an
+    integer equality whose coefficient gcd does not divide the constant
+    (divisibility refutation).
+    """
+    expr = atom.expr
+    if expr.is_constant:
+        sign = (
+            Fraction(-1)
+            if atom.op == EQ and expr.const < 0
+            else Fraction(1)
+        )
+        entry = FarkasEntry(
+            coeff=sign,
+            lit=tag if isinstance(tag, int) else None,
+            orig_expr=expr,
+            orig_op=atom.op,
+            used_expr=expr,
+            used_op=atom.op,
+        )
+        return FarkasCert((entry,))
+    return IntDivCert(lit=tag if isinstance(tag, int) else 0, expr=expr)
+
+
+def _leaf_cert(
+    conflict: TheoryConflict, orig_of_tag: dict[Tag, Atom]
+) -> TheoryCert | None:
+    """Wrap a simplex conflict's Farkas witness into a certificate leaf."""
+    if conflict.cert is not None:
+        return conflict.cert  # pragma: no cover - defensive
+    if conflict.farkas is None:
+        return None  # pragma: no cover - defensive
+    entries: list[FarkasEntry] = []
+    for coeff, tag, expr, op in conflict.farkas:
+        if isinstance(tag, _BranchTag):
+            entries.append(
+                FarkasEntry(
+                    coeff=coeff,
+                    lit=None,
+                    branch=tag.ref,
+                    orig_expr=expr,
+                    orig_op=op,
+                    used_expr=expr,
+                    used_op=op,
+                )
+            )
+            continue
+        orig = orig_of_tag.get(tag)
+        orig_expr, orig_op = (
+            (orig.expr, orig.op) if orig is not None else (expr, op)
+        )
+        entries.append(
+            FarkasEntry(
+                coeff=coeff,
+                lit=tag if isinstance(tag, int) else None,
+                orig_expr=orig_expr,
+                orig_op=orig_op,
+                used_expr=expr,
+                used_op=op,
+            )
+        )
+    return FarkasCert(tuple(entries))
 
 
 def _lra_check(
@@ -117,17 +199,21 @@ def _lra_check(
     """One rational-relaxation feasibility check."""
     simplex = Simplex()
     strict_exprs: list[LinExpr] = []
+    nonstrict_exprs: list[LinExpr] = []
     for atom, tag in constraints:
         if atom.op == LT:
             strict_exprs.append(atom.expr)
+        elif atom.op == LE:
+            nonstrict_exprs.append(atom.expr)
         simplex.assert_atom(atom, tag)
     assignment = simplex.check()
-    return concrete_model(assignment, strict_exprs)
+    return concrete_model(assignment, strict_exprs, nonstrict_exprs)
 
 
 def _branch_and_bound(
     base: list[tuple[Atom, Tag]],
     max_nodes: int,
+    orig_of_tag: dict[Tag, Atom] | None = None,
 ) -> dict[Var, Fraction]:
     """Iterative depth-first branch and bound.
 
@@ -135,33 +221,67 @@ def _branch_and_bound(
     chains -- e.g. thin rational slivers with no integer points -- from
     blowing the interpreter's recursion limit.  When a subproblem is
     integer-infeasible, the conflict core is the union of both
-    branches' cores with the branch bounds themselves removed (every
-    integer point satisfies one of the two bounds).
+    branches' cores with *that split's* branch bounds removed (every
+    integer point satisfies one of the two bounds); branch tags of
+    enclosing splits stay in the core until their own frame merges
+    them, so the surfaced core never silently drops a bound it depends
+    on.  Every conflict carries a composed certificate: Farkas leaves
+    from the simplex joined by :class:`~repro.smt.proof.SplitCert`
+    nodes at each exhausted split.
     """
-    # Each stack frame: (branch constraints, parent frame index,
-    # accumulated child cores).
-    frames: list[dict] = [{"extra": [], "parent": -1, "cores": [], "pending": 2}]
+    orig_atoms = orig_of_tag if orig_of_tag is not None else {}
+    # Each stack frame: branch constraints, parent frame index, the
+    # side of the parent's split it explores, accumulated child
+    # (core, cert, side) triples, and the split it opened (if any).
+    frames: list[dict] = [
+        {"extra": [], "parent": -1, "side": "", "cores": [], "pending": 2,
+         "split": None}
+    ]
     stack: list[int] = [0]
     nodes = 0
 
-    def fail_upward(index: int, core: frozenset[Tag]) -> dict[Var, Fraction]:
-        """Record a core; raise when both branches of an ancestor failed."""
+    def compose(frame: dict) -> tuple[frozenset[Tag], TheoryCert | None]:
+        """Merge both children of an exhausted split frame."""
+        branch_var, floor_v, le_tag, ge_tag = frame["split"]
+        by_side = {side: cert for _, cert, side in frame["cores"]}
+        merged = frozenset(
+            tag
+            for child_core, _, _ in frame["cores"]
+            for tag in child_core
+        ) - {le_tag, ge_tag}
+        cert: TheoryCert | None = None
+        if by_side.get("le") is not None and by_side.get("ge") is not None:
+            cert = SplitCert(
+                var=branch_var,
+                floor=floor_v,
+                le_ref=le_tag.ref,
+                ge_ref=ge_tag.ref,
+                le_cert=by_side["le"],
+                ge_cert=by_side["ge"],
+            )
+        return merged, cert
+
+    def fail_upward(
+        index: int, core: frozenset[Tag], cert: TheoryCert | None
+    ) -> None:
+        """Record a failed frame; raise when the root is exhausted."""
         while True:
             frame = frames[index]
-            frame["cores"].append(core)
-            frame["pending"] -= 1
-            if frame["pending"] > 0:
-                return {}
-            merged = frozenset(
-                tag
-                for child_core in frame["cores"]
-                for tag in child_core
-                if not isinstance(tag, _BranchTag)
-            )
-            if frame["parent"] < 0:
-                raise TheoryConflict(merged)
-            index = frame["parent"]
-            core = merged
+            parent = frame["parent"]
+            if parent < 0:
+                raise TheoryConflict(
+                    frozenset(
+                        tag for tag in core if not isinstance(tag, _BranchTag)
+                    ),
+                    cert=cert,
+                )
+            pframe = frames[parent]
+            pframe["cores"].append((core, cert, frame["side"]))
+            pframe["pending"] -= 1
+            if pframe["pending"] > 0:
+                return
+            core, cert = compose(pframe)
+            index = parent
 
     while stack:
         if nodes >= max_nodes:
@@ -173,29 +293,29 @@ def _branch_and_bound(
         try:
             model = _lra_check(constraints)
         except TheoryConflict as conflict:
+            leaf = _leaf_cert(conflict, orig_atoms)
             if frame["parent"] < 0:
+                conflict.cert = leaf
                 raise
-            fail_upward(frame["parent"], conflict.core)
+            fail_upward(index, conflict.core, leaf)
             continue
         branch_var, value = _fractional_int_var(model)
         if branch_var is None:
             return model
         floor_v = math.floor(value)
-        depth = len(frame["extra"])
-        low = (Atom(LinExpr.var(branch_var) - floor_v, LE), _BranchTag(nodes, "le"))
-        high = (
-            Atom((floor_v + 1) - LinExpr.var(branch_var), LE),
-            _BranchTag(nodes, "ge"),
-        )
+        le_tag = _BranchTag(nodes, "le")
+        ge_tag = _BranchTag(nodes, "ge")
+        low = (Atom(LinExpr.var(branch_var) - floor_v, LE), le_tag)
+        high = (Atom((floor_v + 1) - LinExpr.var(branch_var), LE), ge_tag)
         frame["pending"] = 2
         frame["cores"] = []
-        for atom, tag in (high, low):
+        frame["split"] = (branch_var, floor_v, le_tag, ge_tag)
+        for (atom, tag), side in ((high, "ge"), (low, "le")):
             frames.append(
                 {"extra": frame["extra"] + [(atom, tag)], "parent": index,
-                 "cores": [], "pending": 2}
+                 "side": side, "cores": [], "pending": 2, "split": None}
             )
             stack.append(len(frames) - 1)
-        del depth
     # All branches failed; the root's fail_upward raised already --
     # reaching here means the root itself was the failing frame.
     raise TheoryConflict(frozenset())  # pragma: no cover - defensive

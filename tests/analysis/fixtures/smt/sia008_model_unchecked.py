@@ -1,0 +1,23 @@
+"""Fixture: SIA008 -- solver model read without a verdict check."""
+
+
+def broken(solver):
+    solver.check()  # verdict discarded: does not guard the read
+    return solver.model()  # planted violation (line 6)
+
+
+def sanctioned(solver):
+    # sia: allow(SIA008) -- test double whose model() never raises
+    return solver.model()
+
+
+def guarded(solver):
+    if solver.check() != "sat":
+        return None
+    return solver.model()
+
+
+def guarded_by_constant(solver, SAT):
+    verdict = solver.check()
+    assert verdict == SAT
+    return solver.model()

@@ -18,6 +18,7 @@ PLANTED = [
     ("sia005_bare_except.py", "SIA005", 7),
     ("sia006_frozen_mutation.py", "SIA006", 5),
     ("sia007_missing_slots.py", "SIA007", 8),
+    ("sia008_model_unchecked.py", "SIA008", 6),
 ]
 
 

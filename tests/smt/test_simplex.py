@@ -18,12 +18,15 @@ ez = LinExpr.var(Z)
 def solve(*atoms):
     simplex = Simplex()
     strict = []
+    nonstrict = []
     for i, atom in enumerate(atoms):
         if atom.op == LT:
             strict.append(atom.expr)
+        elif atom.op == LE:
+            nonstrict.append(atom.expr)
         simplex.assert_atom(atom, i)
     assignment = simplex.check()
-    return concrete_model(assignment, strict)
+    return concrete_model(assignment, strict, nonstrict)
 
 
 def assert_model_satisfies(model, atoms):
@@ -48,6 +51,16 @@ def test_strict_bounds_get_concrete_values():
     atoms = [Atom(ex - 5, LT), Atom(4 - ex, LT)]  # 4 < x < 5
     model = solve(*atoms)
     assert Fraction(4) < model[X] < Fraction(5)
+
+
+def test_concretization_respects_competing_weak_bound():
+    # -3 <= x < -5/2: the strict bound alone allows delta = 1, which
+    # would land at -7/2 and break the weak lower bound (regression:
+    # concretize_delta used to cap on strict atoms only).
+    atoms = [Atom(-3 - ex, LE), Atom(ex * 2 + 5, LT)]
+    model = solve(*atoms)
+    assert_model_satisfies(model, atoms)
+    assert Fraction(-3) <= model[X] < Fraction(-5, 2)
 
 
 def test_equality():
