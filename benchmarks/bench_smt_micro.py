@@ -3,15 +3,29 @@
 Not a paper artefact -- these track the performance of the solver
 components that every experiment sits on (sample generation is >70% of
 Sia's total time in Table 3, and it is pure solver work).
+
+Two entry points share the workload bodies below:
+
+* ``pytest benchmarks/bench_smt_micro.py`` runs them under
+  pytest-benchmark for interactive comparison;
+* ``python benchmarks/bench_smt_micro.py`` times them standalone and
+  writes ``BENCH_smt_micro.json`` at the repo root (median/p95 per
+  benchmark plus the :data:`repro.smt.stats.GLOBAL_COUNTERS` delta),
+  including a warm-vs-cold CEGIS comparison that measures how many
+  solver constructions :class:`repro.smt.SmtSession` saves per
+  synthesized query.
 """
 
+import argparse
 import random
+import time
 
 from repro.smt import (
     NE,
     SAT,
     Atom,
     LinExpr,
+    SmtSession,
     Solver,
     Var,
     compare,
@@ -21,6 +35,7 @@ from repro.smt import (
 )
 from repro.smt.qe import unsat_region
 from repro.smt.sat import SatSolver
+from repro.smt.stats import GLOBAL_COUNTERS
 
 X = Var("x")
 Y = Var("y")
@@ -29,51 +44,62 @@ ex, ey, eb = LinExpr.var(X), LinExpr.var(Y), LinExpr.var(B)
 c = LinExpr.const_expr
 
 
-def test_sat_random_3sat(benchmark):
+def _random_3sat_clauses() -> list[list[int]]:
     rng = random.Random(7)
-    clauses = []
-    for _ in range(400):
-        clauses.append(
-            [rng.choice([-1, 1]) * rng.randint(1, 60) for _ in range(3)]
-        )
+    return [
+        [rng.choice([-1, 1]) * rng.randint(1, 60) for _ in range(3)]
+        for _ in range(400)
+    ]
 
-    def solve():
-        solver = SatSolver()
-        for clause in clauses:
-            solver.add_clause(list(clause))
-        return solver.solve()
 
-    benchmark(solve)
+_CLAUSES_3SAT = _random_3sat_clauses()
+
+
+def run_sat_random_3sat():
+    solver = SatSolver()
+    for clause in _CLAUSES_3SAT:
+        solver.add_clause(list(clause))
+    return solver.solve()
+
+
+def test_sat_random_3sat(benchmark):
+    benchmark(run_sat_random_3sat)
+
+
+_CONJUNCTION = conj(
+    [
+        compare(ex + ey, "<", c(100)),
+        compare(ex - ey, ">", c(-50)),
+        compare(ex, ">=", c(0)),
+        compare(ey, ">=", c(0)),
+        compare(ex * 3 + ey * 2, "<=", c(240)),
+    ]
+)
+
+
+def run_smt_conjunction_check():
+    return is_satisfiable(_CONJUNCTION)
 
 
 def test_smt_conjunction_check(benchmark):
-    formula = conj(
-        [
-            compare(ex + ey, "<", c(100)),
-            compare(ex - ey, ">", c(-50)),
-            compare(ex, ">=", c(0)),
-            compare(ey, ">=", c(0)),
-            compare(ex * 3 + ey * 2, "<=", c(240)),
-        ]
-    )
-    benchmark(lambda: is_satisfiable(formula))
+    benchmark(run_smt_conjunction_check)
+
+
+def run_model_enumeration_50():
+    base = conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(1000))])
+    solver = Solver()
+    solver.add(base)
+    for _ in range(50):
+        assert solver.check() == SAT
+        value = solver.model().value(X)
+        solver.add(Atom(LinExpr.var(X) - value, NE))
 
 
 def test_model_enumeration_50(benchmark):
-    base = conj([compare(ex, ">=", c(0)), compare(ex, "<=", c(1000))])
-
-    def enumerate_models():
-        solver = Solver()
-        solver.add(base)
-        for _ in range(50):
-            assert solver.check() == SAT
-            value = solver.model().value(X)
-            solver.add(Atom(LinExpr.var(X) - value, NE))
-
-    benchmark(enumerate_models)
+    benchmark(run_model_enumeration_50)
 
 
-def test_quantifier_elimination(benchmark):
+def run_quantifier_elimination():
     pred = conj(
         [
             compare(ex - eb, "<", c(20)),
@@ -81,16 +107,65 @@ def test_quantifier_elimination(benchmark):
             compare(eb, "<", c(0)),
         ]
     )
-    benchmark(lambda: unsat_region(pred, {X, Y}))
+    return unsat_region(pred, {X, Y})
 
 
-def test_disjunctive_formula_check(benchmark):
+def test_quantifier_elimination(benchmark):
+    benchmark(run_quantifier_elimination)
+
+
+def run_disjunctive_formula_check():
     branches = [
         conj([compare(ex, ">=", c(i * 10)), compare(ex, "<", c(i * 10 + 5))])
         for i in range(12)
     ]
-    formula = conj([disj(branches), compare(ex, ">", c(57))])
-    benchmark(lambda: is_satisfiable(formula))
+    return is_satisfiable(conj([disj(branches), compare(ex, ">", c(57))]))
+
+
+def test_disjunctive_formula_check(benchmark):
+    benchmark(run_disjunctive_formula_check)
+
+
+# ----------------------------------------------------------------------
+# Warm session vs. fresh solvers
+# ----------------------------------------------------------------------
+_PROBE_POINTS = [random.Random(11).randint(0, 90) for _ in range(40)]
+
+
+def run_session_scoped_probes():
+    """One warm session; each probe is a pushed/retracted scope."""
+    session = SmtSession()
+    session.assert_base(_CONJUNCTION)
+    sat = 0
+    for point in _PROBE_POINTS:
+        scope = session.push(compare(ex, "=", c(point)), label="probe")
+        if session.check() == SAT:
+            sat += 1
+        scope.retract()
+    return sat
+
+
+def run_fresh_solver_probes():
+    """The historical pattern: a cold solver per probe."""
+    sat = 0
+    for point in _PROBE_POINTS:
+        solver = Solver()
+        solver.add(_CONJUNCTION, compare(ex, "=", c(point)))
+        if solver.check() == SAT:
+            sat += 1
+    return sat
+
+
+def test_session_scoped_probes(benchmark):
+    benchmark(run_session_scoped_probes)
+
+
+def test_fresh_solver_probes(benchmark):
+    benchmark(run_fresh_solver_probes)
+
+
+def test_session_and_fresh_probes_agree():
+    assert run_session_scoped_probes() == run_fresh_solver_probes()
 
 
 # ----------------------------------------------------------------------
@@ -122,29 +197,27 @@ def blocking_clause_sizes(minimize: bool) -> list[int]:
     return [len(s.lits) for s in solver.proof_log.theory_steps()]
 
 
+def run_unsat_with_proof_logging():
+    solver = Solver(proof=True)
+    solver.add(unsat_disjunctive_formula())
+    return solver.check()
+
+
 def test_unsat_with_proof_logging(benchmark):
     """Overhead of proof logging on an UNSAT disjunctive formula."""
-    formula = unsat_disjunctive_formula()
+    benchmark(run_unsat_with_proof_logging)
 
-    def solve():
-        solver = Solver(proof=True)
-        solver.add(formula)
-        return solver.check()
 
-    benchmark(solve)
+def run_unsat_with_core_minimization():
+    solver = Solver(proof=True, minimize_cores=True)
+    solver.add(unsat_disjunctive_formula())
+    return solver.check()
 
 
 def test_unsat_with_core_minimization(benchmark):
     """Cost of deletion-based core minimization; reports the blocking-
     clause size delta against the unminimized run."""
-    formula = unsat_disjunctive_formula()
-
-    def solve():
-        solver = Solver(proof=True, minimize_cores=True)
-        solver.add(formula)
-        return solver.check()
-
-    benchmark(solve)
+    benchmark(run_unsat_with_core_minimization)
 
     plain = blocking_clause_sizes(minimize=False)
     minimized = blocking_clause_sizes(minimize=True)
@@ -153,3 +226,190 @@ def test_unsat_with_core_minimization(benchmark):
         benchmark.extra_info["blocking_clause_lits_minimized"] = sum(minimized)
         benchmark.extra_info["clause_size_delta"] = sum(plain) - sum(minimized)
         assert sum(minimized) <= sum(plain)
+
+
+# ----------------------------------------------------------------------
+# Standalone driver: BENCH_smt_micro.json
+# ----------------------------------------------------------------------
+MICRO_RUNNERS = {
+    "sat_random_3sat": run_sat_random_3sat,
+    "smt_conjunction_check": run_smt_conjunction_check,
+    "model_enumeration_50": run_model_enumeration_50,
+    "quantifier_elimination": run_quantifier_elimination,
+    "disjunctive_formula_check": run_disjunctive_formula_check,
+    "session_scoped_probes": run_session_scoped_probes,
+    "fresh_solver_probes": run_fresh_solver_probes,
+    "unsat_with_proof_logging": run_unsat_with_proof_logging,
+    "unsat_with_core_minimization": run_unsat_with_core_minimization,
+}
+
+
+def _timed_entry(fn, runs: int) -> dict:
+    from repro.bench.perflog import summarize_times
+
+    before = GLOBAL_COUNTERS.snapshot()
+    times_ms = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        times_ms.append((time.perf_counter() - start) * 1000.0)
+    entry = summarize_times(times_ms)
+    entry["counters"] = GLOBAL_COUNTERS.delta_since(before)
+    return entry
+
+
+def _cegis_cells(num_queries: int, seed: int):
+    """(predicate, subset) synthesis cells over date-column pairs.
+
+    Two-column subsets drive multi-iteration CEGIS loops (single
+    columns mostly converge in one round, where a warm session has
+    nothing to amortize).
+    """
+    import itertools
+
+    from repro.tpch import LINEITEM_DATES, generate_workload
+
+    cells = []
+    for wq in generate_workload(num_queries, seed=seed):
+        for pair in itertools.combinations(LINEITEM_DATES, 2):
+            if set(pair) <= wq.predicate.columns():
+                cells.append((wq.predicate, frozenset(pair)))
+    return cells
+
+
+def _run_cegis(cells, *, warm: bool) -> dict:
+    from dataclasses import replace
+
+    from repro.bench.perflog import summarize_times
+    from repro.core import SIA_DEFAULT, Synthesizer
+
+    config = replace(SIA_DEFAULT, warm_sessions=warm)
+    before = GLOBAL_COUNTERS.snapshot()
+    times_ms = []
+    for predicate, subset in cells:
+        start = time.perf_counter()
+        Synthesizer(config).synthesize(predicate, set(subset))
+        times_ms.append((time.perf_counter() - start) * 1000.0)
+    entry = summarize_times(times_ms)
+    entry["counters"] = GLOBAL_COUNTERS.delta_since(before)
+    entry["solver_constructions_per_query"] = round(
+        entry["counters"]["solvers_constructed"] / max(len(cells), 1), 3
+    )
+    return entry
+
+
+def cegis_warm_vs_cold(num_queries: int, seed: int) -> dict[str, dict]:
+    """Warm-session vs. fresh-solver CEGIS over a small workload.
+
+    The acceptance bar for the warm-session work: at least 2x fewer
+    solver constructions per synthesized query, and a lower median
+    wall-clock, both recorded in the JSON trajectory.
+    """
+    cells = _cegis_cells(num_queries, seed)
+    warm = _run_cegis(cells, warm=True)
+    cold = _run_cegis(cells, warm=False)
+    ratio = cold["solver_constructions_per_query"] / max(
+        warm["solver_constructions_per_query"], 1e-9
+    )
+    comparison = {
+        "queries": len(cells),
+        "construction_ratio_cold_over_warm": round(ratio, 2),
+        "median_speedup": round(
+            cold["median_ms"] / max(warm["median_ms"], 1e-9), 3
+        ),
+    }
+    return {
+        "cegis/warm": warm,
+        "cegis/cold": cold,
+        "cegis/warm_vs_cold": comparison,
+    }
+
+
+def parallel_driver_bench(num_queries: int, seed: int, runs: int) -> dict[str, dict]:
+    """Wall-clock of the process-pool workload driver vs. one process.
+
+    Uses the solver-free TC technique so the entry times the driver
+    itself (fan-out, per-worker counter capture, ordered merge) rather
+    than CEGIS; the merged record stream is identical either way, which
+    tests/bench/test_parallel.py asserts.
+    """
+    from repro.bench.parallel import default_workers, parallel_efficacy_records
+    from repro.bench.perflog import summarize_times
+
+    out: dict[str, dict] = {}
+    workers = max(2, default_workers())
+    for label, n in (("sequential", 1), ("workers", workers)):
+        before = GLOBAL_COUNTERS.snapshot()
+        times_ms = []
+        records = 0
+        for _ in range(runs):
+            start = time.perf_counter()
+            result = parallel_efficacy_records(
+                num_queries=num_queries,
+                seed=seed,
+                techniques=("TC",),
+                workers=n,
+            )
+            times_ms.append((time.perf_counter() - start) * 1000.0)
+            records = len(result.records)
+        entry = summarize_times(times_ms)
+        entry["counters"] = GLOBAL_COUNTERS.delta_since(before)
+        entry["workers"] = n
+        entry["records"] = records
+        out[f"parallel/tc_{label}"] = entry
+    return out
+
+
+def main(argv=None) -> int:
+    from repro.bench.perflog import DEFAULT_PATH, update_bench_json
+
+    parser = argparse.ArgumentParser(
+        description="SMT micro-benchmarks -> BENCH_smt_micro.json"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="timed runs per benchmark"
+    )
+    parser.add_argument(
+        "--cegis-queries", type=int, default=4,
+        help="workload queries for the warm-vs-cold CEGIS comparison",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", default=str(DEFAULT_PATH))
+    parser.add_argument(
+        "--skip-cegis", action="store_true",
+        help="micro-benchmarks only (fast smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    entries: dict[str, dict] = {}
+    for name, fn in MICRO_RUNNERS.items():
+        entries[f"micro/{name}"] = _timed_entry(fn, args.runs)
+        print(
+            f"micro/{name}: median {entries[f'micro/{name}']['median_ms']} ms"
+        )
+    entries.update(
+        parallel_driver_bench(args.cegis_queries, args.seed, args.runs)
+    )
+    for name in ("parallel/tc_sequential", "parallel/tc_workers"):
+        print(
+            f"{name}: median {entries[name]['median_ms']} ms "
+            f"({entries[name]['workers']} workers)"
+        )
+    if not args.skip_cegis:
+        entries.update(cegis_warm_vs_cold(args.cegis_queries, args.seed))
+        comparison = entries["cegis/warm_vs_cold"]
+        print(
+            "cegis: warm constructs "
+            f"{entries['cegis/warm']['solver_constructions_per_query']} "
+            "solvers/query vs cold "
+            f"{entries['cegis/cold']['solver_constructions_per_query']} "
+            f"({comparison['construction_ratio_cold_over_warm']}x fewer), "
+            f"median speedup {comparison['median_speedup']}x"
+        )
+    path = update_bench_json(entries, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,14 @@ file and enforces them directly:
   ``while``/``assert`` condition.  A bare ``solver.check()`` statement
   whose verdict is discarded does *not* count.
 
+* **Warm-session discipline** (SIA009), enforced under ``repro/core/``:
+  constructing a bare ``Solver(...)`` there bypasses the persistent
+  :class:`~repro.smt.session.SmtSession` layer (activation literals,
+  counter reuse, docs/INTERNALS.md "Incremental sessions").  Core code
+  must route checks through a session, or through
+  ``certified_solver`` for proof-logged verdicts; deliberate
+  exceptions carry ``# sia: allow(SIA009)``.
+
 The linter is purely syntactic -- it never imports the code it checks.
 """
 
@@ -60,6 +68,10 @@ _SANCTIONED_MUTATORS = frozenset(
     {"__init__", "__post_init__", "__new__", "__setattr__", "__delattr__"}
 )
 
+# Files under the core zone that may construct Solver directly (SIA009)
+# -- a session-layer module would live here if core ever grew one.
+_SESSION_MODULES = frozenset({"session.py"})
+
 
 def zone_of(path: Path) -> str:
     """Lint zone of a source file, derived from its path segments."""
@@ -75,6 +87,10 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, zone: str) -> None:
         self.path = path
         self.zone = zone
+        parts = Path(path).parts
+        self._core_zone = (
+            "core" in parts and Path(path).name not in _SESSION_MODULES
+        )
         self.findings: list[Finding] = []
         self._class_stack: list[str] = []
         self._func_stack: list[str] = []
@@ -177,6 +193,17 @@ class _Linter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if self._core_zone and (
+            (isinstance(func, ast.Name) and func.id == "Solver")
+            or (isinstance(func, ast.Attribute) and func.attr == "Solver")
+        ):
+            self._report(
+                node,
+                "SIA009",
+                "direct Solver(...) construction bypasses the warm "
+                "session layer; use SmtSession (or certified_solver "
+                "for proof-logged verdicts)",
+            )
         if isinstance(func, ast.Name):
             if func.id == "float" and self.zone in (EXACT_ZONE, BOUNDARY_ZONE):
                 self._report(

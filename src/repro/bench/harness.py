@@ -14,6 +14,7 @@ REPRO_BENCH_QUERIES    8        workload size (paper: 200)
 REPRO_BENCH_SEED       42       workload seed
 REPRO_BENCH_SF_SMALL   0.005    small scale factor (paper: 1)
 REPRO_BENCH_SF_LARGE   0.02     large scale factor (paper: 10)
+REPRO_BENCH_PARALLEL   0        efficacy worker processes (0/1 = in-process)
 =====================  =======  ==========================================
 
 The defaults keep the whole benchmark suite in the minutes range; set
@@ -194,13 +195,31 @@ def efficacy_records(
     seed: int | None = None,
     techniques: tuple[str, ...] = TECHNIQUES,
 ) -> list[EfficacyRecord]:
-    """Synthesis attempts for every (query, subset, technique)."""
+    """Synthesis attempts for every (query, subset, technique).
+
+    With ``REPRO_BENCH_PARALLEL`` set above 1, the workload is fanned
+    out over that many worker processes (see
+    :mod:`repro.bench.parallel`); record order is identical either way.
+    """
     num_queries = num_queries if num_queries is not None else bench_queries()
     seed = seed if seed is not None else bench_seed()
     key = (num_queries, seed, techniques)
     cached = _EFFICACY_CACHE.get(key)
     if cached is not None:
         return cached
+
+    workers = env_int("REPRO_BENCH_PARALLEL", 0)
+    if workers > 1:
+        from .parallel import parallel_efficacy_records
+
+        result = parallel_efficacy_records(
+            num_queries=num_queries,
+            seed=seed,
+            techniques=techniques,
+            workers=workers,
+        )
+        _EFFICACY_CACHE[key] = result.records
+        return result.records
 
     records: list[EfficacyRecord] = []
     for wq in generate_workload(num_queries, seed=seed):

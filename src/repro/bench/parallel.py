@@ -1,0 +1,134 @@
+"""Parallel workload driver for the rewrite benchmarks.
+
+The Table-2/3 efficacy experiment is embarrassingly parallel: every
+(query, column subset, technique) cell is an independent synthesis
+run.  This driver fans the workload's queries out over a
+``ProcessPoolExecutor`` and merges the per-query record batches back
+in query order, so the result list matches the sequential driver
+field-for-field (``predicate`` excepted -- it is SQL-rendered in
+transit) regardless of worker count or scheduling:
+
+* the workload seed fixes each query's predicate before any work is
+  dispatched (queries are generated once, in the parent);
+* each cell's synthesis RNG is seeded from its ``SiaConfig`` alone,
+  deterministic per query and independent of which worker runs it;
+* batches are merged by ascending query index, never arrival order.
+
+Workers ship records back as JSON payloads (the ``fullscale``
+checkpoint encoding) rather than pickled objects -- the synthesized
+``Pred`` trees carry no interned solver state across the process
+boundary, and the payloads double as checkpoint lines.  Each worker
+also reports its :data:`~repro.smt.stats.GLOBAL_COUNTERS` delta so the
+driver can aggregate solver effort across the pool.
+
+Used by ``repro bench --parallel N`` and, via the
+``REPRO_BENCH_PARALLEL`` environment knob, by
+:func:`repro.bench.harness.efficacy_records`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..smt.stats import GLOBAL_COUNTERS
+from ..tpch import WorkloadQuery, generate_workload
+from .harness import (
+    TECHNIQUES,
+    EfficacyRecord,
+    _ground_truth_possible,
+    _run_sia_variant,
+    _run_transitive_closure,
+    bench_queries,
+    bench_seed,
+    column_subsets,
+)
+
+
+@dataclass
+class ParallelRunResult:
+    """Merged records plus aggregated solver counters."""
+
+    records: list[EfficacyRecord] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+
+
+def _query_batch(
+    wq: WorkloadQuery, techniques: tuple[str, ...]
+) -> tuple[int, list[dict], dict[str, int]]:
+    """All cells of one query (runs inside a worker process)."""
+    from .fullscale import _record_to_json
+
+    before = GLOBAL_COUNTERS.snapshot()
+    payloads: list[dict] = []
+    for subset in column_subsets():
+        possible = _ground_truth_possible(wq, subset)
+        for technique in techniques:
+            if technique == "TC":
+                record = _run_transitive_closure(wq, subset)
+            else:
+                record = _run_sia_variant(wq, subset, technique)
+            record.possible = possible
+            payloads.append(_record_to_json(record))
+    return wq.index, payloads, GLOBAL_COUNTERS.delta_since(before)
+
+
+def _batch_entry(args: tuple) -> tuple[int, list[dict], dict[str, int]]:
+    # Top-level single-argument wrapper so executor.map can pickle it.
+    return _query_batch(*args)
+
+
+def default_workers() -> int:
+    """Worker count when none is requested (all cores, at least 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def parallel_efficacy_records(
+    *,
+    num_queries: int | None = None,
+    seed: int | None = None,
+    techniques: tuple[str, ...] = TECHNIQUES,
+    workers: int | None = None,
+) -> ParallelRunResult:
+    """Run the efficacy workload across ``workers`` processes.
+
+    Returns the records in the same order as
+    :func:`repro.bench.harness.efficacy_records` (ascending query
+    index, subsets and techniques in their canonical enumeration
+    order) together with the summed per-worker solver-counter deltas.
+    Record ``predicate`` fields are SQL-rendered in transit and come
+    back ``None``, exactly like ``fullscale`` checkpoint round-trips.
+    """
+    from .fullscale import _record_from_json
+
+    num_queries = num_queries if num_queries is not None else bench_queries()
+    seed = seed if seed is not None else bench_seed()
+    workers = workers if workers is not None else default_workers()
+    queries = generate_workload(num_queries, seed=seed)
+    tasks = [(wq, techniques) for wq in queries]
+
+    batches: dict[int, list[dict]] = {}
+    totals: dict[str, int] = {}
+    if workers <= 1:
+        results = map(_batch_entry, tasks)
+        for index, payloads, delta in results:
+            batches[index] = payloads
+            for name, value in delta.items():
+                totals[name] = totals.get(name, 0) + value
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, payloads, delta in pool.map(
+                _batch_entry, tasks, chunksize=1
+            ):
+                batches[index] = payloads
+                for name, value in delta.items():
+                    totals[name] = totals.get(name, 0) + value
+
+    records = [
+        _record_from_json(payload)
+        for index in sorted(batches)
+        for payload in batches[index]
+    ]
+    return ParallelRunResult(records=records, counters=totals, workers=workers)

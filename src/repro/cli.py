@@ -5,6 +5,7 @@ Usage::
     python -m repro rewrite "SELECT * FROM lineitem, orders WHERE ..." \
         --table lineitem [--iterations 41] [--strategy per_column] [--explain]
     python -m repro demo
+    python -m repro bench --parallel 4 [--queries 8] [--seed 42]
 
 The TPC-H schema is built in; any query over its tables parses
 directly.  ``rewrite`` prints the rewritten SQL (or the reason nothing
@@ -81,6 +82,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="run the paper's motivating example")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the efficacy workload and record solver perf "
+        "(writes BENCH_smt_micro.json)",
+    )
+    bench.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per core, 1 = in-process)",
+    )
+    bench.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="workload size (default: REPRO_BENCH_QUERIES or 8)",
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (default: REPRO_BENCH_SEED or 42)",
+    )
+    bench.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="perf-JSON path (default: BENCH_smt_micro.json; '-' skips)",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -180,6 +213,55 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from .bench.parallel import default_workers, parallel_efficacy_records
+    from .bench.perflog import DEFAULT_PATH, summarize_times, update_bench_json
+
+    workers = default_workers() if args.parallel == 0 else args.parallel
+    start = time.perf_counter()
+    result = parallel_efficacy_records(
+        num_queries=args.queries, seed=args.seed, workers=workers
+    )
+    wall_clock_ms = (time.perf_counter() - start) * 1000.0
+    records = result.records
+    valid = sum(1 for r in records if r.valid)
+    optimal = sum(1 for r in records if r.optimal)
+    print(
+        f"{len(records)} cells ({valid} valid, {optimal} optimal) in "
+        f"{wall_clock_ms / 1000.0:.1f} s on {result.workers} worker(s)"
+    )
+    counters = result.counters
+    print(
+        "solver counters: "
+        f"{counters.get('solvers_constructed', 0)} constructed, "
+        f"{counters.get('checks', 0)} checks "
+        f"({counters.get('session_checks', 0)} served warm by "
+        f"{counters.get('sessions_created', 0)} sessions), "
+        f"{counters.get('clauses_learned', 0)} clauses learned"
+    )
+    if args.json_path != "-" and records:
+        entry = summarize_times(
+            [r.generation_ms + r.learning_ms + r.validation_ms for r in records]
+        )
+        entry.update(
+            {
+                "counters": counters,
+                "workers": result.workers,
+                "records": len(records),
+                "valid": valid,
+                "optimal": optimal,
+                "wall_clock_ms": round(wall_clock_ms, 1),
+            }
+        )
+        path = update_bench_json(
+            {"workload/efficacy": entry}, args.json_path or DEFAULT_PATH
+        )
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .engine import execute
     from .tpch import generate_catalog
@@ -226,6 +308,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         # demo
         from .engine import execute
         from .tpch import generate_catalog

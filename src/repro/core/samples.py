@@ -30,7 +30,7 @@ from ..smt import (
     Atom,
     Formula,
     LinExpr,
-    Solver,
+    SmtSession,
     SolverError,
     Var,
     compare,
@@ -105,15 +105,15 @@ class Sampler:
             random_attempts = 2 if self.config.sampling_strategy == RANDOM_BOX else 0
         points: list[Point] = []
         all_known = list(existing or [])
-        # One persistent solver serves every sample of this call
+        # One persistent session serves every sample of this call
         # (base + box + growing NotOld); randomised sub-regions are
-        # layered on via *assumptions*, so the CDCL instance stays warm
-        # instead of being rebuilt per attempt (which would be
-        # quadratic in the sample count).
+        # layered on via *assumptions* and the sampling box rides in a
+        # retractable scope, so a single warm CDCL instance covers both
+        # the boxed search and the unboxed fallback (historically two
+        # separate solvers, rebuilt per call).
         enumerator = _IncrementalEnumerator(
             base, variables, all_known, self.config, with_box=True
         )
-        unboxed: _IncrementalEnumerator | None = None
 
         for _ in range(count):
             point = None
@@ -127,11 +127,8 @@ class Sampler:
             if point is None:
                 point = enumerator.next(all_known)
             if point is None:
-                if unboxed is None:
-                    unboxed = _IncrementalEnumerator(
-                        base, variables, all_known, self.config, with_box=False
-                    )
-                point = unboxed.next(all_known)
+                # Unboxed fallback: same session, box scope disabled.
+                point = enumerator.next(all_known, boxed=False)
             if point is None:
                 return SampleSet(points, exhausted=True)
             points.append(point)
@@ -169,13 +166,18 @@ class Sampler:
 
 
 class IncrementalEnumerator:
-    """A solver kept across samples: blocks each returned point.
+    """A warm session kept across samples: blocks each returned point.
 
     All additions are monotone (more constraints, more blocked
     points), so one CDCL instance with its learned clauses serves an
     entire enumeration -- this is what makes the counter-example loop
     cheap.  ``add`` conjoins further constraints (e.g. newly learned
     valid predicates in the FALSE counter-example search).
+
+    The sampling box is held in a retractable scope rather than
+    asserted outright, so the unboxed fallback (``next(...,
+    boxed=False)``) reuses the same warm session instead of building a
+    second solver over the same base formula.
     """
 
     def __init__(
@@ -188,29 +190,45 @@ class IncrementalEnumerator:
         with_box: bool,
     ) -> None:
         self.variables = variables
-        self.solver = Solver(bnb_budget=config.bnb_budget)
-        self.solver.add(base)
-        if with_box:
-            self.solver.add(box_formula(variables, config.sample_box))
+        self.session = SmtSession(bnb_budget=config.bnb_budget)
+        self.session.assert_base(base)
+        self._box_scope = (
+            self.session.push(
+                box_formula(variables, config.sample_box), label="sample-box"
+            )
+            if with_box
+            else None
+        )
         self.blocked = 0
         self._block(known)
 
     def add(self, formula: Formula) -> None:
-        self.solver.add(formula)
+        self.session.assert_base(formula)
 
     def _block(self, points: list[Point]) -> None:
         for point in points[self.blocked:]:
-            self.solver.add(not_old_formula([point], self.variables))
+            self.session.assert_base(not_old_formula([point], self.variables))
             self.blocked += 1
 
-    def next(self, known: list[Point], assumptions: list | None = None) -> Point | None:
+    def next(
+        self,
+        known: list[Point],
+        assumptions: list | None = None,
+        *,
+        boxed: bool = True,
+    ) -> Point | None:
         self._block(known)
+        disable = (
+            [self._box_scope]
+            if (not boxed and self._box_scope is not None)
+            else []
+        )
         try:
-            if self.solver.check(assumptions=assumptions) != SAT:
+            if self.session.check(assumptions, disable=disable) != SAT:
                 return None
         except (SolverError, SolverBudgetError):
             return None
-        model = self.solver.model()
+        model = self.session.model()
         return {var: model.value(var) for var in self.variables}
 
 
@@ -229,18 +247,18 @@ def enumerate_all(
     section 5.3).  ``exhausted=True`` means the enumeration completed;
     ``False`` means the limit was hit."""
     points: list[Point] = []
-    solver = Solver(bnb_budget=bnb_budget)
-    solver.add(base)
+    session = SmtSession(bnb_budget=bnb_budget)
+    session.assert_base(base)
     for _ in range(limit):
         try:
-            if solver.check() != SAT:
+            if session.check() != SAT:
                 return SampleSet(points, exhausted=True)
         except (SolverError, SolverBudgetError):
             return SampleSet(points, exhausted=False)
-        model = solver.model()
+        model = session.model()
         point = {var: model.value(var) for var in variables}
         points.append(point)
-        solver.add(not_old_formula([point], variables))
+        session.assert_base(not_old_formula([point], variables))
     return SampleSet(points, exhausted=False)
 
 

@@ -52,8 +52,13 @@ from .result import (
     SynthesisOutcome,
     Timings,
 )
-from .samples import IncrementalEnumerator, Sampler, enumerate_all
-from .verify import verify_implied
+from .samples import (
+    IncrementalEnumerator,
+    Sampler,
+    enumerate_all,
+    not_old_formula,
+)
+from .verify import PredicateVerifier, verify_implied
 
 
 @dataclass
@@ -176,13 +181,13 @@ def _implication_holds(
         if not certify:
             return not is_satisfiable(negated_implication, bnb_budget=bnb_budget)
         from ..analysis.certify import audit_proof
-        from ..smt import UNSAT, Solver
+        from ..smt import UNSAT
+        from ..smt.session import certified_solver
 
-        solver = Solver(bnb_budget=bnb_budget, proof=True)
-        solver.add(negated_implication)
-        if solver.check() != UNSAT:
-            return False
+        solver = certified_solver([negated_implication], bnb_budget=bnb_budget)
         assert solver.proof_log is not None
+        if solver.proof_log.result != UNSAT:
+            return False
         return not audit_proof(solver.proof_log, origin="counter-f")
     except (SolverError, SolverBudgetError):
         return False
@@ -276,11 +281,32 @@ class Synthesizer:
         status: str | None = None
         # Persistent FALSE counter-example enumerator: its constraint
         # set (region AND p1 AND NotOld) only ever grows, so one warm
-        # CDCL instance serves the whole loop.
+        # CDCL instance serves the whole loop; the sampling box rides
+        # in a retractable scope, so the unboxed fallback reuses the
+        # same session instead of a second solver.
         counter_f_enum = IncrementalEnumerator(
             region.formula, target_vars, fs, self.config, with_box=True
         )
-        counter_f_unboxed: IncrementalEnumerator | None = None
+        # Warm Verify: T(p) asserted once, each candidate's NOT T(p1)
+        # pushed under an activation literal (certified configs keep
+        # the sealed fresh-solver path inside verify_implied).
+        verifier = (
+            PredicateVerifier(
+                pred,
+                ctx,
+                bnb_budget=self.config.verify_budget,
+                certify=self.config.certify_verify,
+            )
+            if self.config.warm_sessions
+            else None
+        )
+        # Warm TRUE counter-example mining: the base formula p is fixed
+        # across iterations, only NOT p2 varies, so one enumerator with
+        # the candidate scoped serves the whole loop.  No permanent
+        # blocking is needed: Learn guarantees every later candidate
+        # accepts all of Ts, so an old counter-example can never
+        # satisfy a later NOT p2 anyway.
+        counter_t_enum: IncrementalEnumerator | None = None
         import time as _time
 
         deadline = (
@@ -300,13 +326,16 @@ class Synthesizer:
                 # The tighter verify budget keeps dense-coefficient
                 # integer feasibility checks from crawling; an unknown
                 # verdict is treated as invalid (sound, section 5.5).
-                valid = verify_implied(
-                    pred,
-                    p2,
-                    ctx,
-                    bnb_budget=self.config.verify_budget,
-                    certify=self.config.certify_verify,
-                )
+                if verifier is not None:
+                    valid = verifier.verify(p2)
+                else:
+                    valid = verify_implied(
+                        pred,
+                        p2,
+                        ctx,
+                        bnb_budget=self.config.verify_budget,
+                        certify=self.config.certify_verify,
+                    )
             trace = IterationTrace(index=iteration, learned=str(p2), valid=valid)
             outcome.trace.append(trace)
             logger.debug(
@@ -326,8 +355,6 @@ class Synthesizer:
                     # pruning pass runs once at the end of the loop.
                     p1.prune_dominated(witnesses=fs, recent_only=True)
                 counter_f_enum.add(p2.formula())
-                if counter_f_unboxed is not None:
-                    counter_f_unboxed.add(p2.formula())
                 want = max(1, self.config.samples_per_iteration)
                 new_fs: list[Point] = []
                 with timings.track("generation"):
@@ -339,17 +366,12 @@ class Synthesizer:
                     if not new_fs:
                         # The sampling box may be exhausted while
                         # unsatisfaction tuples remain outside it; try
-                        # unboxed before concluding anything.
-                        if counter_f_unboxed is None:
-                            counter_f_unboxed = IncrementalEnumerator(
-                                conj([region.formula, p1.formula()]),
-                                target_vars,
-                                fs,
-                                self.config,
-                                with_box=False,
-                            )
+                        # unboxed (same warm session, box scope
+                        # disabled) before concluding anything.
                         for _ in range(want):
-                            point = counter_f_unboxed.next(fs + new_fs)
+                            point = counter_f_enum.next(
+                                fs + new_fs, boxed=False
+                            )
                             if point is None:
                                 break
                             new_fs.append(point)
@@ -391,21 +413,56 @@ class Synthesizer:
                     # point of Ts, and counter-examples must violate
                     # p2, so they are distinct by construction.  Only
                     # the points found within this call need blocking.
-                    counter_ts = sampler.sample(
-                        conj([formula, negate(p2.formula())]),
-                        target_vars,
-                        want,
-                        existing=None,
-                        random_attempts=0,
-                    )
-                if not counter_ts.points:
+                    if self.config.warm_sessions:
+                        if counter_t_enum is None:
+                            counter_t_enum = IncrementalEnumerator(
+                                formula,
+                                target_vars,
+                                [],
+                                self.config,
+                                with_box=True,
+                            )
+                        # Candidate AND within-call blocking ride in one
+                        # retractable scope; nothing is blocked across
+                        # iterations (redundant by the Learn argument
+                        # above, and permanent NotOld atoms would bloat
+                        # every later theory round).
+                        scope = counter_t_enum.session.push(
+                            negate(p2.formula()), label="counter-t"
+                        )
+                        new_ts: list[Point] = []
+                        try:
+                            for _ in range(want):
+                                point = counter_t_enum.next([])
+                                if point is None:
+                                    point = counter_t_enum.next(
+                                        [], boxed=False
+                                    )
+                                if point is None:
+                                    break
+                                new_ts.append(point)
+                                scope.add(
+                                    not_old_formula([point], target_vars)
+                                )
+                        finally:
+                            scope.retract()
+                    else:
+                        counter_ts = sampler.sample(
+                            conj([formula, negate(p2.formula())]),
+                            target_vars,
+                            want,
+                            existing=None,
+                            random_attempts=0,
+                        )
+                        new_ts = counter_ts.points
+                if not new_ts:
                     # p implies p2 two-valuedly, yet 3VL verification
                     # failed: the NULL-semantics gap (see verify.py).
                     status = VALID if not p1.is_trivial else FAILED
                     outcome.detail = "no 2VL counter-example: NULL-semantics gap"
                     break
-                trace.new_true = counter_ts.points
-                ts.extend(counter_ts.points)
+                trace.new_true = new_ts
+                ts.extend(new_ts)
 
         with timings.track("validation"):
             p1.minimize(witnesses=fs)

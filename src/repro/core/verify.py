@@ -19,7 +19,8 @@ from __future__ import annotations
 from ..learn import DisjunctivePredicate, Hyperplane
 from ..predicates import Pred, truth_formula
 from ..predicates.normalize import LinearizationContext
-from ..smt import Formula, Not, conj, disj, is_satisfiable, negate
+from ..smt import SAT, Formula, Not, SmtSession, conj, disj, is_satisfiable, negate
+from ..smt.session import certified_solver
 
 
 def plane_truth_formula(plane: Hyperplane, ctx: LinearizationContext) -> Formula:
@@ -70,16 +71,91 @@ def verify_implied(
         if not certify:
             return not is_satisfiable(obligation, bnb_budget=bnb_budget)
         from ..analysis.certify import audit_proof
-        from ..smt import UNSAT, Solver
+        from ..smt import UNSAT
 
-        solver = Solver(bnb_budget=bnb_budget, proof=True)
-        solver.add(obligation)
-        if solver.check() != UNSAT:
-            return False
+        solver = certified_solver([obligation], bnb_budget=bnb_budget)
         assert solver.proof_log is not None
+        if solver.proof_log.result != UNSAT:
+            return False
         return not audit_proof(solver.proof_log, origin="verify")
     except (SolverError, SolverBudgetError):
         return False
+
+
+class WarmUnsatChecker:
+    """Warm UNSAT prover for ``base AND extra`` over a stream of extras.
+
+    The base formula is asserted once into a persistent
+    :class:`~repro.smt.session.SmtSession`; each :meth:`proves_unsat`
+    call pushes the extra formula under an activation literal, checks,
+    and retracts, so learned clauses about the base survive from one
+    query to the next.  Conservative like the one-shot helpers: an
+    unknown verdict (budget or round exhaustion) reports ``False`` --
+    "unsatisfiability not proven" -- never an over-claim.
+    """
+
+    def __init__(self, base: Formula, *, bnb_budget: int = 4000) -> None:
+        self._session = SmtSession(bnb_budget=bnb_budget)
+        self._session.assert_base(base)
+
+    def proves_unsat(
+        self, extra: Formula, *, bnb_budget: int | None = None
+    ) -> bool:
+        from ..smt import SolverError
+        from ..smt.theory import SolverBudgetError
+
+        scope = self._session.push(extra, label="probe")
+        try:
+            return self._session.check(bnb_budget=bnb_budget) != SAT
+        except (SolverError, SolverBudgetError):
+            return False
+        finally:
+            scope.retract()
+
+
+class PredicateVerifier:
+    """Warm ``Verify`` for one (original predicate, context) pair.
+
+    Asserting the 3VL truth lift ``T(p)`` once and pushing each
+    candidate's ``NOT T(p1)`` under an activation literal keeps the
+    CDCL core warm across CEGIS iterations -- the candidates share
+    almost all of their atoms with ``p`` and with each other.  The
+    certified path (``certify=True``) bypasses the warm session
+    entirely: certificates must justify every clause, so those checks
+    run on a sealed fresh proof-logging solver via
+    :func:`verify_implied`.
+    """
+
+    def __init__(
+        self,
+        original: Pred,
+        ctx: LinearizationContext,
+        *,
+        bnb_budget: int = 4000,
+        certify: bool = False,
+    ) -> None:
+        self._original = original
+        self._ctx = ctx
+        self._bnb_budget = bnb_budget
+        self._certify = certify
+        self._checker: WarmUnsatChecker | None = None
+        if not certify:
+            self._checker = WarmUnsatChecker(
+                truth_formula(original, ctx), bnb_budget=bnb_budget
+            )
+
+    def verify(self, learned: DisjunctivePredicate) -> bool:
+        """True iff the original predicate implies ``learned`` (3VL)."""
+        if self._checker is None:
+            return verify_implied(
+                self._original,
+                learned,
+                self._ctx,
+                bnb_budget=self._bnb_budget,
+                certify=self._certify,
+            )
+        t_p1 = learned_truth_formula(learned, self._ctx)
+        return self._checker.proves_unsat(negate(t_p1))
 
 
 def _columns_of_var(var, ctx: LinearizationContext):

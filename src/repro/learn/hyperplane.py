@@ -9,6 +9,7 @@ predicate can be fed to the solver and rendered back to SQL.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Sequence
@@ -48,14 +49,20 @@ class Hyperplane:
         return tuple(var for var, weight in self.coeffs if weight != 0)
 
     def linexpr(self) -> LinExpr:
+        cached = _LINEXPR_CACHE.get(self)
+        if cached is not None:
+            return cached
         expr = LinExpr.const_expr(self.bias)
         for var, weight in self.coeffs:
             if weight:
                 expr = expr + LinExpr.var(var) * weight
+        _LINEXPR_CACHE[self] = expr
         return expr
 
     def formula(self) -> Formula:
-        # w.x + b > 0  <=>  -(w.x + b) < 0
+        # w.x + b > 0  <=>  -(w.x + b) < 0.  Term/formula interning
+        # makes the result the *same object* across calls, so the
+        # solver-side identity caches (CNF definitions, NNF) hit.
         return Atom(-self.linexpr(), LT)
 
     def accepts(self, point: Mapping[Var, Fraction | int]) -> bool:
@@ -127,6 +134,15 @@ class Hyperplane:
         if self.bias:
             parts.append(str(self.bias))
         return " + ".join(parts).replace("+ -", "- ") + " > 0"
+
+
+#: Memoized linearization, keyed weakly on the (frozen, hashable)
+#: hyperplane so entries die with their planes.  The CEGIS loop calls
+#: ``formula()`` on the same planes once per iteration (candidate
+#: formulas, pruning probes, counter-example bases).
+_LINEXPR_CACHE: "weakref.WeakKeyDictionary[Hyperplane, LinExpr]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _column_term(var: Var, ctx: LinearizationContext) -> Expr:

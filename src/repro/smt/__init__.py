@@ -11,6 +11,8 @@ substitution table).  Public surface:
 * proofs: :class:`ProofLog` and the certificate types
   (``Solver(proof=True)``; audited by :mod:`repro.analysis.certify`)
 * quantifier elimination: ``eliminate_exists``, ``unsat_region``
+* warm sessions: :class:`SmtSession`, :class:`Scope` (activation-literal
+  incrementality), :data:`GLOBAL_COUNTERS` instrumentation
 """
 
 from .formula import (
@@ -49,6 +51,7 @@ from .proof import (
     TrichotomyCert,
 )
 from .qe import EliminationResult, eliminate_exists, unsat_region
+from .session import Scope, SmtSession
 from .simplex import DeltaRational, Simplex, TheoryConflict
 from .solver import (
     SAT,
@@ -61,6 +64,7 @@ from .solver import (
     implies,
     is_satisfiable,
 )
+from .stats import GLOBAL_COUNTERS, SolverCounters
 from .terms import INT, REAL, LinExpr, Var, linear_combination
 from .theory import SolverBudgetError, check_conjunction, tighten
 
@@ -77,6 +81,7 @@ __all__ = [
     "FarkasCert",
     "FarkasEntry",
     "Formula",
+    "GLOBAL_COUNTERS",
     "INT",
     "IntDivCert",
     "LE",
@@ -89,11 +94,14 @@ __all__ = [
     "ProofLog",
     "REAL",
     "SAT",
+    "Scope",
     "Simplex",
+    "SmtSession",
     "SplitCert",
     "TrichotomyCert",
     "Solver",
     "SolverBudgetError",
+    "SolverCounters",
     "SolverError",
     "TheoryConflict",
     "TRUE",

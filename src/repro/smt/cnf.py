@@ -47,6 +47,14 @@ class CnfBuilder:
 
     def __init__(self) -> None:
         self.result = CnfResult()
+        # Memoized definition literals for internal And/Or nodes, keyed
+        # on interned node identity.  Sound because _encode emits the
+        # *full* Tseitin equivalence (def <-> node), so the literal can
+        # stand for the node in any later assertion against this
+        # builder.  Turns re-encoding of shared sub-formulas (the warm
+        # session asserts many formulas sharing structure) into a
+        # dictionary hit.
+        self._def_cache: dict[Formula, int] = {}
 
     # ------------------------------------------------------------------
     def fresh_var(self) -> int:
@@ -64,6 +72,16 @@ class CnfBuilder:
 
     def add_clause(self, lits: list[int]) -> None:
         self.result.clauses.append(lits)
+
+    def evict_def(self, node: Formula) -> int | None:
+        """Forget the memoized definition variable of ``node``.
+
+        Called when no live assertion references ``node`` any more, so
+        the SAT core can garbage-collect the definition clauses.  A
+        later re-assertion of the same node re-encodes it with a fresh
+        variable (variable numbering is append-only).
+        """
+        return self._def_cache.pop(node, None)
 
     # ------------------------------------------------------------------
     def assert_formula(self, formula: Formula) -> None:
@@ -95,18 +113,26 @@ class CnfBuilder:
             # NNF guarantees the argument is a leaf.
             return -self._encode(formula.arg)
         if isinstance(formula, And):
+            cached = self._def_cache.get(formula)
+            if cached is not None:
+                return cached
             lits = [self._encode(arg) for arg in formula.args]
             out = self.fresh_var()
             for lit in lits:
                 self.add_clause([-out, lit])
             self.add_clause([out] + [-lit for lit in lits])
+            self._def_cache[formula] = out
             return out
         if isinstance(formula, Or):
+            cached = self._def_cache.get(formula)
+            if cached is not None:
+                return cached
             lits = [self._encode(arg) for arg in formula.args]
             out = self.fresh_var()
             self.add_clause([-out] + lits)
             for lit in lits:
                 self.add_clause([out, -lit])
+            self._def_cache[formula] = out
             return out
         raise TypeError(f"cannot encode formula node {type(formula).__name__}")
 

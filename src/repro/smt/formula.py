@@ -16,9 +16,10 @@ without worrying about degenerate shapes.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import ClassVar, Iterable, Mapping, Sequence
 
 from .terms import LinExpr, Scalar, Var
 
@@ -92,10 +93,32 @@ FALSE = _Const(False)
 
 @dataclass(frozen=True)
 class Atom(Formula):
-    """The linear constraint ``expr op 0``."""
+    """The linear constraint ``expr op 0``.
+
+    Atoms (like every formula node) are hash-consed: structurally
+    equal nodes are the same object, so the CNF encoder's definition
+    cache and the session layer can key on identity.  Intern tables
+    are weak -- nodes no live formula references are collected.
+    """
 
     expr: LinExpr
     op: str
+
+    _intern: ClassVar["weakref.WeakValueDictionary[tuple, Atom]"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, expr: LinExpr, op: str) -> "Atom":
+        key = (expr, op)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        cls._intern[key] = self
+        return self
+
+    def __getnewargs__(self) -> tuple[LinExpr, str]:
+        return (self.expr, self.op)
 
     def __post_init__(self) -> None:
         if self.op not in (LE, LT, EQ, NE):
@@ -129,6 +152,21 @@ class BVar(Formula):
 
     name: str
 
+    _intern: ClassVar["weakref.WeakValueDictionary[str, BVar]"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, name: str) -> "BVar":
+        cached = cls._intern.get(name)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        cls._intern[name] = self
+        return self
+
+    def __getnewargs__(self) -> tuple[str]:
+        return (self.name,)
+
     def __repr__(self) -> str:
         return f"?{self.name}"
 
@@ -137,24 +175,62 @@ class BVar(Formula):
 class Not(Formula):
     arg: Formula
 
+    _intern: ClassVar["weakref.WeakValueDictionary[Formula, Not]"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, arg: Formula) -> "Not":
+        cached = cls._intern.get(arg)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        cls._intern[arg] = self
+        return self
+
+    def __getnewargs__(self) -> tuple[Formula]:
+        return (self.arg,)
+
     def __repr__(self) -> str:
         return f"~{self.arg!r}"
 
 
 class _NAry(Formula):
-    __slots__ = ("args",)
+    __slots__ = ("args", "_hash", "__weakref__")
+
+    # Shared by And and Or; the concrete class is part of the key.
+    _intern: ClassVar["weakref.WeakValueDictionary[tuple, _NAry]"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, args: Sequence[Formula]) -> "_NAry":
+        args_tuple = tuple(args)
+        key = (cls, args_tuple)
+        cached = _NAry._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        object.__setattr__(self, "args", args_tuple)
+        object.__setattr__(self, "_hash", hash((cls.__name__, args_tuple)))
+        _NAry._intern[key] = self
+        return self
 
     def __init__(self, args: Sequence[Formula]) -> None:
-        object.__setattr__(self, "args", tuple(args))
+        # Construction (and interning) happens in __new__.
+        pass
+
+    def __reduce__(self):
+        return (type(self), (self.args,))
 
     def __setattr__(self, *a: object) -> None:  # pragma: no cover
         raise AttributeError("formulas are immutable")
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.args == other.args
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.args))
+        return self._hash
 
 
 class And(_NAry):
@@ -276,6 +352,14 @@ def lt(lhs: LinExpr, rhs: LinExpr) -> Formula:
 # ----------------------------------------------------------------------
 # Negation normal form
 # ----------------------------------------------------------------------
+#: Memoized NNF results, keyed on the (interned) input node.  The key
+#: is held weakly so the cache never outlives the formulas themselves;
+#: the inner dict is keyed on ``split_ne``.
+_NNF_CACHE: "weakref.WeakKeyDictionary[Formula, dict[bool, Formula]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def to_nnf(formula: Formula, *, split_ne: bool = True) -> Formula:
     """Negation normal form.
 
@@ -283,8 +367,24 @@ def to_nnf(formula: Formula, *, split_ne: bool = True) -> Formula:
     ``split_ne`` is set (the default), disequality atoms ``e != 0`` are
     rewritten into ``e < 0 | -e < 0`` so that downstream consumers (the
     theory solver, Fourier-Motzkin) only see ``<=``, ``<`` and ``=``.
+
+    Results are memoized on interned node identity, so re-asserting a
+    structurally equal formula (the warm-session pattern) normalizes at
+    dictionary-lookup cost.
     """
-    return _nnf(formula, negated=False, split_ne=split_ne)
+    if formula is TRUE or formula is FALSE:
+        return formula
+    per_node = _NNF_CACHE.get(formula)
+    if per_node is not None:
+        cached = per_node.get(split_ne)
+        if cached is not None:
+            return cached
+    result = _nnf(formula, negated=False, split_ne=split_ne)
+    if per_node is None:
+        per_node = {}
+        _NNF_CACHE[formula] = per_node
+    per_node[split_ne] = result
+    return result
 
 
 def _nnf(formula: Formula, *, negated: bool, split_ne: bool) -> Formula:

@@ -24,7 +24,7 @@ from fractions import Fraction
 from typing import Any, Iterable
 
 from .cnf import CnfBuilder
-from .formula import EQ, LE, LT, NE, Atom, BVar, Formula
+from .formula import EQ, LE, LT, NE, Atom, BVar, Formula, Not as FNot
 from .proof import (
     BOOL,
     FarkasCert,
@@ -34,6 +34,7 @@ from .proof import (
 )
 from .sat import SatSolver
 from .simplex import TheoryConflict
+from .stats import GLOBAL_COUNTERS
 from .terms import LinExpr, Var
 from .theory import SolverBudgetError, check_conjunction
 
@@ -91,6 +92,7 @@ class Solver:
         proof: bool = False,
         minimize_cores: bool = False,
     ) -> None:
+        GLOBAL_COUNTERS.solvers_constructed += 1
         self._builder = CnfBuilder()
         self._sat = SatSolver()
         self._clauses_sent = 0
@@ -110,6 +112,108 @@ class Solver:
         self.proof_log: ProofLog | None = ProofLog() if proof else None
         self._sat.proof = self.proof_log
         self._atoms_registered = 0
+        self._suppressed: set[Atom] = set()
+        # Leaf-iteration cache for _theory_round: rebuilt only when the
+        # atom table grows or the suppressed set changes, so a round
+        # walks live atoms instead of everything ever registered.
+        self._suppress_version = 0
+        self._leaf_key: tuple[int, int] | None = None
+        self._live_atom_items: list[tuple[int, Atom]] = []
+        self._bvar_items: list[tuple[int, BVar]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def bnb_budget(self) -> int:
+        """Branch-and-bound node budget for theory checks.
+
+        Writable so a long-lived session can serve callers with
+        different budgets without rebuilding the solver.
+        """
+        return self._bnb_budget
+
+    @bnb_budget.setter
+    def bnb_budget(self, value: int) -> None:
+        self._bnb_budget = value
+
+    # ------------------------------------------------------------------
+    # Theory-relevance suppression (used by SmtSession)
+    # ------------------------------------------------------------------
+    def suppress_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Exclude ``atoms`` from theory rounds until unsuppressed.
+
+        Sound only when every clause mentioning a suppressed atom is
+        already satisfied by a root-level unit (the activation-literal
+        pattern: a retracted scope's guard clauses are satisfied by the
+        asserted ``~sel``).  The atom's SAT variable then floats freely
+        -- whatever polarity the boolean model picks, the Tseitin cone
+        enforcing it is dead, so the theory solver need not honour it.
+        Skipping only *removes* constraints from theory checks, so an
+        UNSAT verdict still rests exclusively on live atoms.
+
+        Without this, a long-lived session pays for every atom ever
+        registered on every theory round (the round walks the full atom
+        table), which is exactly the cost that made per-check fresh
+        solvers competitive.
+        """
+        atoms = list(atoms)
+        if atoms:
+            self._suppressed.update(atoms)
+            self._suppress_version += 1
+
+    def unsuppress_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Re-admit ``atoms`` to theory rounds (new scope re-uses them)."""
+        atoms = list(atoms)
+        if atoms:
+            self._suppressed.difference_update(atoms)
+            self._suppress_version += 1
+
+    def compact(
+        self,
+        dead_nodes: Iterable[Formula] = (),
+        dead_atoms: Iterable[Atom] = (),
+    ) -> None:
+        """Drop clauses satisfied at the root (retraction cleanup).
+
+        Asserting a retracted scope's negated selector satisfies all of
+        its guard clauses forever; this removes them (and any learned
+        clauses citing the selector) from the SAT core so later checks
+        do not propagate through dead structure.  ``dead_nodes`` are
+        NNF connective nodes no longer reachable from any live
+        assertion (the session refcounts them alongside atoms): their
+        Tseitin definition cones are deleted outright and the
+        definition variables detached from branching.  ``dead_atoms``
+        are suppressed atoms referenced by no live assertion; the
+        ordering lemmas, guard encodings and blocking clauses citing
+        them are deleted the same way (they are consequences of the
+        monotone assertion set -- see ``SatSolver.simplify``), their
+        bound-chain entries are pruned, and a dead equality forgets its
+        trichotomy split so a later revival re-splits.  Without this, a
+        long counter-example session pays per-check for every
+        ``NotOld`` point and candidate atom it ever retracted.
+        """
+        dead_vars: set[int] = set()
+        for node in dead_nodes:
+            var = self._builder.evict_def(node)
+            if var is not None:
+                dead_vars.add(var)
+        var_of_atom = self._builder.result.var_of_atom
+        for atom in dead_atoms:
+            var = var_of_atom.get(atom)
+            if var is not None:
+                dead_vars.add(var)
+            self._eq_split.discard(atom)
+        if dead_vars:
+            for chains in self._chains.values():
+                for side in ("upper", "lower"):
+                    chains[side] = [
+                        entry for entry in chains[side]
+                        if entry[4] not in dead_vars
+                    ]
+                chains["eq"] = [
+                    entry for entry in chains["eq"] if entry[1] not in dead_vars
+                ]
+        self._sat.finish()
+        self._sat.simplify(dead_vars)
 
     # ------------------------------------------------------------------
     def add(self, *formulas: Formula) -> None:
@@ -164,6 +268,7 @@ class Solver:
         conflicts do not depend on why their literals were asserted),
         so the solver stays warm across differently-assumed calls.
         """
+        GLOBAL_COUNTERS.checks += 1
         self._model = None
         self._budget_events = 0
         if self._builder.result.trivially_false or not self._sat.ok:
@@ -179,6 +284,14 @@ class Solver:
             if assumptions
             else []
         )
+        if assumptions:
+            # An assumed literal is forced for this check, so its atom
+            # must reach the theory solver even if a retracted scope
+            # previously suppressed it.
+            for formula in assumptions:
+                leaf = formula.arg if isinstance(formula, FNot) else formula
+                if isinstance(leaf, Atom):
+                    self._suppressed.discard(leaf)
         self._add_bound_lemmas()
         self._register_atoms()
         for _ in range(self._max_rounds):
@@ -199,8 +312,6 @@ class Solver:
     def _literal(self, formula: Formula) -> int:
         """SAT literal for a literal-shaped formula (used by assumptions)."""
         negated = False
-        from .formula import Not as FNot
-
         if isinstance(formula, FNot):
             formula = formula.arg
             negated = True
@@ -220,18 +331,34 @@ class Solver:
             f"assumptions must be atoms or boolean variables, got {formula!r}"
         )
 
+    def _refresh_leaf_cache(self) -> None:
+        atom_of_var = self._builder.result.atom_of_var
+        key = (len(atom_of_var), self._suppress_version)
+        if key == self._leaf_key:
+            return
+        self._leaf_key = key
+        suppressed = self._suppressed
+        atom_items: list[tuple[int, Atom]] = []
+        bvar_items: list[tuple[int, BVar]] = []
+        for sat_var, leaf in atom_of_var.items():
+            if isinstance(leaf, BVar):
+                bvar_items.append((sat_var, leaf))
+            elif leaf not in suppressed:
+                atom_items.append((sat_var, leaf))
+        self._live_atom_items = atom_items
+        self._bvar_items = bvar_items
+
     def _theory_round(self, sat_model: list[bool]) -> Model | None:
         """One theory check; adds lemmas and returns a model on success."""
-        atom_of_var = self._builder.result.atom_of_var
         constraints: list[tuple[Atom, int]] = []
         booleans: dict[BVar, bool] = {}
         pending_splits: list[tuple[Atom, int]] = []
 
-        for sat_var, leaf in atom_of_var.items():
+        self._refresh_leaf_cache()
+        for sat_var, leaf in self._bvar_items:
+            booleans[leaf] = sat_model[sat_var]
+        for sat_var, leaf in self._live_atom_items:
             asserted = sat_model[sat_var]
-            if isinstance(leaf, BVar):
-                booleans[leaf] = asserted
-                continue
             if asserted:
                 constraints.append((leaf, sat_var))
             else:
@@ -277,8 +404,7 @@ class Solver:
                 raise
             blocking = [
                 (-sat_var if sat_model[sat_var] else sat_var)
-                for sat_var, leaf in atom_of_var.items()
-                if isinstance(leaf, Atom)
+                for sat_var, _leaf in self._live_atom_items
             ]
             if not blocking:
                 raise

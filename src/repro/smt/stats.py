@@ -1,0 +1,61 @@
+"""Process-wide solver instrumentation counters.
+
+The warm-session work (docs/INTERNALS.md, "Incremental sessions")
+is justified by *measured* reductions in solver construction and
+re-encoding work, so the substrate keeps cheap monotone counters that
+the micro-benchmarks (``benchmarks/bench_smt_micro.py``) and the
+parallel workload driver snapshot around their workloads:
+
+* ``solvers_constructed`` -- ``Solver`` instances built (each one
+  re-encodes CNF and grows a cold CDCL core from nothing),
+* ``checks`` -- top-level ``Solver.check`` calls,
+* ``clauses_learned`` -- CDCL conflict clauses learned,
+* ``sessions_created`` / ``session_checks`` -- :class:`SmtSession`
+  instances and the checks they served (``session_checks /
+  sessions_created`` is the session-reuse factor),
+* ``scopes_opened`` / ``scopes_retracted`` -- activation-literal
+  scopes pushed and retired,
+* ``proof_fallbacks`` -- checks that had to leave the warm session
+  for a sealed proof-logging solver (certified paths).
+
+Counters are per process; the parallel driver aggregates the deltas
+its workers report.  This module sits below every other smt module so
+both :mod:`repro.smt.sat` and :mod:`repro.smt.solver` can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class SolverCounters:
+    """Monotone event counters (see module docstring)."""
+
+    solvers_constructed: int = 0
+    checks: int = 0
+    clauses_learned: int = 0
+    sessions_created: int = 0
+    session_checks: int = 0
+    scopes_opened: int = 0
+    scopes_retracted: int = 0
+    proof_fallbacks: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counter increments since a previous :meth:`snapshot`."""
+        return {
+            name: value - snapshot.get(name, 0)
+            for name, value in self.snapshot().items()
+        }
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-wide counter instance (workers report their own copy).
+GLOBAL_COUNTERS = SolverCounters()

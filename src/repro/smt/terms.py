@@ -16,9 +16,10 @@ verification step unsound.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping, Union
+from typing import ClassVar, Iterable, Mapping, Union
 
 Scalar = Union[int, Fraction]
 
@@ -35,10 +36,38 @@ class Var:
     same name and sort are the same variable.  The synthesis pipeline
     derives names from SQL column names (e.g. ``lineitem.l_shipdate``),
     so structural identity gives the natural aliasing behaviour.
+
+    Instances are hash-consed: constructing the same (name, sort) pair
+    twice yields the *same object*, so structural equality implies
+    identity and downstream identity-keyed caches (memoized CNF
+    encoding, linearization) are sound.  The intern table holds weak
+    references only -- variables no live formula mentions are
+    collected, so one long process serving many sessions does not
+    accumulate dead queries' vocabularies.
     """
 
     name: str
     sort: str = INT
+
+    _intern: ClassVar["weakref.WeakValueDictionary[tuple[str, str], Var]"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, name: str, sort: str = INT) -> "Var":
+        if sort not in _SORTS:
+            raise ValueError(f"unknown sort {sort!r}; expected one of {_SORTS}")
+        key = (name, sort)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        cls._intern[key] = self
+        return self
+
+    def __getnewargs__(self) -> tuple[str, str]:
+        # Route unpickling through __new__ so deserialized variables
+        # (e.g. from parallel bench workers) intern like fresh ones.
+        return (self.name, self.sort)
 
     def __post_init__(self) -> None:
         if self.sort not in _SORTS:
@@ -66,24 +95,52 @@ class LinExpr:
     Instances behave like values: arithmetic operators return new
     expressions and never mutate.  Zero coefficients are never stored,
     so equal expressions have equal coefficient maps.
+
+    Expressions are hash-consed after normalisation: two structurally
+    equal expressions are the same object, which lets the CNF encoder
+    and linearization caches key on identity.  The intern table is
+    weak, so expressions referenced by no live formula are collected.
     """
 
-    __slots__ = ("coeffs", "const", "_hash")
+    __slots__ = ("coeffs", "const", "_hash", "__weakref__")
 
-    def __init__(
-        self,
+    _intern: "weakref.WeakValueDictionary[tuple, LinExpr]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(
+        cls,
         coeffs: Mapping[Var, Scalar] | None = None,
         const: Scalar = 0,
-    ) -> None:
+    ) -> "LinExpr":
         clean: dict[Var, Fraction] = {}
         if coeffs:
             for var, coeff in coeffs.items():
                 frac = _as_fraction(coeff)
                 if frac != 0:
                     clean[var] = frac
+        key = (frozenset(clean.items()), _as_fraction(const))
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         object.__setattr__(self, "coeffs", clean)
-        object.__setattr__(self, "const", _as_fraction(const))
-        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "const", key[1])
+        object.__setattr__(self, "_hash", hash(key))
+        cls._intern[key] = self
+        return self
+
+    def __init__(
+        self,
+        coeffs: Mapping[Var, Scalar] | None = None,
+        const: Scalar = 0,
+    ) -> None:
+        # Construction (normalisation + interning) happens in __new__.
+        pass
+
+    def __reduce__(self):
+        # Unpickled expressions re-enter the intern table via __new__.
+        return (LinExpr, (self.coeffs, self.const))
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("LinExpr is immutable")
@@ -204,18 +261,17 @@ class LinExpr:
     # Value semantics
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LinExpr):
             return NotImplemented
+        # Interning makes structurally equal expressions identical, so
+        # this structural fallback only fires across intern tables
+        # (e.g. objects revived by pickle mid-flight).
         return self.coeffs == other.coeffs and self.const == other.const
 
     def __hash__(self) -> int:
-        cached = self._hash
-        if cached is None:
-            cached = hash((frozenset(self.coeffs.items()), self.const))
-            # sia: allow-mutation -- idempotent hash-cache write, not
-            # observable through the value semantics
-            object.__setattr__(self, "_hash", cached)
-        return cached
+        return self._hash
 
     def __repr__(self) -> str:
         parts = []

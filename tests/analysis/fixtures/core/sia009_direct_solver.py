@@ -1,0 +1,7 @@
+"""Planted SIA009: a cold Solver built inside the core zone."""
+
+
+def mine_counter_example(formula):
+    solver = Solver(bnb_budget=100)
+    solver.add(formula)
+    return solver.check()

@@ -57,7 +57,37 @@ def test_shared_immutable_subtrees_are_allowed():
 
 # ----------------------------------------------------------------------
 # Corrupted trees (constructors bypassed on purpose)
+#
+# Formula nodes are hash-consed: the constructors return canonical
+# shared instances, so mutating one in place would poison the intern
+# table for every later test (and every later formula in the process).
+# Corruption therefore happens on *detached* clones built with
+# object.__new__, which never enter the intern tables.
 # ----------------------------------------------------------------------
+def _detached_expr(expr):
+    clone = object.__new__(LinExpr)
+    object.__setattr__(clone, "coeffs", dict(expr.coeffs))
+    object.__setattr__(clone, "const", expr.const)
+    object.__setattr__(clone, "_hash", expr._hash)
+    return clone
+
+
+def _detached_atom(atom):
+    clone = object.__new__(Atom)
+    object.__setattr__(clone, "expr", _detached_expr(atom.expr))
+    object.__setattr__(clone, "op", atom.op)
+    return clone
+
+
+def _detached_and(args):
+    args = tuple(args)
+    clone = object.__new__(And)
+    object.__setattr__(clone, "args", args)
+    object.__setattr__(clone, "_hash", hash(("And", args)))
+    return clone
+
+
+
 def test_arity_violation_is_caught():
     starved = And([le(LinExpr.var(X), LinExpr.const_expr(5))])
     assert "SIA101" in _rules(check_formula(starved))
@@ -66,25 +96,25 @@ def test_arity_violation_is_caught():
 
 
 def test_unknown_atom_operator_is_caught():
-    atom = Atom(LinExpr.var(X), LE)
+    atom = _detached_atom(Atom(LinExpr.var(X), LE))
     object.__setattr__(atom, "op", "LIKE")
     assert "SIA101" in _rules(check_formula(atom))
 
 
 def test_float_coefficient_is_caught():
-    atom = Atom(LinExpr.var(X), LE)
+    atom = _detached_atom(Atom(LinExpr.var(X), LE))
     object.__setattr__(atom.expr, "coeffs", {X: 0.5})
     assert "SIA102" in _rules(check_formula(atom))
 
 
 def test_float_constant_term_is_caught():
-    atom = Atom(LinExpr.var(X), LE)
+    atom = _detached_atom(Atom(LinExpr.var(X), LE))
     object.__setattr__(atom.expr, "const", 0.25)
     assert "SIA102" in _rules(check_formula(atom))
 
 
 def test_bool_coefficient_is_caught():
-    atom = Atom(LinExpr.var(X), LE)
+    atom = _detached_atom(Atom(LinExpr.var(X), LE))
     object.__setattr__(atom.expr, "coeffs", {X: True})
     assert "SIA102" in _rules(check_formula(atom))
 
@@ -97,10 +127,10 @@ def test_mistyped_literal_is_caught():
 
 
 def test_aliased_coefficient_map_is_caught():
-    e1 = LinExpr({X: 1}, 0)
-    e2 = LinExpr({X: 2}, 1)
-    object.__setattr__(e2, "coeffs", e1.coeffs)
-    formula = conj([Atom(e1, LE), Atom(e2, LE)])
+    a1 = _detached_atom(Atom(LinExpr({X: 1}, 0), LE))
+    a2 = _detached_atom(Atom(LinExpr({X: 2}, 1), LE))
+    object.__setattr__(a2.expr, "coeffs", a1.expr.coeffs)
+    formula = _detached_and([a1, a2])
     assert "SIA103" in _rules(check_formula(formula))
 
 
@@ -111,13 +141,18 @@ def test_cycle_is_caught():
 
 
 def test_formula_cycle_is_caught():
-    node = And([le(LinExpr.var(X), LinExpr.const_expr(5)), le(LinExpr.var(Y), LinExpr.const_expr(5))])
+    node = _detached_and(
+        [
+            le(LinExpr.var(X), LinExpr.const_expr(5)),
+            le(LinExpr.var(Y), LinExpr.const_expr(5)),
+        ]
+    )
     object.__setattr__(node, "args", (node, le(LinExpr.var(X), LinExpr.const_expr(5))))
     assert "SIA104" in _rules(check_formula(node))
 
 
 def test_foreign_object_is_caught():
-    polluted = And([le(LinExpr.var(X), LinExpr.const_expr(5)), "not a formula"])
+    polluted = _detached_and([le(LinExpr.var(X), LinExpr.const_expr(5)), "not a formula"])
     assert "SIA102" in _rules(check_formula(polluted))
 
 

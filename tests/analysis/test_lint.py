@@ -8,17 +8,18 @@ import pytest
 from repro.analysis import lint_file, lint_paths, zone_of
 from repro.analysis.lint import BOUNDARY_ZONE, EXACT_ZONE, GENERAL_ZONE
 
-FIXTURES = Path(__file__).parent / "fixtures" / "smt"
+FIXTURES = Path(__file__).parent / "fixtures"
 
 PLANTED = [
-    ("sia001_float_literal.py", "SIA001", 3),
-    ("sia002_float_cast.py", "SIA002", 5),
-    ("sia003_float_equality.py", "SIA003", 5),
-    ("sia004_eval.py", "SIA004", 5),
-    ("sia005_bare_except.py", "SIA005", 7),
-    ("sia006_frozen_mutation.py", "SIA006", 5),
-    ("sia007_missing_slots.py", "SIA007", 8),
-    ("sia008_model_unchecked.py", "SIA008", 6),
+    ("smt/sia001_float_literal.py", "SIA001", 3),
+    ("smt/sia002_float_cast.py", "SIA002", 5),
+    ("smt/sia003_float_equality.py", "SIA003", 5),
+    ("smt/sia004_eval.py", "SIA004", 5),
+    ("smt/sia005_bare_except.py", "SIA005", 7),
+    ("smt/sia006_frozen_mutation.py", "SIA006", 5),
+    ("smt/sia007_missing_slots.py", "SIA007", 8),
+    ("smt/sia008_model_unchecked.py", "SIA008", 6),
+    ("core/sia009_direct_solver.py", "SIA009", 5),
 ]
 
 
@@ -40,21 +41,23 @@ def test_planted_violation_is_the_only_finding(filename, rule, line):
 
 
 def test_clean_fixture_has_zero_findings():
-    assert lint_file(FIXTURES / "clean.py") == []
+    assert lint_file(FIXTURES / "smt" / "clean.py") == []
 
 
 def test_pragmas_suppress_sanctioned_lines():
-    assert lint_file(FIXTURES / "pragma_sanctioned.py") == []
+    assert lint_file(FIXTURES / "smt" / "pragma_sanctioned.py") == []
 
 
 def test_pragmas_can_be_ignored_for_auditing():
-    findings = lint_file(FIXTURES / "pragma_sanctioned.py", honor_pragmas=False)
+    findings = lint_file(
+        FIXTURES / "smt" / "pragma_sanctioned.py", honor_pragmas=False
+    )
     assert {f.rule for f in findings} == {"SIA001", "SIA002", "SIA006"}
 
 
 def test_lint_paths_walks_directories():
     findings, files = lint_paths([FIXTURES])
-    assert files == len(list(FIXTURES.glob("*.py")))
+    assert files == len(list(FIXTURES.rglob("*.py")))
     rules = {f.rule for f in findings}
     assert {rule for _, rule, _ in PLANTED} <= rules
 
@@ -79,6 +82,30 @@ def test_float_cast_flagged_in_boundary_zone(tmp_path):
     path.write_text("def f(x):\n    return float(x)\n")
     findings = lint_file(path)
     assert [f.rule for f in findings] == ["SIA002"]
+
+
+def test_sia009_only_fires_in_core_zone(tmp_path):
+    source = "def f(x):\n    s = Solver()\n    s.add(x)\n    return s.check()\n"
+    core = tmp_path / "core" / "probe.py"
+    core.parent.mkdir()
+    core.write_text(source)
+    assert [f.rule for f in lint_file(core)] == ["SIA009"]
+    smt = tmp_path / "smt" / "probe.py"
+    smt.parent.mkdir()
+    smt.write_text(source)
+    assert lint_file(smt) == []
+
+
+def test_sia009_pragma_escape(tmp_path):
+    path = tmp_path / "core" / "probe.py"
+    path.parent.mkdir()
+    path.write_text(
+        "def f(x):\n"
+        "    s = Solver()  # sia: allow(SIA009)\n"
+        "    s.add(x)\n"
+        "    return s.check()\n"
+    )
+    assert lint_file(path) == []
 
 
 def test_sanctioned_constructor_mutation_not_flagged(tmp_path):

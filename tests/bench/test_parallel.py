@@ -1,0 +1,85 @@
+"""Parallel workload driver: the fan-out must be invisible in the
+results -- same records in the same order as a single-process run,
+solver counters aggregated across workers, and no shared mutable state
+(the parent's rewrite cache never sees worker-side traffic)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.parallel import (
+    ParallelRunResult,
+    default_workers,
+    parallel_efficacy_records,
+)
+from repro.core import SiaConfig
+from repro.rewrite import RewriteCache
+from repro.sql import parse_query
+from repro.tpch import TPCH_SCHEMA
+
+# TC (transitive closure) is solver-free per cell and runs in
+# milliseconds; the SIA variants take minutes per query and belong to
+# the benchmark proper, not the test suite.
+FAST = dict(num_queries=2, seed=9, techniques=("TC",))
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return parallel_efficacy_records(workers=1, **FAST)
+
+
+def test_default_workers_is_positive():
+    assert default_workers() >= 1
+
+
+def test_sequential_run_shape(sequential):
+    assert isinstance(sequential, ParallelRunResult)
+    assert sequential.workers == 1
+    assert sequential.records
+    # Ascending query index, stable within-query cell order.
+    indices = [record.query_index for record in sequential.records]
+    assert indices == sorted(indices)
+
+
+def test_parallel_merge_matches_sequential_order(sequential):
+    parallel = parallel_efficacy_records(workers=2, **FAST)
+    assert parallel.workers == 2
+    assert len(parallel.records) == len(sequential.records)
+
+    def comparable(record):
+        # Wall-clock fields vary run to run; everything else (which
+        # predicates were learned, on which cells, in which order) must
+        # be bit-identical to the single-process run.
+        return {
+            key: value
+            for key, value in dataclasses.asdict(record).items()
+            if not key.endswith("_ms")
+        }
+
+    for seq, par in zip(sequential.records, parallel.records):
+        assert comparable(seq) == comparable(par)
+
+
+def test_counters_are_aggregated(sequential):
+    assert isinstance(sequential.counters, dict)
+    assert all(isinstance(v, int) for v in sequential.counters.values())
+
+
+def test_parent_rewrite_cache_is_isolated_from_workers():
+    """Worker processes must not mutate parent-side caches: the rewrite
+    cache's hit/miss/eviction accounting reflects only parent traffic."""
+    schema = {name: dict(cols) for name, cols in TPCH_SCHEMA.items()}
+    sql = (
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+        "AND o_orderdate < DATE '1994-01-01'"
+    )
+    cache = RewriteCache(config=SiaConfig(max_iterations=2, seed=3), capacity=1)
+    cache.rewrite(parse_query(sql, schema), "lineitem")
+    parallel_efficacy_records(workers=2, **FAST)
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions) == (0, 1, 0)
+    cache.rewrite(parse_query(sql, schema), "lineitem")
+    assert cache.stats.hits == 1
+    other = parse_query(sql + " AND o_orderdate < DATE '1995-01-01'", schema)
+    cache.rewrite(other, "lineitem")
+    assert cache.stats.evictions == 1
+    assert len(cache) == 1

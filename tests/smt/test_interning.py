@@ -1,0 +1,89 @@
+"""Hash-consing invariants for terms and formulas.
+
+Two properties carry the identity-keyed caches (memoized CNF, NNF,
+linearization): structural equality must imply object identity, and the
+intern tables must hold nodes weakly so one long process serving many
+sessions does not accumulate dead queries' vocabularies.
+"""
+
+import gc
+import pickle
+from fractions import Fraction
+
+from repro.smt import Atom, LE, LT, LinExpr, Var, conj, disj
+from repro.smt.formula import And, BVar, Not, Or, to_nnf
+from repro.smt.terms import INT, REAL
+
+
+def test_var_structural_equality_implies_identity():
+    assert Var("a") is Var("a")
+    assert Var("a", REAL) is Var("a", REAL)
+    assert Var("a") is not Var("a", REAL)
+    assert Var("a") is not Var("b")
+
+
+def test_linexpr_structural_equality_implies_identity():
+    x = Var("ix")
+    assert LinExpr({x: 2}, 3) is LinExpr({x: Fraction(2)}, Fraction(3))
+    # Zero coefficients normalise away before interning.
+    assert LinExpr({x: 0}, 3) is LinExpr.const_expr(3)
+    assert LinExpr({x: 1}) is LinExpr.var(x)
+
+
+def test_arithmetic_returns_canonical_instances():
+    x = LinExpr.var(Var("ix"))
+    assert (x + 5) - 5 is x
+    assert (x * 2) / 2 is x
+    assert -(-x) is x
+
+
+def test_formula_nodes_intern():
+    x = LinExpr.var(Var("ix"))
+    assert Atom(x, LE) is Atom(x, LE)
+    assert BVar("ib") is BVar("ib")
+    assert Not(BVar("ib")) is Not(BVar("ib"))
+    a, b = Atom(x, LE), Atom(x - 1, LT)
+    assert conj([a, b]) is conj([a, b])
+    assert disj([a, b]) is disj([a, b])
+    # And/Or with identical args are distinct nodes.
+    assert And([a, b]) is not Or([a, b])
+
+
+def test_nnf_is_memoized_on_identity():
+    x = LinExpr.var(Var("ix"))
+    formula = Not(conj([Atom(x, LE), BVar("ib")]))
+    assert to_nnf(formula) is to_nnf(formula)
+
+
+def test_pickle_round_trip_reinterns():
+    x = LinExpr.var(Var("ix"))
+    formula = conj([Atom(x - 4, LE), disj([Not(BVar("ib")), Atom(x, LT)])])
+    revived = pickle.loads(pickle.dumps(formula))
+    assert revived is formula
+
+
+def test_intern_tables_do_not_leak_across_sessions():
+    def build():
+        vars_ = [Var(f"__leak_{i}") for i in range(40)]
+        return [Atom(LinExpr({v: 1}, i), LE) for i, v in enumerate(vars_)]
+
+    atoms = build()
+    assert sum(1 for name, _ in Var._intern if name.startswith("__leak_")) == 40
+    del atoms
+    gc.collect()
+    assert not [name for name, _ in Var._intern if name.startswith("__leak_")]
+    leaked_exprs = [
+        key
+        for key in LinExpr._intern
+        for var, _ in key[0]
+        if var.name.startswith("__leak_")
+    ]
+    assert not leaked_exprs
+
+
+def test_interned_nodes_hash_consistently():
+    x = Var("ix")
+    e1 = LinExpr({x: 1}, 2)
+    e2 = LinExpr({x: Fraction(1)}, Fraction(2))
+    assert hash(e1) == hash(e2) and e1 == e2
+    assert len({e1, e2}) == 1
