@@ -18,8 +18,8 @@ Two entry points share the workload bodies below:
 
 import argparse
 import random
-import time
 
+from repro.obs.clock import now
 from repro.smt import (
     NE,
     SAT,
@@ -244,15 +244,19 @@ MICRO_RUNNERS = {
 }
 
 
-def _timed_entry(fn, runs: int) -> dict:
+def _timed_entry(fn, runs: int, name: str = "") -> dict:
     from repro.bench.perflog import summarize_times
+    from repro.obs.trace import get_tracer
 
+    tracer = get_tracer()
     before = GLOBAL_COUNTERS.snapshot()
     times_ms = []
     for _ in range(runs):
-        start = time.perf_counter()
-        fn()
-        times_ms.append((time.perf_counter() - start) * 1000.0)
+        start = now()
+        with tracer.span(f"micro.{name}" if name else "micro.run",
+                         phase=name or "micro", counters=True):
+            fn()
+        times_ms.append((now() - start) * 1000.0)
     entry = summarize_times(times_ms)
     entry["counters"] = GLOBAL_COUNTERS.delta_since(before)
     return entry
@@ -287,9 +291,9 @@ def _run_cegis(cells, *, warm: bool) -> dict:
     before = GLOBAL_COUNTERS.snapshot()
     times_ms = []
     for predicate, subset in cells:
-        start = time.perf_counter()
+        start = now()
         Synthesizer(config).synthesize(predicate, set(subset))
-        times_ms.append((time.perf_counter() - start) * 1000.0)
+        times_ms.append((now() - start) * 1000.0)
     entry = summarize_times(times_ms)
     entry["counters"] = GLOBAL_COUNTERS.delta_since(before)
     entry["solver_constructions_per_query"] = round(
@@ -343,14 +347,14 @@ def parallel_driver_bench(num_queries: int, seed: int, runs: int) -> dict[str, d
         times_ms = []
         records = 0
         for _ in range(runs):
-            start = time.perf_counter()
+            start = now()
             result = parallel_efficacy_records(
                 num_queries=num_queries,
                 seed=seed,
                 techniques=("TC",),
                 workers=n,
             )
-            times_ms.append((time.perf_counter() - start) * 1000.0)
+            times_ms.append((now() - start) * 1000.0)
             records = len(result.records)
         entry = summarize_times(times_ms)
         entry["counters"] = GLOBAL_COUNTERS.delta_since(before)
@@ -379,33 +383,52 @@ def main(argv=None) -> int:
         "--skip-cegis", action="store_true",
         help="micro-benchmarks only (fast smoke mode)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL span trace (with per-check smt spans) of "
+        "the whole run; replay with 'repro trace PATH'",
+    )
     args = parser.parse_args(argv)
 
-    entries: dict[str, dict] = {}
-    for name, fn in MICRO_RUNNERS.items():
-        entries[f"micro/{name}"] = _timed_entry(fn, args.runs)
-        print(
-            f"micro/{name}: median {entries[f'micro/{name}']['median_ms']} ms"
-        )
-    entries.update(
-        parallel_driver_bench(args.cegis_queries, args.seed, args.runs)
+    from contextlib import nullcontext
+
+    from repro.bench.perflog import stamp_trace_id
+    from repro.obs import install_file_tracer
+
+    tracing = (
+        install_file_tracer(args.trace, smt_spans=True)
+        if args.trace
+        else nullcontext(None)
     )
-    for name in ("parallel/tc_sequential", "parallel/tc_workers"):
-        print(
-            f"{name}: median {entries[name]['median_ms']} ms "
-            f"({entries[name]['workers']} workers)"
+    entries: dict[str, dict] = {}
+    with tracing as tracer:
+        for name, fn in MICRO_RUNNERS.items():
+            entries[f"micro/{name}"] = _timed_entry(fn, args.runs, name)
+            print(
+                f"micro/{name}: median {entries[f'micro/{name}']['median_ms']} ms"
+            )
+        entries.update(
+            parallel_driver_bench(args.cegis_queries, args.seed, args.runs)
         )
-    if not args.skip_cegis:
-        entries.update(cegis_warm_vs_cold(args.cegis_queries, args.seed))
-        comparison = entries["cegis/warm_vs_cold"]
-        print(
-            "cegis: warm constructs "
-            f"{entries['cegis/warm']['solver_constructions_per_query']} "
-            "solvers/query vs cold "
-            f"{entries['cegis/cold']['solver_constructions_per_query']} "
-            f"({comparison['construction_ratio_cold_over_warm']}x fewer), "
-            f"median speedup {comparison['median_speedup']}x"
-        )
+        for name in ("parallel/tc_sequential", "parallel/tc_workers"):
+            print(
+                f"{name}: median {entries[name]['median_ms']} ms "
+                f"({entries[name]['workers']} workers)"
+            )
+        if not args.skip_cegis:
+            entries.update(cegis_warm_vs_cold(args.cegis_queries, args.seed))
+            comparison = entries["cegis/warm_vs_cold"]
+            print(
+                "cegis: warm constructs "
+                f"{entries['cegis/warm']['solver_constructions_per_query']} "
+                "solvers/query vs cold "
+                f"{entries['cegis/cold']['solver_constructions_per_query']} "
+                f"({comparison['construction_ratio_cold_over_warm']}x fewer), "
+                f"median speedup {comparison['median_speedup']}x"
+            )
+        stamp_trace_id(entries, tracer.trace_id if tracer is not None else None)
+    if args.trace:
+        print(f"trace written to {args.trace}")
     path = update_bench_json(entries, args.output)
     print(f"wrote {path}")
     return 0

@@ -39,6 +39,14 @@ file and enforces them directly:
   ``certified_solver`` for proof-logged verdicts; deliberate
   exceptions carry ``# sia: allow(SIA009)``.
 
+* **Clock discipline** (SIA010), enforced everywhere except under
+  ``repro/obs/``: durations must be measured on the injectable clock
+  (:func:`repro.obs.clock.now`), never on ``time.time()`` /
+  ``time.perf_counter()`` / ``time.monotonic()`` directly.  A direct
+  call bypasses ``ManualClock`` in tests (timing assertions go flaky)
+  and escapes the span tracer's notion of time.  ``repro/obs/clock.py``
+  is the single sanctioned call site.
+
 The linter is purely syntactic -- it never imports the code it checks.
 """
 
@@ -72,6 +80,12 @@ _SANCTIONED_MUTATORS = frozenset(
 # -- a session-layer module would live here if core ever grew one.
 _SESSION_MODULES = frozenset({"session.py"})
 
+# Wall-clock reads that must route through repro.obs.clock (SIA010).
+_CLOCK_ATTRS = frozenset(
+    {"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+)
+_TIME_MODULE_NAMES = frozenset({"time", "_time"})
+
 
 def zone_of(path: Path) -> str:
     """Lint zone of a source file, derived from its path segments."""
@@ -91,6 +105,8 @@ class _Linter(ast.NodeVisitor):
         self._core_zone = (
             "core" in parts and Path(path).name not in _SESSION_MODULES
         )
+        # repro/obs/ is the sanctioned home of the real clock (SIA010).
+        self._obs_zone = "obs" in parts
         self.findings: list[Finding] = []
         self._class_stack: list[str] = []
         self._func_stack: list[str] = []
@@ -203,6 +219,20 @@ class _Linter(ast.NodeVisitor):
                 "direct Solver(...) construction bypasses the warm "
                 "session layer; use SmtSession (or certified_solver "
                 "for proof-logged verdicts)",
+            )
+        if (
+            not self._obs_zone
+            and isinstance(func, ast.Attribute)
+            and func.attr in _CLOCK_ATTRS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _TIME_MODULE_NAMES
+        ):
+            self._report(
+                node,
+                "SIA010",
+                f"direct time.{func.attr}() call; measure on the "
+                "injectable clock (repro.obs.clock.now) so ManualClock "
+                "tests and span traces stay deterministic",
             )
         if isinstance(func, ast.Name):
             if func.id == "float" and self.zone in (EXACT_ZONE, BOUNDARY_ZONE):

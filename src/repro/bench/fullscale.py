@@ -18,9 +18,9 @@ import argparse
 import dataclasses
 import json
 import sys
-import time
 from pathlib import Path
 
+from ..obs.clock import now as _now
 from ..sql.printer import render_pred
 from ..tpch import generate_workload
 from .harness import (
@@ -78,7 +78,7 @@ def run(queries: int, seed: int, out_path: Path, techniques=TECHNIQUES) -> int:
                     continue
                 possible = _ground_truth_possible(wq, subset)
                 for technique in pending:
-                    start = time.perf_counter()
+                    start = _now()
                     if technique == "TC":
                         record = _run_transitive_closure(wq, subset)
                     else:
@@ -90,7 +90,7 @@ def run(queries: int, seed: int, out_path: Path, techniques=TECHNIQUES) -> int:
                     print(
                         f"q{wq.index} {'+'.join(subset_names)} {technique}: "
                         f"valid={record.valid} optimal={record.optimal} "
-                        f"({time.perf_counter() - start:.1f}s)",
+                        f"({_now() - start:.1f}s)",
                         file=sys.stderr,
                     )
     return new_cells

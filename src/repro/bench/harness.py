@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import itertools
 import os
-import time
 from dataclasses import dataclass
 from statistics import mean
 
+from ..obs.clock import now as _now
 from ..core import (
     SIA_DEFAULT,
     SIA_V1,
@@ -158,9 +158,9 @@ def _run_sia_variant(
 def _run_transitive_closure(
     wq: WorkloadQuery, subset: tuple[Column, ...]
 ) -> EfficacyRecord:
-    start = time.perf_counter()
+    start = _now()
     derived = TransitiveClosure(wq.predicate).derive(set(subset))
-    generation_ms = (time.perf_counter() - start) * 1000.0
+    generation_ms = (_now() - start) * 1000.0
     record = EfficacyRecord(
         query_index=wq.index,
         subset=tuple(c.name for c in subset),
@@ -173,9 +173,9 @@ def _run_transitive_closure(
         predicate=derived,
     )
     if derived is not None:
-        start = time.perf_counter()
+        start = _now()
         record.optimal = _tc_is_optimal(wq, subset, derived)
-        record.validation_ms = (time.perf_counter() - start) * 1000.0
+        record.validation_ms = (_now() - start) * 1000.0
     return record
 
 

@@ -32,6 +32,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..obs.metrics import GLOBAL_METRICS, merge_delta
+from ..obs.trace import get_tracer
 from ..smt.stats import GLOBAL_COUNTERS
 from ..tpch import WorkloadQuery, generate_workload
 from .harness import (
@@ -48,34 +50,54 @@ from .harness import (
 
 @dataclass
 class ParallelRunResult:
-    """Merged records plus aggregated solver counters."""
+    """Merged records plus aggregated solver counters and metrics."""
 
     records: list[EfficacyRecord] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
+    metrics: dict[str, dict] = field(default_factory=dict)
     workers: int = 1
 
 
 def _query_batch(
     wq: WorkloadQuery, techniques: tuple[str, ...]
-) -> tuple[int, list[dict], dict[str, int]]:
+) -> tuple[int, list[dict], dict[str, int], dict[str, dict]]:
     """All cells of one query (runs inside a worker process)."""
     from .fullscale import _record_to_json
 
+    tracer = get_tracer()
     before = GLOBAL_COUNTERS.snapshot()
+    metrics_before = GLOBAL_METRICS.snapshot()
     payloads: list[dict] = []
-    for subset in column_subsets():
-        possible = _ground_truth_possible(wq, subset)
-        for technique in techniques:
-            if technique == "TC":
-                record = _run_transitive_closure(wq, subset)
-            else:
-                record = _run_sia_variant(wq, subset, technique)
-            record.possible = possible
-            payloads.append(_record_to_json(record))
-    return wq.index, payloads, GLOBAL_COUNTERS.delta_since(before)
+    with GLOBAL_METRICS.timer("bench.query_ms").time(), tracer.span(
+        "bench.query", index=wq.index, counters=True
+    ):
+        for subset in column_subsets():
+            with tracer.span(
+                "bench.ground_truth",
+                phase="ground_truth",
+                subset=",".join(str(col) for col in subset),
+            ):
+                possible = _ground_truth_possible(wq, subset)
+            for technique in techniques:
+                with tracer.span("bench.cell", technique=technique):
+                    if technique == "TC":
+                        record = _run_transitive_closure(wq, subset)
+                    else:
+                        record = _run_sia_variant(wq, subset, technique)
+                record.possible = possible
+                payloads.append(_record_to_json(record))
+    GLOBAL_METRICS.counter("bench.cells").inc(len(payloads))
+    return (
+        wq.index,
+        payloads,
+        GLOBAL_COUNTERS.delta_since(before),
+        GLOBAL_METRICS.delta_since(metrics_before),
+    )
 
 
-def _batch_entry(args: tuple) -> tuple[int, list[dict], dict[str, int]]:
+def _batch_entry(
+    args: tuple,
+) -> tuple[int, list[dict], dict[str, int], dict[str, dict]]:
     # Top-level single-argument wrapper so executor.map can pickle it.
     return _query_batch(*args)
 
@@ -110,25 +132,38 @@ def parallel_efficacy_records(
     tasks = [(wq, techniques) for wq in queries]
 
     batches: dict[int, list[dict]] = {}
-    totals: dict[str, int] = {}
+    deltas: dict[int, tuple[dict[str, int], dict[str, dict]]] = {}
     if workers <= 1:
         results = map(_batch_entry, tasks)
-        for index, payloads, delta in results:
+        for index, payloads, delta, metrics_delta in results:
             batches[index] = payloads
-            for name, value in delta.items():
-                totals[name] = totals.get(name, 0) + value
+            deltas[index] = (delta, metrics_delta)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, payloads, delta in pool.map(
+            for index, payloads, delta, metrics_delta in pool.map(
                 _batch_entry, tasks, chunksize=1
             ):
                 batches[index] = payloads
-                for name, value in delta.items():
-                    totals[name] = totals.get(name, 0) + value
+                deltas[index] = (delta, metrics_delta)
+
+    # Merge per-batch deltas in ascending query index, never arrival
+    # order, so the aggregate is identical for any worker count.
+    totals: dict[str, int] = {}
+    metric_totals: dict[str, dict] = {}
+    for index in sorted(deltas):
+        delta, metrics_delta = deltas[index]
+        for name, value in delta.items():
+            totals[name] = totals.get(name, 0) + value
+        merge_delta(metric_totals, metrics_delta)
 
     records = [
         _record_from_json(payload)
         for index in sorted(batches)
         for payload in batches[index]
     ]
-    return ParallelRunResult(records=records, counters=totals, workers=workers)
+    return ParallelRunResult(
+        records=records,
+        counters=totals,
+        metrics=metric_totals,
+        workers=workers,
+    )

@@ -16,13 +16,21 @@ Schema (version 1)::
           "p95_ms": float,         # 95th percentile per run
           "runs": int,             # timed runs aggregated
           "counters": {...},       # GLOBAL_COUNTERS delta over the runs
+          "trace_id": str,         # optional: links the entry to the
+                                   # JSONL trace captured for the same
+                                   # run (``repro trace`` on that file
+                                   # attributes the wall-clock here)
+          "metrics": {...},        # optional: GLOBAL_METRICS summary
           ...                      # benchmark-specific extras
         }
       }
     }
 
 Writes merge by benchmark name, so the micro-bench and the workload
-driver can contribute to the same file independently.
+driver can contribute to the same file independently.  ``trace_id``
+and ``metrics`` are additive extras within schema version 1: absent
+in entries written before observability landed, present whenever a
+run was traced (see :func:`stamp_trace_id`).
 """
 
 from __future__ import annotations
@@ -49,6 +57,14 @@ def summarize_times(times_ms: list[float]) -> dict:
         "p95_ms": round(p95, 4),
         "runs": len(times_ms),
     }
+
+
+def stamp_trace_id(benchmarks: dict[str, dict], trace_id: str | None) -> None:
+    """Attach ``trace_id`` to every entry (no-op when untraced)."""
+    if not trace_id:
+        return
+    for entry in benchmarks.values():
+        entry["trace_id"] = trace_id
 
 
 def update_bench_json(

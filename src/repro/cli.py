@@ -114,6 +114,34 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="perf-JSON path (default: BENCH_smt_micro.json; '-' skips)",
     )
+    bench.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace of the run (replay with "
+        "'repro trace PATH'); traced spans cover the in-process "
+        "portion of the run only",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a JSONL span trace into a per-phase time "
+        "attribution table and a text flamegraph",
+    )
+    trace.add_argument("path", help="JSONL trace file (see 'bench --trace')")
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the attribution as JSON for CI",
+    )
+    trace.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        help="flamegraph depth limit (default: 4)",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -214,17 +242,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    import time
+    from contextlib import nullcontext
 
     from .bench.parallel import default_workers, parallel_efficacy_records
-    from .bench.perflog import DEFAULT_PATH, summarize_times, update_bench_json
+    from .bench.perflog import (
+        DEFAULT_PATH,
+        stamp_trace_id,
+        summarize_times,
+        update_bench_json,
+    )
+    from .obs import install_file_tracer, now
 
     workers = default_workers() if args.parallel == 0 else args.parallel
-    start = time.perf_counter()
-    result = parallel_efficacy_records(
-        num_queries=args.queries, seed=args.seed, workers=workers
+    tracing = (
+        install_file_tracer(args.trace_path)
+        if args.trace_path
+        else nullcontext(None)
     )
-    wall_clock_ms = (time.perf_counter() - start) * 1000.0
+    with tracing as tracer:
+        trace_id = tracer.trace_id if tracer is not None else None
+        start = now()
+        with (
+            tracer.span("bench.workload", workers=workers, counters=True)
+            if tracer is not None
+            else nullcontext()
+        ):
+            result = parallel_efficacy_records(
+                num_queries=args.queries, seed=args.seed, workers=workers
+            )
+        wall_clock_ms = (now() - start) * 1000.0
     records = result.records
     valid = sum(1 for r in records if r.valid)
     optimal = sum(1 for r in records if r.optimal)
@@ -241,6 +287,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{counters.get('sessions_created', 0)} sessions), "
         f"{counters.get('clauses_learned', 0)} clauses learned"
     )
+    if args.trace_path:
+        print(f"trace {trace_id} written to {args.trace_path}")
     if args.json_path != "-" and records:
         entry = summarize_times(
             [r.generation_ms + r.learning_ms + r.validation_ms for r in records]
@@ -255,10 +303,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "wall_clock_ms": round(wall_clock_ms, 1),
             }
         )
-        path = update_bench_json(
-            {"workload/efficacy": entry}, args.json_path or DEFAULT_PATH
-        )
+        if result.metrics:
+            entry["metrics"] = result.metrics
+        entries = {"workload/efficacy": entry}
+        stamp_trace_id(entries, trace_id)
+        path = update_bench_json(entries, args.json_path or DEFAULT_PATH)
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.replay import (
+        load_trace,
+        render_flamegraph,
+        render_phase_table,
+        replay_to_json,
+    )
+
+    try:
+        replay = load_trace(args.path)
+    except OSError as exc:
+        print(f"trace: error: {exc}", file=sys.stderr)
+        return 2
+    if not replay.spans:
+        print(f"trace: no spans in {args.path}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        import json
+
+        print(json.dumps(replay_to_json(replay), indent=2, sort_keys=True))
+        return 0
+    print(render_phase_table(replay))
+    print()
+    print(render_flamegraph(replay, depth=args.depth))
     return 0
 
 
@@ -310,6 +387,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_analyze(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         # demo
         from .engine import execute
         from .tpch import generate_catalog

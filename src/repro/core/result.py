@@ -12,11 +12,11 @@ The timing breakdown follows Table 3 of the paper:
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
 
+from ..obs.clock import now
 from ..predicates import Pred
 from ..smt import Var
 
@@ -40,11 +40,13 @@ class Timings:
 
     @contextmanager
     def track(self, stage: str):
-        start = time.perf_counter()
+        # The injectable clock keeps these breakdowns deterministic
+        # under ManualClock in tests (and SIA010-compliant).
+        start = now()
         try:
             yield
         finally:
-            elapsed = (time.perf_counter() - start) * 1000.0
+            elapsed = (now() - start) * 1000.0
             attr = f"{stage}_ms"
             setattr(self, attr, getattr(self, attr) + elapsed)
 

@@ -103,6 +103,25 @@ class Sampler:
         """
         if random_attempts is None:
             random_attempts = 2 if self.config.sampling_strategy == RANDOM_BOX else 0
+        from ..obs.trace import get_tracer
+
+        with get_tracer().span(
+            "samples.draw", requested=count, random_attempts=random_attempts
+        ) as span:
+            result = self._sample(
+                base, variables, count, existing, random_attempts
+            )
+            span.set(found=len(result.points), exhausted=result.exhausted)
+            return result
+
+    def _sample(
+        self,
+        base: Formula,
+        variables: list[Var],
+        count: int,
+        existing: list[Point] | None,
+        random_attempts: int,
+    ) -> SampleSet:
         points: list[Point] = []
         all_known = list(existing or [])
         # One persistent session serves every sample of this call

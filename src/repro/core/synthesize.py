@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 from ..errors import UnsupportedPredicateError
 from ..learn import DisjunctivePredicate
+from ..obs.clock import now as _clock_now
+from ..obs.trace import get_tracer
 from ..predicates import (
     Col,
     Column,
@@ -207,8 +209,29 @@ class Synthesizer:
 
         ``target_columns`` must be a non-empty subset of the columns of
         ``pred`` (Def. 2 requires Cols' subset of Cols).
+
+        Each call is one ``synthesize`` root span in the trace (see
+        :mod:`repro.obs.trace`); the CEGIS stages inside carry the
+        ``phase`` labels ``repro trace`` attributes time to.
         """
         targets = sorted(set(target_columns))
+        tracer = get_tracer()
+        with tracer.span(
+            "synthesize",
+            targets=",".join(col.qualified for col in targets),
+        ) as root:
+            outcome = self._synthesize(pred, targets, tracer)
+            root.set(
+                status=outcome.status,
+                iterations=outcome.iterations,
+                true_samples=outcome.true_samples,
+                false_samples=outcome.false_samples,
+            )
+            return outcome
+
+    def _synthesize(
+        self, pred: Pred, targets: list[Column], tracer
+    ) -> SynthesisOutcome:
         timings = Timings()
         outcome = SynthesisOutcome(
             status=FAILED,
@@ -245,7 +268,9 @@ class Synthesizer:
         sampler = Sampler(self.config, rng)
 
         # ---------------- Unsatisfaction region (Lemma 4) -------------
-        with timings.track("generation"):
+        with timings.track("generation"), tracer.span(
+            "qe.unsat_region", phase="qe", counters=True
+        ):
             try:
                 region = unsat_region(formula, set(target_vars))
             except Exception as exc:  # DNF blowup or projection failure
@@ -259,7 +284,9 @@ class Synthesizer:
             return outcome
 
         # ---------------- Initial samples (section 5.3) ---------------
-        with timings.track("generation"):
+        with timings.track("generation"), tracer.span(
+            "cegis.generate_samples", phase="generate_samples", counters=True
+        ) as gen_span:
             ts_set = sampler.sample(
                 formula, target_vars, self.config.initial_true_samples
             )
@@ -270,6 +297,7 @@ class Synthesizer:
                 region.formula, target_vars, self.config.initial_false_samples
             )
             fs = fs_set.points
+            gen_span.set(true_samples=len(ts), false_samples=len(fs))
         if fs_set.exhausted:
             return self._finite_false_outcome(
                 outcome, ctx, targets, region.formula, target_vars, fs
@@ -307,164 +335,181 @@ class Synthesizer:
         # accepts all of Ts, so an old counter-example can never
         # satisfy a later NOT p2 anyway.
         counter_t_enum: IncrementalEnumerator | None = None
-        import time as _time
 
         deadline = (
-            _time.perf_counter() + self.config.timeout_ms / 1000.0
+            _clock_now() + self.config.timeout_ms / 1000.0
             if self.config.timeout_ms is not None
             else None
         )
         while iteration < self.config.max_iterations:
-            if deadline is not None and _time.perf_counter() > deadline:
+            if deadline is not None and _clock_now() > deadline:
                 status = VALID if not p1.is_trivial else FAILED
                 outcome.detail = outcome.detail or "timeout (section 6.2)"
                 break
             iteration += 1
-            with timings.track("learning"):
-                p2 = learn(ts, fs, target_vars, self.config, rng)
-            with timings.track("validation"):
-                # The tighter verify budget keeps dense-coefficient
-                # integer feasibility checks from crawling; an unknown
-                # verdict is treated as invalid (sound, section 5.5).
-                if verifier is not None:
-                    valid = verifier.verify(p2)
-                else:
-                    valid = verify_implied(
-                        pred,
-                        p2,
-                        ctx,
-                        bnb_budget=self.config.verify_budget,
-                        certify=self.config.certify_verify,
-                    )
-            trace = IterationTrace(index=iteration, learned=str(p2), valid=valid)
-            outcome.trace.append(trace)
-            logger.debug(
-                "iteration %d: %s learned %s (|Ts|=%d |Fs|=%d)",
-                iteration,
-                "valid" if valid else "invalid",
-                p2,
-                len(ts),
-                len(fs),
-            )
+            with tracer.span("cegis.iteration", index=iteration):
+                with timings.track("learning"), tracer.span(
+                    "cegis.learn", phase="learn"
+                ):
+                    p2 = learn(ts, fs, target_vars, self.config, rng)
+                with timings.track("validation"), tracer.span(
+                    "cegis.verify", phase="verify", counters=True
+                ) as verify_span:
+                    # The tighter verify budget keeps dense-coefficient
+                    # integer feasibility checks from crawling; an unknown
+                    # verdict is treated as invalid (sound, section 5.5).
+                    if verifier is not None:
+                        valid = verifier.verify(p2)
+                    else:
+                        valid = verify_implied(
+                            pred,
+                            p2,
+                            ctx,
+                            bnb_budget=self.config.verify_budget,
+                            certify=self.config.certify_verify,
+                        )
+                    verify_span.set(valid=valid)
+                trace = IterationTrace(index=iteration, learned=str(p2), valid=valid)
+                outcome.trace.append(trace)
+                logger.debug(
+                    "iteration %d: %s learned %s (|Ts|=%d |Fs|=%d)",
+                    iteration,
+                    "valid" if valid else "invalid",
+                    p2,
+                    len(ts),
+                    len(fs),
+                )
 
-            if valid:
-                p1.parts.append(p2)
-                with timings.track("validation"):
-                    # Cheap per-iteration pass: the newest predicate most
-                    # often subsumes its immediate predecessor.  A full
-                    # pruning pass runs once at the end of the loop.
-                    p1.prune_dominated(witnesses=fs, recent_only=True)
-                counter_f_enum.add(p2.formula())
-                want = max(1, self.config.samples_per_iteration)
-                new_fs: list[Point] = []
-                with timings.track("generation"):
-                    for _ in range(want):
-                        point = counter_f_enum.next(fs + new_fs)
-                        if point is None:
-                            break
-                        new_fs.append(point)
-                    if not new_fs:
-                        # The sampling box may be exhausted while
-                        # unsatisfaction tuples remain outside it; try
-                        # unboxed (same warm session, box scope
-                        # disabled) before concluding anything.
+                if valid:
+                    p1.parts.append(p2)
+                    with timings.track("validation"), tracer.span(
+                        "cegis.prune", phase="minimize"
+                    ):
+                        # Cheap per-iteration pass: the newest predicate most
+                        # often subsumes its immediate predecessor.  A full
+                        # pruning pass runs once at the end of the loop.
+                        p1.prune_dominated(witnesses=fs, recent_only=True)
+                    counter_f_enum.add(p2.formula())
+                    want = max(1, self.config.samples_per_iteration)
+                    new_fs: list[Point] = []
+                    with timings.track("generation"), tracer.span(
+                        "cegis.counter_f", phase="counter_f", counters=True
+                    ) as cf_span:
                         for _ in range(want):
-                            point = counter_f_enum.next(
-                                fs + new_fs, boxed=False
-                            )
+                            point = counter_f_enum.next(fs + new_fs)
                             if point is None:
                                 break
                             new_fs.append(point)
-                if not new_fs:
-                    # No *new* witness.  Distinguish optimal from the
-                    # stuck case with a probe WITHOUT NotOld: p1 may
-                    # still accept unsatisfaction tuples that already
-                    # sit in Fs (the SVM is not obliged to classify
-                    # FALSE samples correctly), and NotOld masks
-                    # exactly those witnesses (Lemma 4 needs none).
-                    # Unknown (budget exhausted) counts as sub-optimal:
-                    # never over-claim optimality.
-                    with timings.track("validation"):
-                        sub_optimal = not _implication_holds(
-                            conj([region.formula, p1.formula()]),
-                            self.config.bnb_budget,
-                            certify=self.config.certify_verify,
-                        )
-                    if sub_optimal:
-                        status = VALID
-                        outcome.detail = (
-                            "stuck: accepted unsatisfaction tuples already in Fs"
-                        )
-                    else:
-                        status = OPTIMAL
-                    break
-                if self.config.samples_per_iteration == 0:
-                    # Single-shot variants (SIA_v1/v2) never iterate; a
-                    # fresh witness just proves sub-optimality.
-                    status = VALID
-                    break
-                trace.new_false = new_fs
-                fs.extend(new_fs)
-            else:
-                want = max(1, self.config.samples_per_iteration)
-                with timings.track("generation"):
-                    # NotOld over the existing TRUE samples is
-                    # redundant here: Learn guarantees p2 accepts every
-                    # point of Ts, and counter-examples must violate
-                    # p2, so they are distinct by construction.  Only
-                    # the points found within this call need blocking.
-                    if self.config.warm_sessions:
-                        if counter_t_enum is None:
-                            counter_t_enum = IncrementalEnumerator(
-                                formula,
-                                target_vars,
-                                [],
-                                self.config,
-                                with_box=True,
-                            )
-                        # Candidate AND within-call blocking ride in one
-                        # retractable scope; nothing is blocked across
-                        # iterations (redundant by the Learn argument
-                        # above, and permanent NotOld atoms would bloat
-                        # every later theory round).
-                        scope = counter_t_enum.session.push(
-                            negate(p2.formula()), label="counter-t"
-                        )
-                        new_ts: list[Point] = []
-                        try:
+                        if not new_fs:
+                            # The sampling box may be exhausted while
+                            # unsatisfaction tuples remain outside it; try
+                            # unboxed (same warm session, box scope
+                            # disabled) before concluding anything.
                             for _ in range(want):
-                                point = counter_t_enum.next([])
-                                if point is None:
-                                    point = counter_t_enum.next(
-                                        [], boxed=False
-                                    )
+                                point = counter_f_enum.next(
+                                    fs + new_fs, boxed=False
+                                )
                                 if point is None:
                                     break
-                                new_ts.append(point)
-                                scope.add(
-                                    not_old_formula([point], target_vars)
+                                new_fs.append(point)
+                        cf_span.set(found=len(new_fs))
+                    if not new_fs:
+                        # No *new* witness.  Distinguish optimal from the
+                        # stuck case with a probe WITHOUT NotOld: p1 may
+                        # still accept unsatisfaction tuples that already
+                        # sit in Fs (the SVM is not obliged to classify
+                        # FALSE samples correctly), and NotOld masks
+                        # exactly those witnesses (Lemma 4 needs none).
+                        # Unknown (budget exhausted) counts as sub-optimal:
+                        # never over-claim optimality.
+                        with timings.track("validation"), tracer.span(
+                            "cegis.optimality", phase="verify", counters=True
+                        ):
+                            sub_optimal = not _implication_holds(
+                                conj([region.formula, p1.formula()]),
+                                self.config.bnb_budget,
+                                certify=self.config.certify_verify,
+                            )
+                        if sub_optimal:
+                            status = VALID
+                            outcome.detail = (
+                                "stuck: accepted unsatisfaction tuples already in Fs"
+                            )
+                        else:
+                            status = OPTIMAL
+                        break
+                    if self.config.samples_per_iteration == 0:
+                        # Single-shot variants (SIA_v1/v2) never iterate; a
+                        # fresh witness just proves sub-optimality.
+                        status = VALID
+                        break
+                    trace.new_false = new_fs
+                    fs.extend(new_fs)
+                else:
+                    want = max(1, self.config.samples_per_iteration)
+                    with timings.track("generation"), tracer.span(
+                        "cegis.counter_t", phase="counter_t", counters=True
+                    ) as ct_span:
+                        # NotOld over the existing TRUE samples is
+                        # redundant here: Learn guarantees p2 accepts every
+                        # point of Ts, and counter-examples must violate
+                        # p2, so they are distinct by construction.  Only
+                        # the points found within this call need blocking.
+                        if self.config.warm_sessions:
+                            if counter_t_enum is None:
+                                counter_t_enum = IncrementalEnumerator(
+                                    formula,
+                                    target_vars,
+                                    [],
+                                    self.config,
+                                    with_box=True,
                                 )
-                        finally:
-                            scope.retract()
-                    else:
-                        counter_ts = sampler.sample(
-                            conj([formula, negate(p2.formula())]),
-                            target_vars,
-                            want,
-                            existing=None,
-                            random_attempts=0,
-                        )
-                        new_ts = counter_ts.points
-                if not new_ts:
-                    # p implies p2 two-valuedly, yet 3VL verification
-                    # failed: the NULL-semantics gap (see verify.py).
-                    status = VALID if not p1.is_trivial else FAILED
-                    outcome.detail = "no 2VL counter-example: NULL-semantics gap"
-                    break
-                trace.new_true = new_ts
-                ts.extend(new_ts)
+                            # Candidate AND within-call blocking ride in one
+                            # retractable scope; nothing is blocked across
+                            # iterations (redundant by the Learn argument
+                            # above, and permanent NotOld atoms would bloat
+                            # every later theory round).
+                            scope = counter_t_enum.session.push(
+                                negate(p2.formula()), label="counter-t"
+                            )
+                            new_ts: list[Point] = []
+                            try:
+                                for _ in range(want):
+                                    point = counter_t_enum.next([])
+                                    if point is None:
+                                        point = counter_t_enum.next(
+                                            [], boxed=False
+                                        )
+                                    if point is None:
+                                        break
+                                    new_ts.append(point)
+                                    scope.add(
+                                        not_old_formula([point], target_vars)
+                                    )
+                            finally:
+                                scope.retract()
+                        else:
+                            counter_ts = sampler.sample(
+                                conj([formula, negate(p2.formula())]),
+                                target_vars,
+                                want,
+                                existing=None,
+                                random_attempts=0,
+                            )
+                            new_ts = counter_ts.points
+                        ct_span.set(found=len(new_ts))
+                    if not new_ts:
+                        # p implies p2 two-valuedly, yet 3VL verification
+                        # failed: the NULL-semantics gap (see verify.py).
+                        status = VALID if not p1.is_trivial else FAILED
+                        outcome.detail = "no 2VL counter-example: NULL-semantics gap"
+                        break
+                    trace.new_true = new_ts
+                    ts.extend(new_ts)
 
-        with timings.track("validation"):
+        with timings.track("validation"), tracer.span(
+            "cegis.minimize", phase="minimize", counters=True
+        ):
             p1.minimize(witnesses=fs)
         outcome.iterations = iteration
         outcome.true_samples = len(ts)
@@ -497,7 +542,9 @@ class Synthesizer:
         formula: Formula,
         target_vars: list[Var],
     ) -> SynthesisOutcome:
-        with outcome.timings.track("generation"):
+        with outcome.timings.track("generation"), get_tracer().span(
+            "cegis.enumerate_true", phase="generate_samples", counters=True
+        ):
             full = enumerate_all(
                 formula,
                 target_vars,
@@ -530,7 +577,9 @@ class Synthesizer:
         target_vars: list[Var],
         initial: list[Point],
     ) -> SynthesisOutcome:
-        with outcome.timings.track("generation"):
+        with outcome.timings.track("generation"), get_tracer().span(
+            "cegis.enumerate_false", phase="generate_samples", counters=True
+        ):
             full = enumerate_all(
                 region_formula,
                 target_vars,

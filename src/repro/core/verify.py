@@ -146,16 +146,26 @@ class PredicateVerifier:
 
     def verify(self, learned: DisjunctivePredicate) -> bool:
         """True iff the original predicate implies ``learned`` (3VL)."""
-        if self._checker is None:
-            return verify_implied(
-                self._original,
-                learned,
-                self._ctx,
-                bnb_budget=self._bnb_budget,
-                certify=self._certify,
-            )
-        t_p1 = learned_truth_formula(learned, self._ctx)
-        return self._checker.proves_unsat(negate(t_p1))
+        from ..obs.trace import get_tracer
+
+        with get_tracer().span(
+            "verify.implication",
+            certified=self._certify,
+            warm=self._checker is not None,
+        ) as span:
+            if self._checker is None:
+                result = verify_implied(
+                    self._original,
+                    learned,
+                    self._ctx,
+                    bnb_budget=self._bnb_budget,
+                    certify=self._certify,
+                )
+            else:
+                t_p1 = learned_truth_formula(learned, self._ctx)
+                result = self._checker.proves_unsat(negate(t_p1))
+            span.set(implied=result)
+            return result
 
 
 def _columns_of_var(var, ctx: LinearizationContext):

@@ -7,10 +7,10 @@ Every operator records rows-in/rows-out in :class:`ExecutionStats`.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
+from ..obs.clock import now as _now
 from ..errors import PlanError
 from ..predicates import eval_pred_numpy
 from .catalog import Catalog
@@ -32,27 +32,27 @@ from .table import Relation, relation_from_arrays
 def execute(plan: PlanNode, catalog: Catalog) -> tuple[Relation, ExecutionStats]:
     """Run a plan; returns the output relation and operator statistics."""
     stats = ExecutionStats()
-    start = time.perf_counter()
+    start = _now()
     relation = _run(plan, catalog, stats)
-    stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
+    stats.elapsed_ms = (_now() - start) * 1000.0
     stats.note_bytes(relation.nbytes)
     return relation, stats
 
 
 def _run(plan: PlanNode, catalog: Catalog, stats: ExecutionStats) -> Relation:
     if isinstance(plan, Scan):
-        t0 = time.perf_counter()
+        t0 = _now()
         relation = catalog.get(plan.table).to_relation()
         stats.record(
             f"Scan({plan.table})",
             relation.num_rows,
             relation.num_rows,
-            (time.perf_counter() - t0) * 1000.0,
+            (_now() - t0) * 1000.0,
         )
         return relation
     if isinstance(plan, Filter):
         child = _run(plan.child, catalog, stats)
-        t0 = time.perf_counter()
+        t0 = _now()
         truth, _ = eval_pred_numpy(
             plan.predicate, child.resolver(), child.num_rows
         )
@@ -61,47 +61,47 @@ def _run(plan: PlanNode, catalog: Catalog, stats: ExecutionStats) -> Relation:
             f"Filter({plan.predicate!r})",
             child.num_rows,
             out.num_rows,
-            (time.perf_counter() - t0) * 1000.0,
+            (_now() - t0) * 1000.0,
         )
         return out
     if isinstance(plan, HashJoin):
         left = _run(plan.left, catalog, stats)
         right = _run(plan.right, catalog, stats)
-        t0 = time.perf_counter()
+        t0 = _now()
         out = _hash_join(left, right, plan)
         stats.note_bytes(left.nbytes + right.nbytes + out.nbytes)
         stats.record(
             f"HashJoin({plan.left_key.qualified}={plan.right_key.qualified})",
             left.num_rows + right.num_rows,
             out.num_rows,
-            (time.perf_counter() - t0) * 1000.0,
+            (_now() - t0) * 1000.0,
         )
         return out
     if isinstance(plan, Project):
         child = _run(plan.child, catalog, stats)
-        t0 = time.perf_counter()
+        t0 = _now()
         out = child.project(list(plan.columns))
         stats.record(
             "Project",
             child.num_rows,
             out.num_rows,
-            (time.perf_counter() - t0) * 1000.0,
+            (_now() - t0) * 1000.0,
         )
         return out
     if isinstance(plan, Aggregate):
         child = _run(plan.child, catalog, stats)
-        t0 = time.perf_counter()
+        t0 = _now()
         out = _aggregate(child, plan)
         stats.record(
             "Aggregate",
             child.num_rows,
             out.num_rows,
-            (time.perf_counter() - t0) * 1000.0,
+            (_now() - t0) * 1000.0,
         )
         return out
     if isinstance(plan, Sort):
         child = _run(plan.child, catalog, stats)
-        t0 = time.perf_counter()
+        t0 = _now()
         # np.lexsort sorts by the LAST key first: feed keys reversed.
         arrays = []
         for column, ascending in reversed(plan.keys):
@@ -110,18 +110,18 @@ def _run(plan: PlanNode, catalog: Catalog, stats: ExecutionStats) -> Relation:
         order = np.lexsort(arrays) if arrays else np.arange(child.num_rows)
         out = child.take(order)
         stats.record(
-            "Sort", child.num_rows, out.num_rows, (time.perf_counter() - t0) * 1000.0
+            "Sort", child.num_rows, out.num_rows, (_now() - t0) * 1000.0
         )
         return out
     if isinstance(plan, Limit):
         child = _run(plan.child, catalog, stats)
-        t0 = time.perf_counter()
+        t0 = _now()
         out = child.take(np.arange(min(plan.count, child.num_rows)))
         stats.record(
             f"Limit({plan.count})",
             child.num_rows,
             out.num_rows,
-            (time.perf_counter() - t0) * 1000.0,
+            (_now() - t0) * 1000.0,
         )
         return out
     raise PlanError(f"unknown plan node {type(plan).__name__}")

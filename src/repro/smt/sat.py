@@ -12,6 +12,7 @@ literal ``v``, negative literal ``-v``.
 
 from __future__ import annotations
 
+from ..obs.trace import get_tracer
 from .proof import ProofLog
 from .stats import GLOBAL_COUNTERS
 
@@ -383,6 +384,17 @@ class SatSolver:
 
             if conflicts_here >= conflict_budget:
                 restart_count += 1
+                GLOBAL_COUNTERS.restarts += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    # Restarts are rare (one per >=100 conflicts), so a
+                    # point event per restart is cheap and lets `repro
+                    # trace` localize pathological search behaviour.
+                    tracer.event(
+                        "sat.restart",
+                        conflicts=self.conflicts,
+                        budget=conflict_budget,
+                    )
                 conflict_budget = 100 * _luby(restart_count + 1)
                 conflicts_here = 0
                 self._cancel_until(len(assumptions))

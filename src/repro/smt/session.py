@@ -51,6 +51,9 @@ from .formula import (
     negate,
     to_nnf,
 )
+from ..obs.clock import now as _clock_now
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.trace import get_tracer
 from .solver import Model, Solver
 from .stats import GLOBAL_COUNTERS
 
@@ -334,9 +337,31 @@ class SmtSession:
         self._solver.bnb_budget = (
             self._default_budget if bnb_budget is None else bnb_budget
         )
+        tracer = get_tracer()
+        span = (
+            tracer.span(
+                "smt.check",
+                counters=True,
+                scopes=len(lits) - len(assumptions or []),
+                assumptions=len(assumptions or []),
+            )
+            if tracer.smt_spans
+            else None
+        )
+        start = _clock_now()
         try:
-            return self._solver.check(assumptions=lits)
+            if span is None:
+                return self._solver.check(assumptions=lits)
+            with span:
+                verdict = self._solver.check(assumptions=lits)
+                span.set(verdict=verdict)
+                return verdict
         finally:
+            GLOBAL_METRICS.timer("smt.session_check_ms").record(
+                # int literal: the ms conversion must not trip the
+                # exact-zone float audit (test_float_purity whitelist)
+                (_clock_now() - start) * 1000
+            )
             if transient:
                 self._solver.suppress_atoms(transient)
 

@@ -20,6 +20,7 @@ from fractions import Fraction
 from typing import Hashable, Iterable, Mapping
 
 from .formula import EQ, LE, LT, Atom
+from .stats import GLOBAL_COUNTERS
 from .terms import LinExpr, Var
 
 Tag = Hashable
@@ -295,6 +296,7 @@ class Simplex:
 
     def _pivot(self, basic: Var, nonbasic: Var) -> None:
         """Swap roles of ``basic`` (leaves) and ``nonbasic`` (enters basis)."""
+        GLOBAL_COUNTERS.pivots += 1
         row = self.rows.pop(basic)
         a = row.pop(nonbasic)
         # nonbasic = (basic - sum(other coeffs)) / a

@@ -10,6 +10,8 @@ parallel workload driver snapshot around their workloads:
   re-encodes CNF and grows a cold CDCL core from nothing),
 * ``checks`` -- top-level ``Solver.check`` calls,
 * ``clauses_learned`` -- CDCL conflict clauses learned,
+* ``restarts`` -- CDCL Luby restarts,
+* ``pivots`` -- simplex pivot operations,
 * ``sessions_created`` / ``session_checks`` -- :class:`SmtSession`
   instances and the checks they served (``session_checks /
   sessions_created`` is the session-reuse factor),
@@ -18,10 +20,26 @@ parallel workload driver snapshot around their workloads:
 * ``proof_fallbacks`` -- checks that had to leave the warm session
   for a sealed proof-logging solver (certified paths).
 
+**Counting semantics** (pinned by ``tests/smt/test_counter_semantics.py``):
+``checks`` counts *every* top-level ``Solver.check`` call, wherever it
+came from -- warm session checks and certified fallbacks included.
+``session_checks`` counts the subset of ``checks`` served by a warm
+:class:`SmtSession` (so a warm check increments **both**, by design:
+``checks - session_checks`` is the cold-check count, and
+``session_checks / checks`` is the warm share).  A certified fallback
+(:func:`~repro.smt.session.certified_solver`, whether reached through
+``SmtSession.certified_check`` or directly) runs on a sealed fresh
+solver: it increments ``solvers_constructed``, ``checks`` and
+``proof_fallbacks``, and must **never** increment ``session_checks``
+-- it was not served warm, and counting it there would overstate the
+session-reuse factor the warm-CEGIS benchmarks report.
+
 Counters are per process; the parallel driver aggregates the deltas
 its workers report.  This module sits below every other smt module so
 both :mod:`repro.smt.sat` and :mod:`repro.smt.solver` can import it
-without cycles.
+without cycles.  Richer distributions (per-check latency percentiles)
+live in :data:`repro.obs.metrics.GLOBAL_METRICS`; these counters stay
+dataclass-flat because the hot loops increment them unconditionally.
 """
 
 from __future__ import annotations
@@ -36,6 +54,8 @@ class SolverCounters:
     solvers_constructed: int = 0
     checks: int = 0
     clauses_learned: int = 0
+    restarts: int = 0
+    pivots: int = 0
     sessions_created: int = 0
     session_checks: int = 0
     scopes_opened: int = 0

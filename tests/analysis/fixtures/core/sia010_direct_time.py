@@ -1,0 +1,8 @@
+"""Planted SIA010: a direct wall-clock read outside repro/obs/."""
+import time
+
+
+def elapsed(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start

@@ -20,6 +20,7 @@ PLANTED = [
     ("smt/sia007_missing_slots.py", "SIA007", 8),
     ("smt/sia008_model_unchecked.py", "SIA008", 6),
     ("core/sia009_direct_solver.py", "SIA009", 5),
+    ("core/sia010_direct_time.py", "SIA010", 6),
 ]
 
 
@@ -53,6 +54,23 @@ def test_pragmas_can_be_ignored_for_auditing():
         FIXTURES / "smt" / "pragma_sanctioned.py", honor_pragmas=False
     )
     assert {f.rule for f in findings} == {"SIA001", "SIA002", "SIA006"}
+
+
+def test_sia010_exempts_the_obs_clock_module():
+    from repro.analysis.lint import lint_source
+
+    source = "import time\n\n\ndef now():\n    return time.perf_counter()\n"
+    assert lint_source(source, Path("src/repro/obs/clock.py")) == []
+    flagged = lint_source(source, Path("src/repro/core/clock.py"))
+    assert {f.rule for f in flagged} == {"SIA010"}
+
+
+def test_sia010_covers_aliased_time_module():
+    from repro.analysis.lint import lint_source
+
+    source = "import time as _time\n\nt = _time.monotonic()\n"
+    flagged = lint_source(source, Path("src/repro/bench/x.py"))
+    assert {f.rule for f in flagged} == {"SIA010"}
 
 
 def test_lint_paths_walks_directories():

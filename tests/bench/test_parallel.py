@@ -65,6 +65,49 @@ def test_counters_are_aggregated(sequential):
     assert all(isinstance(v, int) for v in sequential.counters.values())
 
 
+def _structural(metrics):
+    """Metric shape without wall-clock content: counter values and
+    timer/histogram counts are deterministic; durations are not."""
+    return {
+        "counters": metrics.get("counters", {}),
+        "timers": {
+            name: (entry["count"], len(entry["values"]))
+            for name, entry in metrics.get("timers", {}).items()
+        },
+        "histograms": {
+            name: (entry["count"], len(entry["values"]))
+            for name, entry in metrics.get("histograms", {}).items()
+        },
+    }
+
+
+def test_metrics_merge_deterministically_across_worker_counts(sequential):
+    """Per-worker metric deltas, merged by ascending query index, give
+    the same aggregate structure for any worker count."""
+    import json
+
+    parallel = parallel_efficacy_records(workers=2, **FAST)
+    assert _structural(parallel.metrics) == _structural(sequential.metrics)
+    # Content sanity: every query batch timed itself and counted cells.
+    assert parallel.metrics["counters"]["bench.cells"] == len(parallel.records)
+    assert parallel.metrics["timers"]["bench.query_ms"]["count"] == FAST["num_queries"]
+    # The merged delta crosses a process boundary: must be pure JSON.
+    assert json.loads(json.dumps(parallel.metrics)) == parallel.metrics
+
+
+def test_parent_metrics_registry_is_isolated_from_workers():
+    """Workers report deltas; the parent's own registry must not absorb
+    worker traffic on the side (that would double-count the merge)."""
+    from repro.obs.metrics import GLOBAL_METRICS
+
+    before = GLOBAL_METRICS.snapshot()
+    parallel_efficacy_records(workers=2, **FAST)
+    delta = GLOBAL_METRICS.delta_since(before)
+    assert delta.get("counters", {}) == {}
+    assert delta.get("timers", {}) == {}
+    assert delta.get("histograms", {}) == {}
+
+
 def test_parent_rewrite_cache_is_isolated_from_workers():
     """Worker processes must not mutate parent-side caches: the rewrite
     cache's hit/miss/eviction accounting reflects only parent traffic."""

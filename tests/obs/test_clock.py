@@ -1,0 +1,38 @@
+"""The injectable clock: ManualClock determinism and installation."""
+
+import pytest
+
+from repro.obs.clock import Clock, ManualClock, get_clock, now, set_clock
+
+
+def test_real_clock_is_monotonic():
+    clock = Clock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a
+
+
+def test_manual_clock_advances_exactly():
+    clock = ManualClock(100.0)
+    assert clock.now() == 100.0
+    clock.advance(2.5)
+    assert clock.now() == 102.5
+
+
+def test_manual_clock_rejects_negative_advance():
+    clock = ManualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_set_clock_installs_and_returns_previous():
+    manual = ManualClock(7.0)
+    previous = set_clock(manual)
+    try:
+        assert get_clock() is manual
+        assert now() == 7.0
+        manual.advance(1.0)
+        assert now() == 8.0
+    finally:
+        set_clock(previous)
+    assert get_clock() is previous

@@ -117,3 +117,62 @@ def test_run_no_pushdown(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "more rows" in out or "rows in" in out
+
+
+def _write_demo_trace(tmp_path):
+    import io
+
+    from repro.obs.clock import ManualClock
+    from repro.obs.trace import Tracer
+
+    sink = io.StringIO()
+    clock = ManualClock()
+    tracer = Tracer(sink, trace_id="clitest", clock=clock)
+    with tracer.span("synthesize"):
+        with tracer.span("cegis.learn", phase="learn"):
+            clock.advance(0.030)
+        with tracer.span("cegis.verify", phase="verify"):
+            clock.advance(0.010)
+    path = tmp_path / "trace.jsonl"
+    path.write_text(sink.getvalue())
+    return path
+
+
+def test_trace_command_renders_table_and_flamegraph(tmp_path, capsys):
+    path = _write_demo_trace(tmp_path)
+    code = main(["trace", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "learn" in out
+    assert "verify" in out
+    assert "wall-clock 40.0 ms" in out
+    assert "synthesize" in out  # flamegraph root
+
+
+def test_trace_command_json_output(tmp_path, capsys):
+    import json
+
+    path = _write_demo_trace(tmp_path)
+    code = main(["trace", str(path), "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["trace_id"] == "clitest"
+    assert payload["wall_ms"] == 40.0
+    assert payload["phases"]["learn"]["total_ms"] == 30.0
+
+
+def test_trace_command_missing_file(tmp_path, capsys):
+    code = main(["trace", str(tmp_path / "nope.jsonl")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error" in err
+
+
+def test_trace_command_empty_trace(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    code = main(["trace", str(path)])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "no spans" in err
