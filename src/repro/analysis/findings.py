@@ -14,7 +14,10 @@ The catalog is split in three bands:
 * ``SIA2xx`` -- semantic soundness obligations discharged through the
   SMT solver (:mod:`repro.analysis.soundness`),
 * ``SIA3xx`` -- solver-run audits: defects found while independently
-  checking proof logs (:mod:`repro.analysis.certify`).
+  checking proof logs (:mod:`repro.analysis.certify`),
+* ``SIA4xx`` -- interprocedural dataflow findings
+  (:mod:`repro.analysis.flow`): facts that require following paths
+  through the CFG and calls across modules.
 """
 
 from __future__ import annotations
@@ -85,6 +88,20 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "values on UNSAT paths",
         ),
         RuleInfo(
+            "SIA009",
+            "direct Solver construction in the warm-session zone",
+            "route checks through SmtSession so CEGIS iterations share "
+            "one solver process; documented exceptions carry "
+            "'# sia: allow(SIA009)'",
+        ),
+        RuleInfo(
+            "SIA010",
+            "raw wall-clock read outside repro.obs",
+            "use repro.obs.now()/Timer so tests can install ManualClock; "
+            "this covers time.*, aliased 'from time import ...' names "
+            "and datetime.now()/today()/utcnow()",
+        ),
+        RuleInfo(
             "SIA101",
             "arity violation in IR tree",
             "n-ary nodes need >= 2 arguments and valid operators; build "
@@ -140,6 +157,28 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "a theory lemma carries no certificate or the verdict rests "
             "on a budget-blocking clause; the UNSAT answer is not "
             "certifiable",
+        ),
+        RuleInfo(
+            "SIA401",
+            "float-tainted value reaches an exact-zone call",
+            "a float produced in general code flows through assignments "
+            "and calls into a repro.smt/repro.predicates function; "
+            "convert to Fraction at the source or sanction a documented "
+            "boundary with '# sia: allow-float'",
+        ),
+        RuleInfo(
+            "SIA402",
+            "nondeterminism flows into persisted output or merge order",
+            "seed the RNG on every path (or use random.Random(seed)), "
+            "sort set iterations, and never use id() in keys that reach "
+            "perflog rows, traces or merge order",
+        ),
+        RuleInfo(
+            "SIA403",
+            "resource may not be released on every path",
+            "an SmtSession scope, tracer or file handle leaks on some "
+            "normal or exceptional path; use 'try/finally: retract()/"
+            "close()' or a with-block",
         ),
     )
 }

@@ -1,0 +1,43 @@
+"""Interprocedural dataflow analyses for the repro codebase.
+
+Layers:
+
+* :mod:`~repro.analysis.flow.cfg` -- per-function control-flow graphs
+  over :mod:`ast`, with exceptional edges and finally-routing.
+* :mod:`~repro.analysis.flow.engine` -- generic worklist fixpoint over
+  ``dict[str, frozenset]`` lattices.
+* :mod:`~repro.analysis.flow.callgraph` -- module index + conservative
+  call resolution across the analyzed file set.
+* Passes: :mod:`~repro.analysis.flow.taint` (SIA401 float taint into
+  exact-zone calls), :mod:`~repro.analysis.flow.determinism` (SIA402
+  nondeterminism into persisted outputs), and
+  :mod:`~repro.analysis.flow.lifecycle` (SIA403 must-close /
+  must-retract on all paths).
+
+Use :func:`~repro.analysis.flow.driver.flow_paths` as the front door;
+``repro analyze --flow`` is the CLI surface.
+"""
+
+from .callgraph import FunctionInfo, ModuleInfo, Project
+from .cfg import CFG, build_cfg
+from .determinism import analyze_determinism
+from .driver import flow_paths
+from .engine import FlowAnalysis, State, join_states, run_fixpoint
+from .lifecycle import analyze_lifecycle
+from .taint import analyze_taint
+
+__all__ = [
+    "CFG",
+    "FlowAnalysis",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "State",
+    "analyze_determinism",
+    "analyze_lifecycle",
+    "analyze_taint",
+    "build_cfg",
+    "flow_paths",
+    "join_states",
+    "run_fixpoint",
+]

@@ -1,0 +1,264 @@
+"""Module index and call resolution for the flow analyses.
+
+The interprocedural passes need to answer two questions the syntactic
+linter cannot: *which function does this call land in* (so a call into
+``repro/smt/`` is recognised as an exact-zone sink even when imported
+under an alias), and *what does that function do with its arguments*
+(summaries, computed in :mod:`repro.analysis.flow.taint`).
+
+Resolution is deliberately conservative and purely static:
+
+* Plain-name calls resolve through local ``def``s and ``from m import
+  f [as g]`` bindings; ``m.f(...)`` resolves when ``m`` is a module
+  binding from ``import m [as n]`` or ``from p import m``.
+* Relative imports resolve against the dotted module key derived from
+  the file path; absolute imports resolve by exact key first, then by
+  *unique* dotted-suffix match, so fixture trees and the real
+  ``src/repro`` tree resolve the same way without sys.path games.
+* Method calls on objects (``obj.f(...)``) do **not** resolve -- the
+  receiver's type is unknown and a wrong guess would fabricate
+  findings.  Unresolved calls contribute no taint and are not sinks.
+
+Both top-level functions and class methods are indexed (each gets a
+CFG and a summary); only top-level functions are reachable through
+call resolution.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..lint import zone_of
+from .cfg import CFG, build_cfg
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Project"]
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function (or method, or module top level)."""
+
+    qualname: str  # dotted module key + local (Class.)name
+    name: str
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module
+    zone: str
+    is_method: bool = False
+    _cfg: CFG | None = None
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+    @property
+    def params(self) -> list[str]:
+        """Positional-ish parameter names, ``self``/``cls`` included."""
+        if isinstance(self.node, ast.Module):
+            return []
+        args = self.node.args
+        return [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.qualname})"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its name-binding environment."""
+
+    path: Path
+    dotted: str
+    tree: ast.Module
+    source: str
+    zone: str
+    # local name -> top-level FunctionInfo
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    # class name -> method name -> FunctionInfo
+    methods: dict[str, dict[str, FunctionInfo]] = field(default_factory=dict)
+    # local name -> module binding (dotted target)
+    module_imports: dict[str, str] = field(default_factory=dict)
+    # local name -> (dotted target module, symbol name there)
+    symbol_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    toplevel: FunctionInfo | None = None
+
+    def all_functions(self) -> list[FunctionInfo]:
+        out = list(self.functions.values())
+        for methods in self.methods.values():
+            out.extend(methods.values())
+        if self.toplevel is not None:
+            out.append(self.toplevel)
+        return out
+
+
+def _dotted_key(path: Path) -> str:
+    """Stable dotted module key for a file path.
+
+    Uses the path components after the last ``src`` segment when one
+    exists (so ``src/repro/smt/solver.py`` -> ``repro.smt.solver``),
+    the full relative component list otherwise.  ``__init__.py`` maps
+    to its package.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[0] in ("/", "\\"):
+        parts = parts[1:]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part not in (".", ""))
+
+
+class Project:
+    """All modules under analysis, indexed for call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def load(cls, files: list[Path]) -> "Project":
+        project = cls()
+        for path in files:
+            source = path.read_text(encoding="utf-8")
+            project.add_source(source, path)
+        for module in project.modules.values():
+            project._bind_imports(module)
+        return project
+
+    def add_source(self, source: str, path: Path) -> ModuleInfo:
+        tree = ast.parse(source, filename=str(path))
+        module = ModuleInfo(
+            path=path,
+            dotted=_dotted_key(path),
+            tree=tree,
+            source=source,
+            zone=zone_of(path),
+        )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.functions[node.name] = FunctionInfo(
+                    qualname=f"{module.dotted}.{node.name}",
+                    name=node.name,
+                    module=module,
+                    node=node,
+                    zone=module.zone,
+                )
+            elif isinstance(node, ast.ClassDef):
+                methods: dict[str, FunctionInfo] = {}
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods[sub.name] = FunctionInfo(
+                            qualname=f"{module.dotted}.{node.name}.{sub.name}",
+                            name=sub.name,
+                            module=module,
+                            node=sub,
+                            zone=module.zone,
+                            is_method=True,
+                        )
+                module.methods[node.name] = methods
+        module.toplevel = FunctionInfo(
+            qualname=f"{module.dotted}.<module>",
+            name="<module>",
+            module=module,
+            node=tree,
+            zone=module.zone,
+        )
+        self.modules[module.dotted] = module
+        return module
+
+    # -- import binding ------------------------------------------------
+    def _resolve_module_key(self, dotted: str) -> str | None:
+        """Exact dotted key, else a unique dotted-suffix match."""
+        if dotted in self.modules:
+            return dotted
+        suffix = "." + dotted
+        hits = [key for key in self.modules if key.endswith(suffix)]
+        return hits[0] if len(hits) == 1 else None
+
+    def _bind_imports(self, module: ModuleInfo) -> None:
+        package = module.dotted.rsplit(".", 1)[0] if "." in module.dotted else ""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = self._resolve_module_key(
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    # Record external modules too (random, json, ...):
+                    # source/sink matching keys on the *imported* name.
+                    module.module_imports[local] = target or alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    anchor = package.split(".") if package else []
+                    anchor = anchor[: len(anchor) - (node.level - 1)]
+                    base = ".".join([*anchor, base] if base else anchor)
+                target = self._resolve_module_key(base) if base else None
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "*":
+                        continue
+                    if target is not None:
+                        submodule = f"{target}.{alias.name}"
+                        if submodule in self.modules:
+                            module.module_imports[local] = submodule
+                        else:
+                            module.symbol_imports[local] = (target, alias.name)
+                    else:
+                        # External module: keep the raw dotted base so
+                        # source/sink matching can still see it.
+                        module.symbol_imports[local] = (base, alias.name)
+
+    # -- resolution ----------------------------------------------------
+    def resolve_call(
+        self, func: ast.expr, module: ModuleInfo
+    ) -> FunctionInfo | None:
+        """The :class:`FunctionInfo` a call expression lands in, if known."""
+        if isinstance(func, ast.Name):
+            local = module.functions.get(func.id)
+            if local is not None:
+                return local
+            bound = module.symbol_imports.get(func.id)
+            if bound is not None:
+                target_module = self.modules.get(bound[0])
+                if target_module is not None:
+                    return target_module.functions.get(bound[1])
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            target_key = module.module_imports.get(func.value.id)
+            if target_key is not None:
+                target_module = self.modules.get(target_key)
+                if target_module is not None:
+                    return target_module.functions.get(func.attr)
+        return None
+
+    def external_module_of(
+        self, name_node: ast.expr, module: ModuleInfo
+    ) -> str | None:
+        """Dotted name the root of ``m.attr`` refers to (``random``, ...).
+
+        Returns the *imported module name* bound to a plain :class:`ast.Name`
+        -- for modules inside the project this is the dotted key; for
+        external modules it is whatever the import said (``random``,
+        ``numpy``, ``json.tool``...).  ``None`` when the name is not a
+        module binding.
+        """
+        if isinstance(name_node, ast.Name):
+            return module.module_imports.get(name_node.id)
+        return None
+
+    def imported_symbol(
+        self, name: str, module: ModuleInfo
+    ) -> tuple[str, str] | None:
+        """The ``(module, symbol)`` a ``from m import s`` name binds to."""
+        return module.symbol_imports.get(name)
+
+    def all_functions(self) -> list[FunctionInfo]:
+        out: list[FunctionInfo] = []
+        for module in self.modules.values():
+            out.extend(module.all_functions())
+        return out

@@ -1,0 +1,70 @@
+"""Entry point tying the three flow passes together.
+
+:func:`flow_paths` mirrors :func:`repro.analysis.lint.lint_paths`: it
+walks the given files/directories, loads every Python file into one
+:class:`~repro.analysis.flow.callgraph.Project` (so cross-module calls
+resolve), runs the taint, determinism and lifecycle passes, and
+filters the findings through the same ``# sia: allow(...)`` pragma
+mechanism the syntactic linter honors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..findings import Finding
+from ..lint import iter_python_files
+from ..pragmas import extract_pragmas, is_suppressed
+from .callgraph import Project
+from .determinism import analyze_determinism
+from .lifecycle import analyze_lifecycle
+from .taint import analyze_taint
+
+__all__ = ["flow_paths"]
+
+
+def flow_paths(
+    paths: list[Path], *, honor_pragmas: bool = True
+) -> tuple[list[Finding], int]:
+    """Run all flow passes; returns ``(findings, files_analyzed)``.
+
+    Files that fail to parse are skipped here -- the syntactic linter
+    already reports SIA000 for them, and one broken file should not
+    take down the whole interprocedural run.
+    """
+    files = iter_python_files(paths)
+    loadable: list[Path] = []
+    project = Project()
+    for file_path in files:
+        try:
+            project.add_source(
+                file_path.read_text(encoding="utf-8"), file_path
+            )
+        except (SyntaxError, OSError):
+            continue
+        loadable.append(file_path)
+    for module in project.modules.values():
+        project._bind_imports(module)
+
+    findings = [
+        *analyze_taint(project),
+        *analyze_determinism(project),
+        *analyze_lifecycle(project),
+    ]
+
+    if honor_pragmas:
+        pragma_cache: dict[str, dict[int, frozenset[str]]] = {}
+        for module in project.modules.values():
+            pragma_cache[str(module.path)] = extract_pragmas(module.source)
+        findings = [
+            finding
+            for finding in findings
+            if not is_suppressed(
+                pragma_cache.get(finding.file, {}),
+                finding.line,
+                finding.rule,
+            )
+        ]
+
+    findings = sorted(set(findings))
+    return findings, len(loadable)

@@ -1,0 +1,106 @@
+"""Generic worklist fixpoint engine over user-defined lattices.
+
+The three flow passes (taint, determinism, lifecycle) are all forward
+may-analyses; they differ only in their abstract state and transfer
+function.  This module factors the iteration out: an analysis supplies
+an initial state, a join, and a transfer, and :func:`run_fixpoint`
+iterates the CFG to a fixpoint.
+
+States are plain ``dict[str, frozenset[str]]``: a finite map from
+abstract cells (variable names, resource-site keys, flags) to finite
+tag sets.  The join is pointwise set union, which makes the lattice
+finite-height for any fixed program (cells and tags are drawn from the
+program text), so termination is by monotonicity.  *Must*-style facts
+ride in the same map via :attr:`FlowAnalysis.must_keys`: those keys
+join by *intersection* (a fact holds after a join only if it held on
+every incoming path).
+
+Transfer functions receive whatever the CFG block carries -- an
+``ast.stmt``, an ``ast.ExceptHandler``, or one of the marker objects
+from :mod:`repro.analysis.flow.cfg` (``Test``, ``WithExit``) -- and
+must treat the input state as immutable, returning a (possibly shared)
+output state.  Along exceptional edges the engine propagates
+:meth:`FlowAnalysis.exc_state`, which defaults to the *pre*-state: an
+exception may fire before the statement's effect happened.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .cfg import CFG, EXC, BlockStmt
+
+__all__ = ["FlowAnalysis", "State", "join_states", "run_fixpoint"]
+
+State = dict[str, frozenset]
+
+
+def join_states(
+    a: State, b: State, *, must_keys: frozenset[str] = frozenset()
+) -> State:
+    """Pointwise union of two states (intersection on ``must_keys``)."""
+    out: State = dict(a)
+    for key, tags in b.items():
+        if key in out:
+            out[key] = out[key] | tags
+        elif key not in must_keys:
+            out[key] = tags
+    for key in must_keys:
+        if key in out and key not in b:
+            del out[key]
+    return out
+
+
+class FlowAnalysis:
+    """Base class for one dataflow pass over one CFG."""
+
+    #: State keys with must-semantics (kept on a join only when present
+    #: on both sides), e.g. "the global RNG has been seeded".
+    must_keys: frozenset[str] = frozenset()
+
+    def initial(self) -> State:
+        """Entry state of the graph."""
+        return {}
+
+    def join(self, a: State, b: State) -> State:
+        return join_states(a, b, must_keys=self.must_keys)
+
+    def transfer(self, stmt: BlockStmt, state: State) -> State:
+        """Effect of one statement; must not mutate ``state``."""
+        raise NotImplementedError
+
+    def exc_state(self, stmt: BlockStmt, pre: State, post: State) -> State:
+        """State carried along an exceptional edge out of ``stmt``."""
+        return pre
+
+
+def run_fixpoint(cfg: CFG, analysis: FlowAnalysis) -> dict[int, State]:
+    """Iterate ``analysis`` over ``cfg``; returns the in-state per block.
+
+    Chaotic iteration with a FIFO worklist.  The result maps every
+    *reachable* block id to the join of the states along its incoming
+    edges; unreachable blocks are absent.
+    """
+    in_states: dict[int, State] = {cfg.entry: analysis.initial()}
+    work: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    while work:
+        bid = work.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        pre = in_states[bid]
+        post = analysis.transfer(block.stmt, pre) if block.stmt is not None else pre
+        for succ, kind in block.succs:
+            out = (
+                analysis.exc_state(block.stmt, pre, post)
+                if kind == EXC
+                else post
+            )
+            known = in_states.get(succ)
+            merged = out if known is None else analysis.join(known, out)
+            if known is None or merged != known:
+                in_states[succ] = merged
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+    return in_states

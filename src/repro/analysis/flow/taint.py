@@ -1,0 +1,389 @@
+"""SIA401: interprocedural float-taint into the exact-arithmetic zone.
+
+SIA001-003 are syntactic: a float *literal* or *cast* inside
+``repro/smt/`` / ``repro/predicates/`` is caught, but a float that is
+born in ``repro/learn/`` (or from numpy/math) and travels through
+helpers, assignments and containers before being handed to an
+exact-zone function is invisible to them.  This pass closes that hole:
+
+* **Sources** -- float literals, ``float(...)``, any call whose root is
+  a ``numpy``/``math`` module binding, and calls into functions whose
+  *summary* says they may return a float.
+* **Propagation** -- flow-sensitive through assignments, arithmetic,
+  containers, subscripts and attribute reads; interprocedural through
+  two summary fixpoints: per-function *return* summaries (does ``f``
+  return taint; which parameters flow to its return) and per-parameter
+  *call-site seeding* (does any resolved caller pass taint into
+  parameter ``i``).
+* **Sanitizers** -- ``int()``, ``round()``, ``Fraction()``, ``str()``
+  and friends stop propagation; so does any resolved call whose
+  summary shows it returns exact values (that is how
+  ``learn/rationalize.py`` stays a sanctioned boundary without a
+  special case).
+* **Sinks** -- argument positions of calls that resolve into an
+  exact-zone (``smt``/``predicates``) *function*.  Class constructors
+  are deliberately not sinks: exact-zone IR constructors such as
+  ``Lit`` convert floats to ``Fraction`` at construction by contract
+  (enforced by their own ``__post_init__``), and flagging them would
+  bury the real cross-function leaks in noise.
+
+Findings are reported at the call site that crosses the boundary, with
+the taint's rule id ``SIA401``; ``# sia: allow-float`` and
+``# sia: allow(SIA401)`` pragmas suppress them like any lint finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..lint import EXACT_ZONE
+from .callgraph import FunctionInfo, Project
+from .cfg import Test, WithExit, immediate_exprs
+from .engine import FlowAnalysis, State, run_fixpoint
+
+__all__ = ["analyze_taint", "FLOAT"]
+
+FLOAT = "float"
+
+#: Builtins that stop float taint (their results are exact or textual).
+_SANITIZERS = frozenset(
+    {"int", "round", "str", "repr", "bool", "len", "Fraction", "gcd", "range"}
+)
+
+#: Module roots whose call results are float-typed for our purposes.
+_FLOAT_MODULES = frozenset({"math", "numpy", "np", "statistics"})
+
+_MAX_FIXPOINT_ROUNDS = 12
+
+
+def _param_tag(index: int) -> str:
+    return f"param:{index}"
+
+
+class _TaintState(FlowAnalysis):
+    """Intraprocedural taint propagation for one function."""
+
+    def __init__(
+        self,
+        project: Project,
+        func: FunctionInfo,
+        summaries: dict[str, frozenset],
+        seeds: dict[str, set[int]],
+        *,
+        symbolic_params: bool,
+    ) -> None:
+        self.project = project
+        self.func = func
+        self.summaries = summaries
+        self.seeds = seeds
+        self.symbolic_params = symbolic_params
+
+    def initial(self) -> State:
+        state: State = {}
+        seeded = self.seeds.get(self.func.qualname, set())
+        for index, name in enumerate(self.func.params):
+            if self.symbolic_params:
+                tags = {_param_tag(index)}
+                if index in seeded:
+                    tags.add(FLOAT)
+                state[name] = frozenset(tags)
+            elif index in seeded:
+                state[name] = frozenset({FLOAT})
+        return state
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, expr: ast.expr | None, state: State) -> frozenset:
+        if expr is None:
+            return frozenset()
+        if isinstance(expr, ast.Constant):
+            return frozenset({FLOAT}) if type(expr.value) is float else frozenset()
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, frozenset())
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, state)
+        if isinstance(expr, ast.BinOp):
+            return self.eval(expr.left, state) | self.eval(expr.right, state)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand, state)
+        if isinstance(expr, ast.BoolOp):
+            out: frozenset = frozenset()
+            for value in expr.values:
+                out |= self.eval(value, state)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return self.eval(expr.body, state) | self.eval(expr.orelse, state)
+        if isinstance(expr, ast.Compare):
+            return frozenset()  # booleans are not float-tainted
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = frozenset()
+            for elt in expr.elts:
+                out |= self.eval(elt, state)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = frozenset()
+            for key in expr.keys:
+                out |= self.eval(key, state)
+            for value in expr.values:
+                out |= self.eval(value, state)
+            return out
+        if isinstance(expr, ast.Subscript):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.Attribute):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.NamedExpr):
+            # Binding handled by the transfer's pre-scan; value here.
+            return self.eval(expr.value, state)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp(expr.elt, expr.generators, state)
+        if isinstance(expr, ast.DictComp):
+            return self._eval_comp(
+                expr.value, expr.generators, state
+            ) | self._eval_comp(expr.key, expr.generators, state)
+        if isinstance(expr, ast.Await):
+            return self.eval(expr.value, state)
+        return frozenset()
+
+    def _eval_comp(
+        self,
+        elt: ast.expr,
+        generators: list[ast.comprehension],
+        state: State,
+    ) -> frozenset:
+        inner = dict(state)
+        for gen in generators:
+            iter_taint = self.eval(gen.iter, inner)
+            for name in _target_names(gen.target):
+                inner[name] = iter_taint
+        return self.eval(elt, inner)
+
+    def _eval_call(self, call: ast.Call, state: State) -> frozenset:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "float" or func.id == "complex":
+                return frozenset({FLOAT})
+            if func.id in _SANITIZERS:
+                return frozenset()
+            if func.id in ("abs", "min", "max", "sum", "sorted", "list",
+                           "tuple", "set", "frozenset", "next", "iter"):
+                out: frozenset = frozenset()
+                for arg in call.args:
+                    out |= self.eval(arg, state)
+                return out
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                bound = self.project.external_module_of(root, self.func.module)
+                root_module = bound if bound is not None else root.id
+                head = root_module.split(".")[0]
+                if head in _FLOAT_MODULES:
+                    return frozenset({FLOAT})
+        resolved = self.project.resolve_call(func, self.func.module)
+        if resolved is not None:
+            summary = self.summaries.get(resolved.qualname, frozenset())
+            out = frozenset({FLOAT}) if FLOAT in summary else frozenset()
+            params = resolved.params
+            for index, arg in enumerate(call.args):
+                if _param_tag(index) in summary:
+                    out |= self.eval(arg, state)
+            for keyword in call.keywords:
+                if keyword.arg is not None and keyword.arg in params:
+                    if _param_tag(params.index(keyword.arg)) in summary:
+                        out |= self.eval(keyword.value, state)
+            return out
+        # Unresolved call: taint does not propagate (method receivers
+        # are unknown; fabricating taint would drown real findings).
+        return frozenset()
+
+    # -- statements ----------------------------------------------------
+    def transfer(self, stmt: object, state: State) -> State:
+        out = dict(state)
+        if isinstance(stmt, Test):
+            self._bind_walrus(stmt, out)
+            return out
+        if isinstance(stmt, WithExit):
+            return out
+        if isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                out[stmt.name] = frozenset()
+            return out
+        if not isinstance(stmt, ast.stmt):
+            return out
+        self._bind_walrus(stmt, out)
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value, out)
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    out[name] = taint
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            taint = self.eval(stmt.value, out)
+            for name in _target_names(stmt.target):
+                out[name] = taint
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value, out)
+            for name in _target_names(stmt.target):
+                out[name] = out.get(name, frozenset()) | taint
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.eval(stmt.iter, out)
+            for name in _target_names(stmt.target):
+                out[name] = taint
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr, out)
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        out[name] = taint
+        return out
+
+    def _bind_walrus(self, stmt: object, state: State) -> None:
+        for expr in immediate_exprs(stmt):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.NamedExpr) and isinstance(
+                    sub.target, ast.Name
+                ):
+                    state[sub.target.id] = self.eval(sub.value, state)
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    """Plain names bound by an assignment target (nested tuples too)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []  # attribute / subscript stores are not tracked cells
+
+
+def _return_summary(
+    project: Project,
+    func: FunctionInfo,
+    summaries: dict[str, frozenset],
+    seeds: dict[str, set[int]],
+) -> frozenset:
+    """Taint tags a call of ``func`` may return (FLOAT and param:i)."""
+    analysis = _TaintState(
+        project, func, summaries, seeds, symbolic_params=True
+    )
+    in_states = run_fixpoint(func.cfg, analysis)
+    out: frozenset = frozenset()
+    for block, stmt in func.cfg.statements():
+        if isinstance(stmt, ast.Return) and block.bid in in_states:
+            out |= analysis.eval(stmt.value, in_states[block.bid])
+    allowed = {FLOAT} | {
+        _param_tag(index) for index in range(len(func.params))
+    }
+    return frozenset(tag for tag in out if tag in allowed)
+
+
+def analyze_taint(project: Project) -> list[Finding]:
+    """Run the interprocedural float-taint pass over a whole project."""
+    functions = project.all_functions()
+    summaries: dict[str, frozenset] = {f.qualname: frozenset() for f in functions}
+    seeds: dict[str, set[int]] = {f.qualname: set() for f in functions}
+
+    # Phase 1: return summaries to a fixpoint (monotone, finite tags).
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        for func in functions:
+            updated = _return_summary(project, func, summaries, seeds)
+            if updated != summaries[func.qualname]:
+                summaries[func.qualname] = updated
+                changed = True
+        if not changed:
+            break
+
+    # Phase 2: call-site seeding -- which parameters may receive FLOAT
+    # from some resolved caller -- interleaved with re-summarising,
+    # since a newly seeded parameter can make its function return taint.
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        for func in functions:
+            analysis = _TaintState(
+                project, func, summaries, seeds, symbolic_params=False
+            )
+            in_states = run_fixpoint(func.cfg, analysis)
+            for block, stmt in func.cfg.statements():
+                if block.bid not in in_states:
+                    continue
+                state = in_states[block.bid]
+                for call in _calls_in(stmt):
+                    resolved = project.resolve_call(call.func, func.module)
+                    if resolved is None:
+                        continue
+                    params = resolved.params
+                    for index, arg in enumerate(call.args):
+                        if index >= len(params):
+                            break
+                        if FLOAT in analysis.eval(arg, state):
+                            if index not in seeds[resolved.qualname]:
+                                seeds[resolved.qualname].add(index)
+                                changed = True
+                    for keyword in call.keywords:
+                        if keyword.arg is None or keyword.arg not in params:
+                            continue
+                        if FLOAT in analysis.eval(keyword.value, state):
+                            index = params.index(keyword.arg)
+                            if index not in seeds[resolved.qualname]:
+                                seeds[resolved.qualname].add(index)
+                                changed = True
+        if changed:
+            for func in functions:
+                summaries[func.qualname] = _return_summary(
+                    project, func, summaries, seeds
+                )
+        else:
+            break
+
+    # Phase 3: report tainted arguments crossing into exact-zone
+    # functions (the cross-function hole SIA001-003 cannot see).
+    findings: list[Finding] = []
+    for func in functions:
+        analysis = _TaintState(
+            project, func, summaries, seeds, symbolic_params=False
+        )
+        in_states = run_fixpoint(func.cfg, analysis)
+        for block, stmt in func.cfg.statements():
+            if block.bid not in in_states:
+                continue
+            state = in_states[block.bid]
+            for call in _calls_in(stmt):
+                resolved = project.resolve_call(call.func, func.module)
+                if resolved is None or resolved.zone != EXACT_ZONE:
+                    continue
+                if resolved.module is func.module:
+                    continue  # intra-module exact calls are SIA001-003's job
+                args = list(call.args) + [
+                    k.value for k in call.keywords
+                ]
+                if any(FLOAT in analysis.eval(arg, state) for arg in args):
+                    findings.append(
+                        Finding(
+                            file=str(func.module.path),
+                            line=call.lineno,
+                            col=call.col_offset + 1,
+                            rule="SIA401",
+                            message=(
+                                "float-tainted value flows into exact-zone "
+                                f"function {resolved.qualname}()"
+                            ),
+                            pass_name="flow",
+                        )
+                    )
+    return findings
+
+
+def _calls_in(stmt: object) -> list[ast.Call]:
+    out: list[ast.Call] = []
+    for expr in immediate_exprs(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                out.append(sub)
+    return out

@@ -44,8 +44,12 @@ file and enforces them directly:
   (:func:`repro.obs.clock.now`), never on ``time.time()`` /
   ``time.perf_counter()`` / ``time.monotonic()`` directly.  A direct
   call bypasses ``ManualClock`` in tests (timing assertions go flaky)
-  and escapes the span tracer's notion of time.  ``repro/obs/clock.py``
-  is the single sanctioned call site.
+  and escapes the span tracer's notion of time.  Aliased spellings are
+  tracked through the file's imports: ``import time as t``,
+  ``from time import perf_counter [as pc]`` and the datetime family
+  (``datetime.datetime.now()`` / ``today()`` / ``utcnow()``, under
+  any import alias) all count.  ``repro/obs/clock.py`` is the single
+  sanctioned call site.
 
 The linter is purely syntactic -- it never imports the code it checks.
 """
@@ -85,6 +89,9 @@ _CLOCK_ATTRS = frozenset(
     {"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
 )
 _TIME_MODULE_NAMES = frozenset({"time", "_time"})
+# datetime class/instance methods that read the wall clock (SIA010).
+_DATETIME_NOW_ATTRS = frozenset({"now", "today", "utcnow"})
+_DATETIME_CLASSES = frozenset({"datetime", "date"})
 
 
 def zone_of(path: Path) -> str:
@@ -116,6 +123,47 @@ class _Linter(ast.NodeVisitor):
         # One frame per enclosing scope (module + functions): whether a
         # solver-verdict check has been seen yet in that scope (SIA008).
         self._verdict_seen: list[bool] = [False]
+        # SIA010 alias tracking: local names bound to the time module,
+        # to clock functions imported from it, and to the datetime
+        # module / datetime classes.
+        self._time_modules: set[str] = set(_TIME_MODULE_NAMES)
+        self._clock_names: dict[str, str] = {}
+        self._datetime_modules: set[str] = set()
+        self._datetime_classes: dict[str, str] = {}
+
+    # -- import tracking (SIA010 aliases) ------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            root = alias.name.split(".")[0]
+            if root in _TIME_MODULE_NAMES:
+                self._time_modules.add(local)
+            elif root == "datetime":
+                self._datetime_modules.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".")[0]
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if module in _TIME_MODULE_NAMES and alias.name in _CLOCK_ATTRS:
+                self._clock_names[local] = alias.name
+            elif module == "datetime" and alias.name in _DATETIME_CLASSES:
+                self._datetime_classes[local] = alias.name
+        self.generic_visit(node)
+
+    def _datetime_class_ref(self, node: ast.expr) -> str | None:
+        """The datetime class a ``datetime.datetime`` / ``dt`` ref names."""
+        if isinstance(node, ast.Name):
+            return self._datetime_classes.get(node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._datetime_modules
+            and node.attr in _DATETIME_CLASSES
+        ):
+            return node.attr
+        return None
 
     # -- helpers -------------------------------------------------------
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
@@ -225,7 +273,7 @@ class _Linter(ast.NodeVisitor):
             and isinstance(func, ast.Attribute)
             and func.attr in _CLOCK_ATTRS
             and isinstance(func.value, ast.Name)
-            and func.value.id in _TIME_MODULE_NAMES
+            and func.value.id in self._time_modules
         ):
             self._report(
                 node,
@@ -234,6 +282,35 @@ class _Linter(ast.NodeVisitor):
                 "injectable clock (repro.obs.clock.now) so ManualClock "
                 "tests and span traces stay deterministic",
             )
+        if (
+            not self._obs_zone
+            and isinstance(func, ast.Name)
+            and func.id in self._clock_names
+        ):
+            origin = self._clock_names[func.id]
+            self._report(
+                node,
+                "SIA010",
+                f"direct {func.id}() call (time.{origin} imported by "
+                "name); measure on the injectable clock "
+                "(repro.obs.clock.now) so ManualClock tests and span "
+                "traces stay deterministic",
+            )
+        if (
+            not self._obs_zone
+            and isinstance(func, ast.Attribute)
+            and func.attr in _DATETIME_NOW_ATTRS
+        ):
+            dt_class = self._datetime_class_ref(func.value)
+            if dt_class is not None:
+                self._report(
+                    node,
+                    "SIA010",
+                    f"{dt_class}.{func.attr}() reads the wall clock; "
+                    "derive timestamps from the injectable clock "
+                    "(repro.obs.clock.now) so ManualClock tests and "
+                    "span traces stay deterministic",
+                )
         if isinstance(func, ast.Name):
             if func.id == "float" and self.zone in (EXACT_ZONE, BOUNDARY_ZONE):
                 self._report(
@@ -378,16 +455,22 @@ def lint_file(path: Path, *, honor_pragmas: bool = True) -> list[Finding]:
 
 
 def iter_python_files(paths: list[Path]) -> list[Path]:
-    """All .py files under the given files/directories, de-duplicated."""
-    out: dict[Path, None] = {}
+    """All .py files under the given files/directories, de-duplicated.
+
+    De-duplication keys on the *resolved* path, so overlapping inputs
+    (``repro analyze src src/repro``, ``./src src``) and symlinked
+    spellings of the same file are examined -- and reported -- once.
+    The first spelling seen wins for display purposes.
+    """
+    out: dict[Path, Path] = {}
     for path in paths:
         if path.is_dir():
             for child in sorted(path.rglob("*.py")):
                 if "__pycache__" not in child.parts:
-                    out.setdefault(child)
+                    out.setdefault(child.resolve(), child)
         elif path.suffix == ".py":
-            out.setdefault(path)
-    return list(out)
+            out.setdefault(path.resolve(), path)
+    return list(out.values())
 
 
 def lint_paths(

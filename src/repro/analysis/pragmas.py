@@ -2,7 +2,7 @@
 
 A pragma is a source comment of one of the forms::
 
-    # sia: allow-float          -- suppresses SIA001/SIA002/SIA003
+    # sia: allow-float          -- suppresses SIA001/SIA002/SIA003/SIA401
     # sia: allow-mutation       -- suppresses SIA006
     # sia: allow(SIA004,SIA005) -- suppresses the listed rule ids
 
@@ -26,7 +26,7 @@ _PRAGMA_RE = re.compile(
     r"#\s*sia:\s*(allow-float|allow-mutation|allow\(([A-Z0-9,\s]+)\))"
 )
 
-_FLOAT_RULES = frozenset({"SIA001", "SIA002", "SIA003"})
+_FLOAT_RULES = frozenset({"SIA001", "SIA002", "SIA003", "SIA401"})
 _MUTATION_RULES = frozenset({"SIA006"})
 
 
@@ -57,6 +57,13 @@ def extract_pragmas(source: str) -> dict[int, frozenset[str]]:
         # carry a multi-line justification.
         cursor = lineno  # 0-based index of the line after the pragma
         while cursor < len(lines) and lines[cursor].lstrip().startswith("#"):
+            out[cursor + 1] = out.get(cursor + 1, frozenset()) | rules
+            cursor += 1
+        # Decorator lines are not where findings anchor (the linter
+        # reports at the ``def``/``class`` line), so a pragma block
+        # above a decorated definition extends past the decorators to
+        # the definition line itself.
+        while cursor < len(lines) and lines[cursor].lstrip().startswith("@"):
             out[cursor + 1] = out.get(cursor + 1, frozenset()) | rules
             cursor += 1
         if cursor < len(lines):

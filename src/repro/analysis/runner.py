@@ -45,6 +45,7 @@ class AnalysisReport:
 
     findings: list[Finding] = field(default_factory=list)
     files_linted: int = 0
+    files_flowed: int = 0
     rules_checked: int = 0
     obligations_discharged: int = 0
     proofs_audited: int = 0
@@ -66,6 +67,7 @@ class AnalysisReport:
             "clean": self.clean,
             "summary": {
                 "files_linted": self.files_linted,
+                "files_flowed": self.files_flowed,
                 "rules_checked": self.rules_checked,
                 "obligations_discharged": self.obligations_discharged,
                 "proofs_audited": self.proofs_audited,
@@ -80,28 +82,39 @@ def run_analysis(
     paths: list[str] | None = None,
     *,
     lint: bool = True,
+    flow: bool = False,
     domain: bool = True,
     certify: bool = False,
 ) -> AnalysisReport:
     """Run the configured passes and return the aggregated report.
 
-    ``paths`` feeds the lint pass (default: ``src``).  The domain
-    passes (invariants + soundness over the rewrite-rule registry) are
-    path-independent; disable them with ``domain=False`` when linting
-    fixture trees.  ``certify=True`` additionally re-runs every
-    registry obligation with proof logging on and audits the logs.
+    ``paths`` feeds the lint and flow passes (default: ``src``).
+    ``flow=True`` additionally runs the interprocedural dataflow
+    analyses (SIA401 float taint, SIA402 determinism, SIA403 resource
+    lifecycle) over the same file set.  The domain passes (invariants +
+    soundness over the rewrite-rule registry) are path-independent;
+    disable them with ``domain=False`` when linting fixture trees.
+    ``certify=True`` additionally re-runs every registry obligation
+    with proof logging on and audits the logs.
     """
     report = AnalysisReport()
-    if lint:
+    if lint or flow:
         resolved: list[Path] = []
         for raw in paths or ["src"]:
             path = Path(raw)
             if not path.exists():
                 raise AnalysisError(f"no such file or directory: {raw}")
             resolved.append(path)
+    if lint:
         findings, files = lint_paths(resolved)
         report.findings.extend(findings)
         report.files_linted = files
+    if flow:
+        from .flow import flow_paths
+
+        findings, files = flow_paths(resolved)
+        report.findings.extend(findings)
+        report.files_flowed = files
     if domain:
         soundness = check_registry()
         report.findings.extend(soundness.findings)
@@ -111,7 +124,9 @@ def run_analysis(
         findings, audited = certify_registry()
         report.findings.extend(findings)
         report.proofs_audited = audited
-    report.findings.sort()
+    # De-duplicate: overlapping inputs ("src src/repro") or passes
+    # re-reporting the same (file, line, rule) must count once.
+    report.findings = sorted(dict.fromkeys(report.findings))
     return report
 
 
@@ -168,7 +183,12 @@ def render_text(report: AnalysisReport, *, fix_hints: bool = False) -> str:
     ]
     summary = (
         f"analyzed {report.files_linted} file(s), "
-        f"verified {report.rules_checked} rewrite rule(s) "
+        + (
+            f"flow-analyzed {report.files_flowed} file(s), "
+            if report.files_flowed
+            else ""
+        )
+        + f"verified {report.rules_checked} rewrite rule(s) "
         f"({report.obligations_discharged} solver obligation(s)"
         + (
             f", {report.proofs_audited} proof(s) audited"

@@ -89,13 +89,17 @@ def install_file_tracer(
     from ..smt.stats import GLOBAL_COUNTERS
 
     sink = open(path, "w", encoding="utf-8")
-    tracer = Tracer(
-        sink,
-        trace_id=trace_id,
-        counter_source=GLOBAL_COUNTERS.snapshot,
-        smt_spans=smt_spans,
-    )
-    previous = set_tracer(tracer)
+    try:
+        tracer = Tracer(
+            sink,
+            trace_id=trace_id,
+            counter_source=GLOBAL_COUNTERS.snapshot,
+            smt_spans=smt_spans,
+        )
+        previous = set_tracer(tracer)
+    except BaseException:
+        sink.close()
+        raise
     try:
         yield tracer
     finally:

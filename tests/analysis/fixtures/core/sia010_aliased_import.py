@@ -1,0 +1,9 @@
+"""Clock read through an aliased from-import (SIA010 bypass attempt)."""
+
+from time import perf_counter as tick
+
+
+def measure(work):
+    start = tick()
+    work()
+    return tick() - start

@@ -1,0 +1,8 @@
+"""Wall-clock read through datetime (SIA010 bypass attempt)."""
+
+import datetime
+
+
+def stamp(record):
+    record["at"] = datetime.datetime.now().isoformat()
+    return record

@@ -1,0 +1,19 @@
+"""Nondeterminism flowing into persisted rows and merge order."""
+
+import json
+import random
+
+
+def persist(rows, out):
+    tag = random.randint(0, 7)
+    json.dump({"tag": tag}, out)
+
+
+def dump_names(rows, out):
+    names = {row.name for row in rows}
+    for name in names:
+        out.write(name)
+
+
+def merge(rows):
+    return sorted(rows, key=lambda row: id(row))

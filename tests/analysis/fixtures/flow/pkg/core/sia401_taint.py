@@ -1,0 +1,18 @@
+"""Float taint laundered through a helper, sunk cross-module.
+
+Syntactically silent: the float literal lives in general-zone code
+where SIA001 does not apply; only the interprocedural pass (SIA401)
+sees it reach the exact zone.
+"""
+
+from ..smt.engine import assert_bound
+
+
+def launder(x):
+    scale = 0.5
+    return x * scale
+
+
+def drive(session, q):
+    v = launder(q)
+    return assert_bound(session, v)

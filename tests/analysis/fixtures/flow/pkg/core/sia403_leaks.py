@@ -1,0 +1,16 @@
+"""Resources leaked on some normal or exceptional path."""
+
+
+def leak_scope(session, flag):
+    scope = session.push(flag)
+    if flag:
+        return 1
+    scope.retract()
+    return 0
+
+
+def leak_handle(path):
+    handle = open(path)
+    text = handle.read()
+    handle.close()
+    return text

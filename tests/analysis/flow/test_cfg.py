@@ -1,0 +1,149 @@
+"""CFG construction: block structure, exceptional edges, cleanups."""
+
+import ast
+
+from repro.analysis.flow.cfg import (
+    EXC,
+    NORM,
+    Test,
+    WithExit,
+    _can_raise,
+    build_cfg,
+    immediate_exprs,
+)
+
+
+def _cfg_of(src: str):
+    node = ast.parse(src).body[0]
+    return build_cfg(node)
+
+
+def _reachable(cfg, start=None):
+    seen = set()
+    work = [cfg.entry if start is None else start]
+    while work:
+        bid = work.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        work.extend(succ for succ, _ in cfg.blocks[bid].succs)
+    return seen
+
+
+def test_straight_line_reaches_exit():
+    cfg = _cfg_of("def f():\n    a = 1\n    b = 2\n    return a + b\n")
+    assert cfg.exit in _reachable(cfg)
+
+
+def test_branch_has_join():
+    cfg = _cfg_of(
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 2\n"
+        "    return x\n"
+    )
+    tests = [b for b in cfg.blocks if isinstance(b.stmt, Test)]
+    assert len(tests) == 1
+    # Both arms are successors of the test block.
+    assert len([s for s, k in tests[0].succs if k == NORM]) == 2
+
+
+def test_call_statement_gets_exceptional_edge_to_exit():
+    cfg = _cfg_of("def f(g):\n    g()\n")
+    call_blocks = [
+        b
+        for b in cfg.blocks
+        if isinstance(b.stmt, ast.Expr)
+    ]
+    assert call_blocks
+    assert (cfg.exit, EXC) in call_blocks[0].succs
+
+
+def test_try_except_routes_exception_to_handler():
+    cfg = _cfg_of(
+        "def f(g):\n"
+        "    try:\n"
+        "        g()\n"
+        "    except ValueError:\n"
+        "        return 0\n"
+        "    return 1\n"
+    )
+    handler = [
+        b for b in cfg.blocks if isinstance(b.stmt, ast.ExceptHandler)
+    ]
+    assert len(handler) == 1
+    call = [b for b in cfg.blocks if isinstance(b.stmt, ast.Expr)][0]
+    assert (handler[0].bid, EXC) in call.succs
+
+
+def test_return_routes_through_finally():
+    cfg = _cfg_of(
+        "def f(scope, c):\n"
+        "    try:\n"
+        "        if c:\n"
+        "            return 1\n"
+        "        return 0\n"
+        "    finally:\n"
+        "        scope.retract()\n"
+    )
+    retract = [
+        b
+        for b in cfg.blocks
+        if isinstance(b.stmt, ast.Expr)
+        and isinstance(b.stmt.value, ast.Call)
+    ]
+    assert len(retract) == 1
+    returns = [b for b in cfg.blocks if isinstance(b.stmt, ast.Return)]
+    assert len(returns) == 2
+    for block in returns:
+        # Every return's path reaches the finally body, not the exit
+        # directly.
+        assert (cfg.exit, NORM) not in block.succs
+        assert retract[0].bid in _reachable(cfg, start=block.bid)
+
+
+def test_return_routes_through_with_exit():
+    cfg = _cfg_of(
+        "def f(path):\n"
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n"
+    )
+    wexit = [b for b in cfg.blocks if isinstance(b.stmt, WithExit)]
+    assert len(wexit) == 1
+    ret = [b for b in cfg.blocks if isinstance(b.stmt, ast.Return)][0]
+    assert (wexit[0].bid, NORM) in ret.succs
+    # And the with exit continues to the function exit on that path.
+    assert (cfg.exit, NORM) in wexit[0].succs
+
+
+def test_loop_break_exits_loop():
+    cfg = _cfg_of(
+        "def f(items):\n"
+        "    for item in items:\n"
+        "        if item:\n"
+        "            break\n"
+        "    return 0\n"
+    )
+    assert cfg.exit in _reachable(cfg)
+
+
+def test_immediate_exprs_do_not_include_nested_suites():
+    stmt = ast.parse("for x in xs:\n    g(x)\n").body[0]
+    exprs = immediate_exprs(stmt)
+    assert len(exprs) == 1
+    assert isinstance(exprs[0], ast.Name)  # the iterable only
+
+
+def test_annassign_annotation_cannot_raise():
+    stmt = ast.parse("x: list[int] = []").body[0]
+    assert not _can_raise(stmt)
+    stmt = ast.parse("x: list[int] = g()").body[0]
+    assert _can_raise(stmt)
+
+
+def test_module_level_cfg_builds():
+    tree = ast.parse("a = 1\nif a:\n    b = 2\n")
+    cfg = build_cfg(tree)
+    assert cfg.exit in _reachable(cfg)

@@ -1,0 +1,119 @@
+"""SIA402: nondeterminism into persisted outputs and merge order."""
+
+from pathlib import Path
+
+from repro.analysis.flow.callgraph import Project
+from repro.analysis.flow.determinism import analyze_determinism
+
+FIXTURES = Path(__file__).parents[1] / "fixtures" / "flow"
+
+
+def _analyze(src: str):
+    project = Project()
+    project.add_source(src, Path("pkg/core/mod.py"))
+    for module in project.modules.values():
+        project._bind_imports(module)
+    return analyze_determinism(project)
+
+
+def test_unseeded_random_into_json_dump():
+    findings = _analyze(
+        "import json\n"
+        "import random\n"
+        "def persist(out):\n"
+        "    tag = random.randint(0, 7)\n"
+        "    json.dump({'tag': tag}, out)\n"
+    )
+    assert [f.rule for f in findings] == ["SIA402"]
+    assert findings[0].line == 5
+    assert "unseeded" in findings[0].message
+
+
+def test_seeded_on_every_path_is_clean():
+    findings = _analyze(
+        "import json\n"
+        "import random\n"
+        "def persist(out):\n"
+        "    random.seed(7)\n"
+        "    tag = random.randint(0, 7)\n"
+        "    json.dump({'tag': tag}, out)\n"
+    )
+    assert findings == []
+
+
+def test_seed_on_one_branch_only_still_fires():
+    findings = _analyze(
+        "import json\n"
+        "import random\n"
+        "def persist(out, c):\n"
+        "    if c:\n"
+        "        random.seed(7)\n"
+        "    tag = random.randint(0, 7)\n"
+        "    json.dump({'tag': tag}, out)\n"
+    )
+    assert [f.rule for f in findings] == ["SIA402"]
+
+
+def test_set_iteration_into_write():
+    findings = _analyze(
+        "def dump(rows, out):\n"
+        "    names = {r.name for r in rows}\n"
+        "    for name in names:\n"
+        "        out.write(name)\n"
+    )
+    assert [f.rule for f in findings] == ["SIA402"]
+    assert "set iteration" in findings[0].message
+
+
+def test_sorted_set_is_clean():
+    findings = _analyze(
+        "def dump(rows, out):\n"
+        "    names = {r.name for r in rows}\n"
+        "    for name in sorted(names):\n"
+        "        out.write(name)\n"
+    )
+    assert findings == []
+
+
+def test_id_key_in_sort_is_merge_order_violation():
+    findings = _analyze(
+        "def merge(rows):\n"
+        "    return sorted(rows, key=lambda r: id(r))\n"
+    )
+    assert [f.rule for f in findings] == ["SIA402"]
+    assert "id()" in findings[0].message
+
+
+def test_random_instance_with_seed_is_clean():
+    # random.Random(seed) is the sanctioned deterministic API; its
+    # method calls resolve to nothing and carry no taint.
+    findings = _analyze(
+        "import json\n"
+        "import random\n"
+        "def persist(out):\n"
+        "    rng = random.Random(7)\n"
+        "    json.dump({'tag': rng.randint(0, 7)}, out)\n"
+    )
+    assert findings == []
+
+
+def test_aliased_from_import_random_is_caught():
+    findings = _analyze(
+        "import json\n"
+        "from random import randint as roll\n"
+        "def persist(out):\n"
+        "    json.dump({'tag': roll(0, 7)}, out)\n"
+    )
+    assert [f.rule for f in findings] == ["SIA402"]
+
+
+def test_fixture_package_end_to_end():
+    from repro.analysis.flow import flow_paths
+
+    findings, _ = flow_paths([FIXTURES])
+    det = [f for f in findings if f.rule == "SIA402"]
+    assert [(f.file.rsplit("/", 1)[-1], f.line) for f in det] == [
+        ("sia402_report.py", 9),
+        ("sia402_report.py", 15),
+        ("sia402_report.py", 19),
+    ]

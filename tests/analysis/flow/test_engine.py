@@ -1,0 +1,111 @@
+"""Fixpoint engine: joins, must-facts, convergence on loops."""
+
+import ast
+
+from repro.analysis.flow.cfg import Test, build_cfg
+from repro.analysis.flow.engine import (
+    FlowAnalysis,
+    join_states,
+    run_fixpoint,
+)
+
+
+def test_join_is_pointwise_union():
+    a = {"x": frozenset({"t1"})}
+    b = {"x": frozenset({"t2"}), "y": frozenset({"t3"})}
+    joined = join_states(a, b)
+    assert joined["x"] == frozenset({"t1", "t2"})
+    assert joined["y"] == frozenset({"t3"})
+
+
+def test_must_keys_join_by_intersection_presence():
+    must = frozenset({"<seeded>"})
+    both = join_states(
+        {"<seeded>": frozenset({"yes"})},
+        {"<seeded>": frozenset({"yes"})},
+        must_keys=must,
+    )
+    assert "<seeded>" in both
+    one_side = join_states(
+        {"<seeded>": frozenset({"yes"})}, {}, must_keys=must
+    )
+    assert "<seeded>" not in one_side
+    other_side = join_states(
+        {}, {"<seeded>": frozenset({"yes"})}, must_keys=must
+    )
+    assert "<seeded>" not in other_side
+
+
+class _Assigned(FlowAnalysis):
+    """Toy analysis: which names have been assigned (may)."""
+
+    def transfer(self, stmt, state):
+        out = dict(state)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = frozenset({"set"})
+        return out
+
+
+def test_fixpoint_converges_on_loop():
+    src = (
+        "def f(c):\n"
+        "    while c:\n"
+        "        x = 1\n"
+        "    y = 2\n"
+    )
+    cfg = build_cfg(ast.parse(src).body[0])
+    in_states = run_fixpoint(cfg, _Assigned())
+    exit_state = in_states[cfg.exit]
+    # x is assigned on some path (loop taken), y on all.
+    assert exit_state.get("x") == frozenset({"set"})
+    assert exit_state.get("y") == frozenset({"set"})
+
+
+def test_branch_states_merge_at_join():
+    src = (
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    z = 3\n"
+    )
+    cfg = build_cfg(ast.parse(src).body[0])
+    in_states = run_fixpoint(cfg, _Assigned())
+    exit_state = in_states[cfg.exit]
+    assert "x" in exit_state and "y" in exit_state and "z" in exit_state
+
+
+def test_unreachable_blocks_have_no_in_state():
+    src = (
+        "def f():\n"
+        "    return 1\n"
+        "    x = 2\n"
+    )
+    cfg = build_cfg(ast.parse(src).body[0])
+    in_states = run_fixpoint(cfg, _Assigned())
+    dead = [
+        b.bid
+        for b in cfg.blocks
+        if isinstance(b.stmt, ast.Assign)
+    ]
+    # The statically unreachable tail was never built or never reached.
+    for bid in dead:
+        assert bid not in in_states
+
+
+def test_test_markers_are_passed_to_transfer():
+    seen = []
+
+    class Probe(FlowAnalysis):
+        def transfer(self, stmt, state):
+            if isinstance(stmt, Test):
+                seen.append(ast.dump(stmt.expr))
+            return state
+
+    src = "def f(c):\n    if c:\n        pass\n"
+    cfg = build_cfg(ast.parse(src).body[0])
+    run_fixpoint(cfg, Probe())
+    assert seen

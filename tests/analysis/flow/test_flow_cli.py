@@ -1,0 +1,75 @@
+"""CLI and runner contract of ``repro analyze --flow``."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import run_analysis
+from repro.cli import main
+
+ROOT = Path(__file__).resolve().parents[3]
+FLOW_FIXTURES = Path(__file__).parents[1] / "fixtures" / "flow"
+
+
+def test_flow_flag_detects_planted_violations(capsys):
+    code = main(
+        ["analyze", "--flow", "--skip-domain", str(FLOW_FIXTURES)]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    for rule in ("SIA401", "SIA402", "SIA403"):
+        assert rule in out, rule
+
+
+def test_flow_json_report(capsys):
+    code = main(
+        [
+            "analyze",
+            "--flow",
+            "--skip-domain",
+            "--json",
+            str(FLOW_FIXTURES),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    by_rule = payload["summary"]["by_rule"]
+    assert by_rule.get("SIA401", 0) == 1
+    assert by_rule.get("SIA402", 0) == 3
+    assert by_rule.get("SIA403", 0) == 2
+    assert payload["summary"]["files_flowed"] > 0
+    flow_findings = [
+        f for f in payload["findings"] if f["rule"].startswith("SIA4")
+    ]
+    assert all(f["pass"] == "flow" for f in flow_findings)
+    assert all(f["hint"] for f in flow_findings)
+
+
+def test_flow_over_src_is_clean(capsys):
+    # Acceptance criterion: the shipped tree has zero flow findings.
+    code = main(
+        ["analyze", "--flow", "--skip-domain", str(ROOT / "src")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "flow-analyzed" in out
+
+
+def test_runner_dedupes_overlapping_paths():
+    once = run_analysis(
+        [str(FLOW_FIXTURES)], flow=True, domain=False
+    )
+    twice = run_analysis(
+        [str(FLOW_FIXTURES), str(FLOW_FIXTURES / "pkg")],
+        flow=True,
+        domain=False,
+    )
+    assert [f for f in twice.findings if f.rule.startswith("SIA4")] == [
+        f for f in once.findings if f.rule.startswith("SIA4")
+    ]
+    assert twice.files_flowed == once.files_flowed
+
+
+def test_flow_off_by_default():
+    report = run_analysis([str(FLOW_FIXTURES)], domain=False)
+    assert not any(f.rule.startswith("SIA4") for f in report.findings)
+    assert report.files_flowed == 0

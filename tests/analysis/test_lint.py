@@ -21,6 +21,8 @@ PLANTED = [
     ("smt/sia008_model_unchecked.py", "SIA008", 6),
     ("core/sia009_direct_solver.py", "SIA009", 5),
     ("core/sia010_direct_time.py", "SIA010", 6),
+    ("core/sia010_aliased_import.py", "SIA010", 7),
+    ("core/sia010_datetime_now.py", "SIA010", 7),
 ]
 
 
@@ -73,11 +75,70 @@ def test_sia010_covers_aliased_time_module():
     assert {f.rule for f in flagged} == {"SIA010"}
 
 
+def test_sia010_covers_from_imports_and_aliases():
+    from repro.analysis.lint import lint_source
+
+    source = (
+        "from time import perf_counter\n"
+        "from time import monotonic as mono\n"
+        "\n"
+        "a = perf_counter()\n"
+        "b = mono()\n"
+    )
+    flagged = lint_source(source, Path("src/repro/bench/x.py"))
+    assert [f.rule for f in flagged] == ["SIA010", "SIA010"]
+    assert [f.line for f in flagged] == [4, 5]
+
+
+def test_sia010_covers_datetime_family():
+    from repro.analysis.lint import lint_source
+
+    source = (
+        "import datetime as dtmod\n"
+        "from datetime import datetime, date\n"
+        "\n"
+        "a = dtmod.datetime.now()\n"
+        "b = datetime.utcnow()\n"
+        "c = date.today()\n"
+    )
+    flagged = lint_source(source, Path("src/repro/bench/x.py"))
+    assert [f.rule for f in flagged] == ["SIA010"] * 3
+    assert [f.line for f in flagged] == [4, 5, 6]
+
+
+def test_sia010_ignores_unrelated_names():
+    from repro.analysis.lint import lint_source
+
+    source = (
+        "from statistics import mean\n"
+        "import datetime\n"
+        "\n"
+        "a = mean([1, 2])\n"
+        "b = datetime.timedelta(seconds=3)\n"
+        "c = datetime.datetime(2024, 1, 1)\n"
+    )
+    assert lint_source(source, Path("src/repro/bench/x.py")) == []
+
+
 def test_lint_paths_walks_directories():
     findings, files = lint_paths([FIXTURES])
     assert files == len(list(FIXTURES.rglob("*.py")))
     rules = {f.rule for f in findings}
     assert {rule for _, rule, _ in PLANTED} <= rules
+
+
+def test_overlapping_paths_are_examined_once():
+    from repro.analysis.lint import iter_python_files
+
+    once = iter_python_files([FIXTURES])
+    overlapped = iter_python_files(
+        [FIXTURES, FIXTURES / "smt", Path(str(FIXTURES)) / "." / "core"]
+    )
+    assert len(overlapped) == len(once)
+    findings_once, files_once = lint_paths([FIXTURES])
+    findings_twice, files_twice = lint_paths([FIXTURES, FIXTURES / "smt"])
+    assert files_twice == files_once
+    assert findings_twice == findings_once
 
 
 def test_zone_classification():
