@@ -85,6 +85,7 @@ class ValidPredicate:
         witnesses: list[dict] | None = None,
         bnb_budget: int = 300,
         recent_only: bool = False,
+        float_filter: str | None = None,
     ) -> None:
         """Drop parts implied by the newest part.
 
@@ -118,12 +119,19 @@ class ValidPredicate:
                 kept.append(part)
                 continue
             if not _implication_holds(
-                conj([newest.formula(), negate(part.formula())]), bnb_budget
+                conj([newest.formula(), negate(part.formula())]),
+                bnb_budget,
+                float_filter=float_filter,
             ):
                 kept.append(part)
         self.parts = kept + [newest]
 
-    def minimize(self, witnesses: list[dict] | None = None, bnb_budget: int = 1000) -> None:
+    def minimize(
+        self,
+        witnesses: list[dict] | None = None,
+        bnb_budget: int = 1000,
+        float_filter: str | None = None,
+    ) -> None:
         """Greedy redundancy elimination over the whole conjunction.
 
         Run once at the end of the loop: drop duplicates, then drop any
@@ -150,7 +158,9 @@ class ValidPredicate:
                 index += 1
                 continue
             implied = _implication_holds(
-                conj([others_formula, negate(part.formula())]), bnb_budget
+                conj([others_formula, negate(part.formula())]),
+                bnb_budget,
+                float_filter=float_filter,
             )
             if implied:
                 kept = others
@@ -168,7 +178,11 @@ logger = logging.getLogger(__name__)
 
 
 def _implication_holds(
-    negated_implication: Formula, bnb_budget: int, *, certify: bool = False
+    negated_implication: Formula,
+    bnb_budget: int,
+    *,
+    certify: bool = False,
+    float_filter: str | None = None,
 ) -> bool:
     """UNSAT check with conservative handling of resource exhaustion:
     an unknown result counts as 'implication not proven'.
@@ -181,12 +195,20 @@ def _implication_holds(
 
     try:
         if not certify:
-            return not is_satisfiable(negated_implication, bnb_budget=bnb_budget)
+            return not is_satisfiable(
+                negated_implication,
+                bnb_budget=bnb_budget,
+                float_filter=float_filter,
+            )
         from ..analysis.certify import audit_proof
         from ..smt import UNSAT
         from ..smt.session import certified_solver
 
-        solver = certified_solver([negated_implication], bnb_budget=bnb_budget)
+        solver = certified_solver(
+            [negated_implication],
+            bnb_budget=bnb_budget,
+            float_filter=float_filter,
+        )
         assert solver.proof_log is not None
         if solver.proof_log.result != UNSAT:
             return False
@@ -324,6 +346,7 @@ class Synthesizer:
                 ctx,
                 bnb_budget=self.config.verify_budget,
                 certify=self.config.certify_verify,
+                float_filter=self.config.float_filter,
             )
             if self.config.warm_sessions
             else None
@@ -367,6 +390,7 @@ class Synthesizer:
                             ctx,
                             bnb_budget=self.config.verify_budget,
                             certify=self.config.certify_verify,
+                            float_filter=self.config.float_filter,
                         )
                     verify_span.set(valid=valid)
                 trace = IterationTrace(index=iteration, learned=str(p2), valid=valid)
@@ -388,7 +412,11 @@ class Synthesizer:
                         # Cheap per-iteration pass: the newest predicate most
                         # often subsumes its immediate predecessor.  A full
                         # pruning pass runs once at the end of the loop.
-                        p1.prune_dominated(witnesses=fs, recent_only=True)
+                        p1.prune_dominated(
+                            witnesses=fs,
+                            recent_only=True,
+                            float_filter=self.config.float_filter,
+                        )
                     counter_f_enum.add(p2.formula())
                     want = max(1, self.config.samples_per_iteration)
                     new_fs: list[Point] = []
@@ -429,6 +457,7 @@ class Synthesizer:
                                 conj([region.formula, p1.formula()]),
                                 self.config.bnb_budget,
                                 certify=self.config.certify_verify,
+                                float_filter=self.config.float_filter,
                             )
                         if sub_optimal:
                             status = VALID
@@ -507,10 +536,21 @@ class Synthesizer:
                     trace.new_true = new_ts
                     ts.extend(new_ts)
 
+        # Teardown: retract the warm helpers' surviving scopes (the
+        # sampling boxes and the warm verifier's probes) so abandoning
+        # them does not leave scopes_opened permanently ahead of
+        # scopes_retracted -- the counter gap the cold-path bench rows
+        # used to show.
+        counter_f_enum.close()
+        if counter_t_enum is not None:
+            counter_t_enum.close()
+        if verifier is not None:
+            verifier.close()
+
         with timings.track("validation"), tracer.span(
             "cegis.minimize", phase="minimize", counters=True
         ):
-            p1.minimize(witnesses=fs)
+            p1.minimize(witnesses=fs, float_filter=self.config.float_filter)
         outcome.iterations = iteration
         outcome.true_samples = len(ts)
         outcome.false_samples = len(fs)
@@ -550,6 +590,7 @@ class Synthesizer:
                 target_vars,
                 self.config.enumeration_limit,
                 bnb_budget=self.config.bnb_budget,
+                float_filter=self.config.float_filter,
             )
         if not full.exhausted:
             outcome.status = FAILED
@@ -585,6 +626,7 @@ class Synthesizer:
                 target_vars,
                 self.config.enumeration_limit,
                 bnb_budget=self.config.bnb_budget,
+                float_filter=self.config.float_filter,
             )
         if not full.exhausted:
             outcome.status = FAILED

@@ -47,6 +47,7 @@ def verify_implied(
     *,
     bnb_budget: int = 4000,
     certify: bool = False,
+    float_filter: str | None = None,
 ) -> bool:
     """True iff ``original`` implies ``learned`` under three-valued logic.
 
@@ -69,11 +70,15 @@ def verify_implied(
     obligation = conj([t_p, negate(t_p1)])
     try:
         if not certify:
-            return not is_satisfiable(obligation, bnb_budget=bnb_budget)
+            return not is_satisfiable(
+                obligation, bnb_budget=bnb_budget, float_filter=float_filter
+            )
         from ..analysis.certify import audit_proof
         from ..smt import UNSAT
 
-        solver = certified_solver([obligation], bnb_budget=bnb_budget)
+        solver = certified_solver(
+            [obligation], bnb_budget=bnb_budget, float_filter=float_filter
+        )
         assert solver.proof_log is not None
         if solver.proof_log.result != UNSAT:
             return False
@@ -94,9 +99,21 @@ class WarmUnsatChecker:
     "unsatisfiability not proven" -- never an over-claim.
     """
 
-    def __init__(self, base: Formula, *, bnb_budget: int = 4000) -> None:
-        self._session = SmtSession(bnb_budget=bnb_budget)
+    def __init__(
+        self,
+        base: Formula,
+        *,
+        bnb_budget: int = 4000,
+        float_filter: str | None = None,
+    ) -> None:
+        self._session = SmtSession(
+            bnb_budget=bnb_budget, float_filter=float_filter
+        )
         self._session.assert_base(base)
+
+    def close(self) -> None:
+        """Balance scope counters when the checker is abandoned."""
+        self._session.close()
 
     def proves_unsat(
         self, extra: Formula, *, bnb_budget: int | None = None
@@ -133,15 +150,19 @@ class PredicateVerifier:
         *,
         bnb_budget: int = 4000,
         certify: bool = False,
+        float_filter: str | None = None,
     ) -> None:
         self._original = original
         self._ctx = ctx
         self._bnb_budget = bnb_budget
         self._certify = certify
+        self._float_filter = float_filter
         self._checker: WarmUnsatChecker | None = None
         if not certify:
             self._checker = WarmUnsatChecker(
-                truth_formula(original, ctx), bnb_budget=bnb_budget
+                truth_formula(original, ctx),
+                bnb_budget=bnb_budget,
+                float_filter=float_filter,
             )
 
     def verify(self, learned: DisjunctivePredicate) -> bool:
@@ -160,12 +181,18 @@ class PredicateVerifier:
                     self._ctx,
                     bnb_budget=self._bnb_budget,
                     certify=self._certify,
+                    float_filter=self._float_filter,
                 )
             else:
                 t_p1 = learned_truth_formula(learned, self._ctx)
                 result = self._checker.proves_unsat(negate(t_p1))
             span.set(implied=result)
             return result
+
+    def close(self) -> None:
+        """Release the warm checker's session scopes (if any)."""
+        if self._checker is not None:
+            self._checker.close()
 
 
 def _columns_of_var(var, ctx: LinearizationContext):

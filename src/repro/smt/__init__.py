@@ -13,8 +13,21 @@ substitution table).  Public surface:
 * quantifier elimination: ``eliminate_exists``, ``unsat_region``
 * warm sessions: :class:`SmtSession`, :class:`Scope` (activation-literal
   incrementality), :data:`GLOBAL_COUNTERS` instrumentation
+* two-tier tableau: :class:`TableauBackend`, ``check_tableau`` and the
+  float-filter mode constants (``FLOAT_OFF`` / ``FLOAT_FILTER`` /
+  ``FLOAT_TRUST_SAT``); the float tier itself is
+  :class:`~repro.smt.floatsimplex.FloatSimplex`
 """
 
+from .backend import (
+    FLOAT_FILTER,
+    FLOAT_MODES,
+    FLOAT_OFF,
+    FLOAT_TRUST_SAT,
+    TableauBackend,
+    check_tableau,
+    resolve_float_mode,
+)
 from .formula import (
     EQ,
     FALSE,
@@ -78,6 +91,10 @@ __all__ = [
     "EliminationResult",
     "EQ",
     "FALSE",
+    "FLOAT_FILTER",
+    "FLOAT_MODES",
+    "FLOAT_OFF",
+    "FLOAT_TRUST_SAT",
     "FarkasCert",
     "FarkasEntry",
     "Formula",
@@ -98,6 +115,7 @@ __all__ = [
     "Simplex",
     "SmtSession",
     "SplitCert",
+    "TableauBackend",
     "TrichotomyCert",
     "Solver",
     "SolverBudgetError",
@@ -110,6 +128,7 @@ __all__ = [
     "all_models",
     "bounds",
     "check_conjunction",
+    "check_tableau",
     "compare",
     "maximize",
     "minimize",
@@ -125,6 +144,7 @@ __all__ = [
     "linear_combination",
     "lt",
     "negate",
+    "resolve_float_mode",
     "tighten",
     "to_dnf",
     "to_nnf",

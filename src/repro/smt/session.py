@@ -175,6 +175,7 @@ class SmtSession:
         ordering_lemmas: bool = True,
         minimize_cores: bool = False,
         max_rounds: int = 50_000,
+        float_filter: str | None = None,
     ) -> None:
         GLOBAL_COUNTERS.sessions_created += 1
         self._solver = Solver(
@@ -182,8 +183,10 @@ class SmtSession:
             ordering_lemmas=ordering_lemmas,
             minimize_cores=minimize_cores,
             max_rounds=max_rounds,
+            float_filter=float_filter,
         )
         self._default_budget = bnb_budget
+        self._float_filter = float_filter
         self._scopes: list[Scope] = []
         self._checks = 0
         # Theory-relevance bookkeeping: an atom referenced only by
@@ -377,6 +380,25 @@ class SmtSession:
         return self._checks
 
     # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Retract every scope still active and flush compaction.
+
+        Sessions abandoned with live scopes used to leave
+        ``scopes_opened`` permanently ahead of ``scopes_retracted``
+        (the ``scopes_retracted: 0`` artifact in the cold-path bench
+        rows), skewing scope-accounting comparisons between workloads.
+        Teardown now retracts whatever is left so the counters balance
+        and the clause database is collected once.  Idempotent; the
+        session remains usable for base-level checks afterwards.
+        """
+        for scope in list(self._scopes):
+            scope.retract()
+        if self._pending_dead_atoms or self._pending_dead_nodes:
+            self._flush_compaction()
+
+    # ------------------------------------------------------------------
     # Certified fallback
     # ------------------------------------------------------------------
     def certified_check(
@@ -398,18 +420,27 @@ class SmtSession:
         return certified_solver(
             formulas,
             bnb_budget=self._default_budget if bnb_budget is None else bnb_budget,
+            float_filter=self._float_filter,
         )
 
 
-def certified_solver(formulas: Iterable[Formula], *, bnb_budget: int = 4000) -> Solver:
+def certified_solver(
+    formulas: Iterable[Formula],
+    *,
+    bnb_budget: int = 4000,
+    float_filter: str | None = None,
+) -> Solver:
     """Sealed fresh proof-logging solver over ``formulas``, checked.
 
     The canonical entry point for certified verdicts (see
     :meth:`SmtSession.certified_check`); callers read the verdict from
-    ``proof_log.result`` and hand the log to the auditor.
+    ``proof_log.result`` and hand the log to the auditor.  The float
+    tier composes with proof logging: its verdicts are advisory and
+    every certificate is re-derived exactly, so a certified check may
+    still run the filter.
     """
     GLOBAL_COUNTERS.proof_fallbacks += 1
-    solver = Solver(bnb_budget=bnb_budget, proof=True)
+    solver = Solver(bnb_budget=bnb_budget, proof=True, float_filter=float_filter)
     solver.add(*formulas)
     solver.check()
     return solver

@@ -18,7 +18,22 @@ parallel workload driver snapshot around their workloads:
 * ``scopes_opened`` / ``scopes_retracted`` -- activation-literal
   scopes pushed and retired,
 * ``proof_fallbacks`` -- checks that had to leave the warm session
-  for a sealed proof-logging solver (certified paths).
+  for a sealed proof-logging solver (certified paths),
+* ``float_checks`` / ``float_pivots`` -- two-tier backend
+  (:mod:`repro.smt.backend`): LRA checks that entered the float tier,
+  and pivots spent there (``pivots`` stays the *exact*-tier pivot
+  count, so ``float_pivots / (float_pivots + pivots)`` is the share of
+  pivot work the cheap tier absorbed),
+* ``float_sat_confirmed`` / ``float_unsat_confirmed`` -- float-tier
+  verdicts the exact tier confirmed (a snapped SAT candidate that
+  model-checked in Fractions; a suspected conflict re-derived as an
+  exact Farkas certificate),
+* ``tier_disagreements`` -- float verdicts the exact tier *refuted*
+  (a bogus conflict or a candidate that failed the exact model check);
+  each one is silently corrected by a full exact solve,
+* ``tier_fallbacks`` -- float-tier checks that ended in a full exact
+  solve for any reason (give-up, disagreement, or ``filter`` mode's
+  conservative SAT path).
 
 **Counting semantics** (pinned by ``tests/smt/test_counter_semantics.py``):
 ``checks`` counts *every* top-level ``Solver.check`` call, wherever it
@@ -61,6 +76,12 @@ class SolverCounters:
     scopes_opened: int = 0
     scopes_retracted: int = 0
     proof_fallbacks: int = 0
+    float_checks: int = 0
+    float_pivots: int = 0
+    float_sat_confirmed: int = 0
+    float_unsat_confirmed: int = 0
+    tier_disagreements: int = 0
+    tier_fallbacks: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -26,9 +26,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Hashable, Sequence
 
+from .backend import FLOAT_OFF, check_tableau
 from .formula import EQ, LE, LT, Atom
 from .proof import FarkasCert, FarkasEntry, IntDivCert, SplitCert, TheoryCert
-from .simplex import Simplex, TheoryConflict, concrete_model
+from .simplex import TheoryConflict, concrete_model
 from .terms import LinExpr, Var
 
 Tag = Hashable
@@ -104,6 +105,7 @@ def check_conjunction(
     constraints: Sequence[tuple[Atom, Tag]],
     *,
     max_nodes: int = 4000,
+    float_mode: str = FLOAT_OFF,
 ) -> dict[Var, Fraction]:
     """Feasibility of a conjunction over mixed integer/real variables.
 
@@ -111,6 +113,10 @@ def check_conjunction(
     rational value (integral for integer-sorted variables).  Raises
     :class:`TheoryConflict` with a core of input tags when infeasible,
     or :class:`SolverBudgetError` when branch and bound gives up.
+
+    ``float_mode`` selects the tableau tier stack for every rational
+    relaxation (:func:`repro.smt.backend.check_tableau`); the returned
+    model and any conflict certificate are exact regardless of mode.
     """
     prepared: list[tuple[Atom, Tag]] = []
     orig_of_tag: dict[Tag, Atom] = {}
@@ -124,7 +130,9 @@ def check_conjunction(
                 frozenset([tag]), cert=_refute_folded(atom, tag)
             )
         prepared.append((tightened, tag))
-    return _branch_and_bound(prepared, max_nodes, orig_of_tag)
+    return _branch_and_bound(
+        prepared, max_nodes, orig_of_tag, float_mode=float_mode
+    )
 
 
 def _refute_folded(atom: Atom, tag: Tag) -> TheoryCert:
@@ -195,18 +203,22 @@ def _leaf_cert(
 
 def _lra_check(
     constraints: list[tuple[Atom, Tag]],
+    float_mode: str = FLOAT_OFF,
 ) -> dict[Var, Fraction]:
-    """One rational-relaxation feasibility check."""
-    simplex = Simplex()
+    """One rational-relaxation feasibility check.
+
+    Tableau solving is delegated to the two-tier backend; whichever
+    tier produced the delta-rational assignment, concretisation below
+    happens in exact Fractions.
+    """
     strict_exprs: list[LinExpr] = []
     nonstrict_exprs: list[LinExpr] = []
-    for atom, tag in constraints:
+    for atom, _tag in constraints:
         if atom.op == LT:
             strict_exprs.append(atom.expr)
         elif atom.op == LE:
             nonstrict_exprs.append(atom.expr)
-        simplex.assert_atom(atom, tag)
-    assignment = simplex.check()
+    assignment = check_tableau(constraints, float_mode=float_mode)
     return concrete_model(assignment, strict_exprs, nonstrict_exprs)
 
 
@@ -214,6 +226,8 @@ def _branch_and_bound(
     base: list[tuple[Atom, Tag]],
     max_nodes: int,
     orig_of_tag: dict[Tag, Atom] | None = None,
+    *,
+    float_mode: str = FLOAT_OFF,
 ) -> dict[Var, Fraction]:
     """Iterative depth-first branch and bound.
 
@@ -291,7 +305,7 @@ def _branch_and_bound(
         frame = frames[index]
         constraints = base + frame["extra"]
         try:
-            model = _lra_check(constraints)
+            model = _lra_check(constraints, float_mode)
         except TheoryConflict as conflict:
             leaf = _leaf_cert(conflict, orig_atoms)
             if frame["parent"] < 0:

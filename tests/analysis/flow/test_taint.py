@@ -106,6 +106,40 @@ def test_math_module_results_are_float_sources():
     assert [f.rule for f in analyze_taint(project)] == ["SIA401"]
 
 
+def test_float_into_certify_is_a_sink():
+    # certify.py is promoted into the exact zone even though it lives
+    # under analysis/: float flowing into its functions is SIA401.
+    project = _project_from(
+        {
+            "pkg/analysis/certify.py": SINK,
+            "pkg/core/use.py": (
+                "from ..analysis.certify import assert_bound\n"
+                "def drive(session, q):\n"
+                "    v = q * 0.5\n"
+                "    return assert_bound(session, v)\n"
+            ),
+        }
+    )
+    assert [f.rule for f in analyze_taint(project)] == ["SIA401"]
+
+
+def test_float_into_float_tier_zone_is_not_a_sink():
+    # floatsimplex.py is the sanctioned float tier: calls into it are
+    # *supposed* to carry floats, so they are not taint sinks.
+    project = _project_from(
+        {
+            "pkg/smt/floatsimplex.py": SINK,
+            "pkg/core/use.py": (
+                "from ..smt.floatsimplex import assert_bound\n"
+                "def drive(session, q):\n"
+                "    v = q * 0.5\n"
+                "    return assert_bound(session, v)\n"
+            ),
+        }
+    )
+    assert analyze_taint(project) == []
+
+
 def test_fixture_package_end_to_end():
     from repro.analysis.flow import flow_paths
 

@@ -198,6 +198,26 @@ def test_session_counters_track_reuse():
     assert session.checks_served == 2
 
 
+def test_close_retracts_abandoned_scopes():
+    # The cold-path teardown contract: close() balances the scope
+    # counters even when the caller abandons scopes mid-flight (the
+    # source of the historical ``scopes_retracted: 0`` bench artifact).
+    before = GLOBAL_COUNTERS.snapshot()
+    session = SmtSession()
+    session.assert_base(Atom(LinExpr.var(X) - 5, LE))
+    session.push(Atom(LinExpr.var(X), LT))
+    session.push(Atom(LinExpr.var(X) + 3, LT))
+    session.check()
+    session.close()
+    delta = GLOBAL_COUNTERS.delta_since(before)
+    assert delta.get("scopes_opened") == 2
+    assert delta.get("scopes_retracted") == 2
+    # close() is idempotent: already-retracted scopes are skipped.
+    session.close()
+    delta = GLOBAL_COUNTERS.delta_since(before)
+    assert delta.get("scopes_retracted") == 2
+
+
 def test_certified_solver_round_trip():
     solver = certified_solver([Atom(LinExpr.var(X) - 5, LE)])
     assert solver.proof_log is not None
