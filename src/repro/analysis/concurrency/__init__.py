@@ -1,0 +1,104 @@
+"""Interprocedural shared-state and fork-safety analysis (SIA5xx).
+
+The parallel driver (PR 6) made the repository multi-process; this
+package makes the safety assumptions behind that move *checkable*.  It
+reuses the :mod:`repro.analysis.flow` substrate -- the same
+:class:`~repro.analysis.flow.callgraph.Project` call graph with the
+same conservative resolution -- and layers four rules on a shared
+inventory of process-global mutable state:
+
+* **SIA501** (:mod:`.escape`) -- shared-state writes reachable from a
+  worker entry point without synchronization;
+* **SIA502** (:mod:`.forksafety`) -- fork-inheritance hazards at pool
+  boundaries: implicit start method, parent-side mutation while a pool
+  is live, unpicklable/closure-capturing dispatch payloads;
+* **SIA503** (:mod:`.locks`) -- lock discipline: read-modify-write and
+  check-then-insert on shared registries outside a sanctioned lock;
+* **SIA504** (:mod:`.snapshot`) -- cross-process aggregation must go
+  through the snapshot/delta protocol, never raw registry fields.
+
+Like every other pass in :mod:`repro.analysis`, the analysis is purely
+syntactic -- it never imports the code under test -- and honors the
+``# sia: allow(RULE)`` pragma machinery.  Its runtime counterpart is
+:mod:`repro.obs.sanitizer`, which checks the same contract on live
+processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..findings import Finding
+from ..lint import iter_python_files
+from ..pragmas import extract_pragmas, is_suppressed
+from ..flow.callgraph import Project
+from .escape import analyze_escape
+from .forksafety import analyze_forksafety
+from .inventory import (
+    SHARED_ZONE,
+    WORKER_LOCAL_ZONE,
+    Inventory,
+    SharedState,
+    collect_inventory,
+    concurrency_zone_of,
+)
+from .locks import analyze_locks
+from .snapshot import analyze_snapshot
+
+__all__ = [
+    "Inventory",
+    "SharedState",
+    "SHARED_ZONE",
+    "WORKER_LOCAL_ZONE",
+    "collect_inventory",
+    "concurrency_zone_of",
+    "concurrency_paths",
+]
+
+
+def concurrency_paths(
+    paths: list[Path], *, honor_pragmas: bool = True
+) -> tuple[list[Finding], int]:
+    """Run all concurrency passes; returns ``(findings, files_analyzed)``.
+
+    Mirrors :func:`repro.analysis.flow.driver.flow_paths`: one project
+    per invocation so cross-module registries resolve, parse failures
+    skipped (the syntactic linter already reports SIA000 for them).
+    """
+    files = iter_python_files(paths)
+    loadable: list[Path] = []
+    project = Project()
+    for file_path in files:
+        try:
+            project.add_source(
+                file_path.read_text(encoding="utf-8"), file_path
+            )
+        except (SyntaxError, OSError):
+            continue
+        loadable.append(file_path)
+    for module in project.modules.values():
+        project._bind_imports(module)
+
+    inventory = collect_inventory(project)
+    findings = [
+        *analyze_escape(project, inventory),
+        *analyze_forksafety(project, inventory),
+        *analyze_locks(project, inventory),
+        *analyze_snapshot(project, inventory),
+    ]
+
+    if honor_pragmas:
+        pragma_cache: dict[str, dict[int, frozenset[str]]] = {}
+        for module in project.modules.values():
+            pragma_cache[str(module.path)] = extract_pragmas(module.source)
+        findings = [
+            finding
+            for finding in findings
+            if not is_suppressed(
+                pragma_cache.get(finding.file, {}),
+                finding.line,
+                finding.rule,
+            )
+        ]
+
+    return sorted(set(findings)), len(loadable)

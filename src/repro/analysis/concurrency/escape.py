@@ -1,0 +1,121 @@
+"""SIA501: shared-state writes reachable from worker entry points.
+
+A *worker entry point* is any function handed across a thread or
+process boundary: the callable of ``pool.submit(f, ...)`` /
+``pool.map(f, ...)``, or the ``target=`` of ``threading.Thread`` /
+``multiprocessing.Process``.  From those entries the rule closes over
+the project call graph (resolved calls only -- the same conservative
+resolution the flow passes use) and inspects every reachable function
+for writes to the shared-state inventory.
+
+A reachable write is a finding unless one of the sanctioned shapes
+applies:
+
+* the state is **delta-capable** -- its class speaks the
+  snapshot/delta protocol (``GLOBAL_COUNTERS``, ``GLOBAL_METRICS``),
+  so per-worker mutation *is* the aggregation design;
+* the write site is in the **worker-local zone** (the per-process
+  solver core and memo caches);
+* the write is lexically inside a ``with <lock>:`` block.
+
+Everything else is exactly the bug class that turns a clean
+single-process run into a corrupted parallel one: a worker mutating a
+registry the parent (or a sibling thread) also owns, with nobody
+synchronizing.  Suppress a deliberate exception with
+``# sia: allow(SIA501)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from ..findings import Finding
+from ..flow.callgraph import FunctionInfo, Project
+from .inventory import (
+    WORKER_LOCAL_ZONE,
+    Inventory,
+    dispatch_sites,
+    lock_guard_lines,
+)
+from .writes import shared_writes
+
+__all__ = ["analyze_escape", "worker_entries", "worker_reachable"]
+
+
+def worker_entries(project: Project) -> dict[str, FunctionInfo]:
+    """Worker entry functions, keyed by qualname."""
+    out: dict[str, FunctionInfo] = {}
+    for func in project.all_functions():
+        for site in dispatch_sites(func):
+            resolved = project.resolve_call(site.callable, func.module)
+            if resolved is not None:
+                out.setdefault(resolved.qualname, resolved)
+    return out
+
+
+def worker_reachable(
+    project: Project, entries: dict[str, FunctionInfo]
+) -> dict[str, str]:
+    """Functions reachable from worker entries: qualname -> entry.
+
+    Breadth-first closure over resolved calls; the mapped value is the
+    entry point that first reached the function, for reporting.
+    """
+    reached: dict[str, str] = {}
+    queue: deque[tuple[FunctionInfo, str]] = deque(
+        (func, qualname) for qualname, func in entries.items()
+    )
+    index = {f.qualname: f for f in project.all_functions()}
+    while queue:
+        func, entry = queue.popleft()
+        if func.qualname in reached:
+            continue
+        reached[func.qualname] = entry
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = project.resolve_call(node.func, func.module)
+            if resolved is not None and resolved.qualname not in reached:
+                target = index.get(resolved.qualname, resolved)
+                queue.append((target, entry))
+    return reached
+
+
+def analyze_escape(project: Project, inv: Inventory) -> list[Finding]:
+    """Run the SIA501 pass over a whole project."""
+    entries = worker_entries(project)
+    if not entries:
+        return []
+    reached = worker_reachable(project, entries)
+    index = {f.qualname: f for f in project.all_functions()}
+
+    findings: list[Finding] = []
+    for qualname, entry in sorted(reached.items()):
+        func = index.get(qualname)
+        if func is None:
+            continue
+        guarded = lock_guard_lines(func.node, func.module, inv)
+        for site in shared_writes(func, inv):
+            state = site.state
+            if state.delta_capable:
+                continue
+            if state.zone == WORKER_LOCAL_ZONE:
+                continue
+            if site.lineno in guarded:
+                continue
+            findings.append(
+                Finding(
+                    file=str(func.module.path),
+                    line=site.lineno,
+                    col=site.col,
+                    rule="SIA501",
+                    message=(
+                        f"shared state {state.qualname} written without "
+                        f"synchronization on a worker-reachable path "
+                        f"(entry: {entry})"
+                    ),
+                    pass_name="concurrency",
+                )
+            )
+    return findings

@@ -1,0 +1,200 @@
+"""SIA502: fork-inheritance and pickling hazards at pool boundaries.
+
+``ProcessPoolExecutor`` under the fork start method clones the parent
+mid-flight: every warm registry, intern table and counter is silently
+duplicated into the workers at whatever state the parent had reached.
+The deltas the workers later report then double-count the inherited
+warmth -- a bug no test on a spawn platform (macOS, Windows) can see.
+Three shapes are flagged:
+
+* **Implicit start method.**  Constructing a ``ProcessPoolExecutor``
+  without an explicit ``mp_context=`` argument inherits the platform
+  default (fork on Linux).  The repo's contract is spawn -- workers
+  must build their counters from zero so deltas mean what they say.
+* **Parent-side mutation while the pool is live.**  A write to shared
+  state inside the ``with ProcessPoolExecutor(...)`` block mutates the
+  parent's copy after the workers were (possibly) forked from it:
+  whether a given worker sees the write depends on scheduling.
+* **Callables/arguments that do not survive the boundary.**  A
+  ``lambda`` or nested function handed to ``submit``/``map`` fails to
+  pickle at runtime (or captures mutable parent state by closure); a
+  module-level mutable registry passed as an argument gets *copied*,
+  so worker-side mutations are lost -- both are reported at the
+  dispatch call.
+
+Thread pools are exempt from the first two shapes (no fork, shared
+address space) but not the third's closure hazard -- a lambda handed
+to a thread still races on captured state; the message says which.
+Suppress deliberate exceptions with ``# sia: allow(SIA502)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..flow.callgraph import FunctionInfo, Project
+from .inventory import (
+    Inventory,
+    dispatch_sites,
+    executor_constructions,
+    lock_guard_lines,
+)
+from .writes import shared_writes
+
+__all__ = ["analyze_forksafety"]
+
+
+def _nested_defs(func: FunctionInfo) -> set[str]:
+    """Names of functions defined *inside* a function's body.
+
+    The module-level pseudo-function (``<module>``) walks the whole
+    tree, so for it the module's own top-level ``def``s -- perfectly
+    picklable -- must not count as nested.
+    """
+    out: set[str] = set()
+    root = func.node
+    for node in ast.walk(root):
+        if node is root:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.add(node.name)
+    if isinstance(root, ast.Module):
+        out -= {
+            node.name
+            for node in root.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+    return out
+
+
+def _span(node: ast.AST) -> tuple[int, int]:
+    end = getattr(node, "end_lineno", None) or node.lineno  # type: ignore[attr-defined]
+    return node.lineno, end  # type: ignore[attr-defined]
+
+
+def analyze_forksafety(project: Project, inv: Inventory) -> list[Finding]:
+    """Run the SIA502 pass over a whole project."""
+    findings: list[Finding] = []
+    for func in project.all_functions():
+        module = func.module
+        nested = _nested_defs(func)
+        guarded = lock_guard_lines(func.node, module, inv)
+
+        # Shape 1: implicit start method.
+        pool_spans: list[tuple[int, int]] = []
+        for call, kind in executor_constructions(func.node):
+            if kind != "process":
+                continue
+            if not any(k.arg == "mp_context" for k in call.keywords):
+                findings.append(
+                    Finding(
+                        file=str(module.path),
+                        line=call.lineno,
+                        col=call.col_offset + 1,
+                        rule="SIA502",
+                        message=(
+                            "ProcessPoolExecutor constructed without an "
+                            "explicit mp_context; the fork default "
+                            "inherits the parent's warm global state "
+                            "into every worker"
+                        ),
+                        pass_name="concurrency",
+                    )
+                )
+            pool_spans.append(_live_span(func.node, call))
+
+        # Shape 2: parent-side mutation while a process pool is live.
+        if pool_spans:
+            for site in shared_writes(func, inv):
+                if site.lineno in guarded:
+                    continue
+                if any(
+                    first <= site.lineno <= last
+                    for first, last in pool_spans
+                ):
+                    findings.append(
+                        Finding(
+                            file=str(module.path),
+                            line=site.lineno,
+                            col=site.col,
+                            rule="SIA502",
+                            message=(
+                                f"shared state {site.state.qualname} "
+                                "mutated in the parent while a process "
+                                "pool is live; forked workers may or may "
+                                "not see the write"
+                            ),
+                            pass_name="concurrency",
+                        )
+                    )
+
+        # Shape 3: unpicklable / closure-capturing dispatch payloads.
+        for site in dispatch_sites(func):
+            target = site.callable
+            label: str | None = None
+            if isinstance(target, ast.Lambda):
+                label = "a lambda"
+            elif isinstance(target, ast.Name) and target.id in nested:
+                label = f"nested function {target.id}()"
+            if label is not None:
+                hazard = (
+                    "cannot be pickled across the process boundary"
+                    if site.boundary in ("process", "executor")
+                    else "captures parent state by closure"
+                )
+                findings.append(
+                    Finding(
+                        file=str(module.path),
+                        line=site.call.lineno,
+                        col=site.call.col_offset + 1,
+                        rule="SIA502",
+                        message=f"worker callable {label} {hazard}",
+                        pass_name="concurrency",
+                    )
+                )
+            for arg in site.args:
+                for sub in ast.walk(arg):
+                    entry = inv.resolve(module, sub) if isinstance(
+                        sub, (ast.Name, ast.Attribute)
+                    ) else None
+                    if entry is None:
+                        continue
+                    findings.append(
+                        Finding(
+                            file=str(module.path),
+                            line=site.call.lineno,
+                            col=site.call.col_offset + 1,
+                            rule="SIA502",
+                            message=(
+                                f"shared registry {entry.qualname} passed "
+                                "across the worker boundary; it is "
+                                "copied, not shared -- worker-side "
+                                "mutations are lost"
+                            ),
+                            pass_name="concurrency",
+                        )
+                    )
+                    break  # one finding per payload expression
+    return findings
+
+
+def _live_span(func_node: ast.AST, call: ast.Call) -> tuple[int, int]:
+    """Lines during which the executor constructed at ``call`` is live.
+
+    When the construction is a with-item, the pool is live for exactly
+    the with-body; otherwise fall back to "from the construction to the
+    end of the function" (conservative for bare assignments).
+    """
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.context_expr is call:
+                    first = min(stmt.lineno for stmt in node.body)
+                    last = max(
+                        (getattr(stmt, "end_lineno", None) or stmt.lineno)
+                        for stmt in node.body
+                    )
+                    return first, last
+    end = getattr(func_node, "end_lineno", None) or call.lineno
+    return call.lineno, end

@@ -1,0 +1,511 @@
+"""Shared-state inventory: what the concurrency rules reason about.
+
+Every SIA5xx rule needs the same three facts about a project before it
+can say anything useful:
+
+* **Which values are process-global mutable state.**  Module-level
+  dict/list/set bindings (registries, memo caches), module-level
+  instances of project classes (``GLOBAL_COUNTERS``,
+  ``GLOBAL_METRICS``), class-level intern tables (``ClassVar`` dicts
+  such as the hash-cons tables in ``smt/terms.py``), and names rebound
+  through ``global`` statements.
+* **Which of them speak the snapshot/delta protocol.**  A registry
+  whose class defines ``snapshot``/``delta_since`` participates in the
+  sanctioned cross-process aggregation scheme (worker snapshots before
+  the batch, ships the delta, parent merges in batch order) -- writes
+  to it inside a worker are the *design*, not a hazard.
+* **Which code is a worker-local zone.**  The solver core
+  (``repro/smt/``, ``repro/predicates/``) is single-threaded per
+  process by contract: its counters and intern tables are mutated on
+  every pivot and aggregated only via deltas, so lock-discipline rules
+  would be pure noise there.  The bench memo caches
+  (``bench/harness.py``) are likewise per-process by design.  The
+  carve-out mirrors the lint zones (:func:`repro.analysis.lint.zone_of`)
+  and is path-derived, so fixture trees classify the same way.
+
+The inventory is *purely static* -- like the rest of
+:mod:`repro.analysis` it never imports the code it describes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..flow.callgraph import FunctionInfo, ModuleInfo, Project
+
+__all__ = [
+    "Inventory",
+    "SharedState",
+    "WORKER_LOCAL_ZONE",
+    "SHARED_ZONE",
+    "collect_inventory",
+    "concurrency_zone_of",
+    "dispatch_sites",
+    "DispatchSite",
+    "lock_guard_lines",
+    "mutating_method",
+]
+
+WORKER_LOCAL_ZONE = "worker-local"
+SHARED_ZONE = "shared"
+
+#: Directories whose modules are per-process by contract: the solver
+#: core mutates counters/intern tables on hot paths and aggregates only
+#: through snapshot/delta; flagging those writes would drown the rules.
+_WORKER_LOCAL_PARTS = frozenset({"smt", "predicates"})
+#: File-scoped carve-outs: per-process memo caches (the bench harness
+#: caches catalogs/records per worker; each process warms its own).
+_WORKER_LOCAL_FILES = frozenset({"harness.py"})
+
+#: Constructor names producing mutable containers at module level.
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict",
+     "Counter", "WeakValueDictionary", "WeakKeyDictionary"}
+)
+
+#: Method names that mutate a container / registry in place.
+_MUTATOR_METHODS = frozenset(
+    {"append", "add", "update", "setdefault", "pop", "popitem", "clear",
+     "extend", "remove", "discard", "insert", "move_to_end"}
+)
+
+#: Methods that make a registry delta-capable (the sanctioned
+#: cross-process aggregation protocol).
+_DELTA_METHODS = frozenset({"snapshot", "delta_since"})
+
+#: Names that construct a lock (``threading.Lock()`` and kin).
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                             "BoundedSemaphore"})
+
+
+def concurrency_zone_of(path: Path) -> str:
+    """Concurrency zone of a source file (worker-local or shared)."""
+    parts = frozenset(path.parts)
+    if parts & _WORKER_LOCAL_PARTS:
+        return WORKER_LOCAL_ZONE
+    if path.name in _WORKER_LOCAL_FILES and "bench" in parts:
+        return WORKER_LOCAL_ZONE
+    return SHARED_ZONE
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One piece of process-global mutable state."""
+
+    module: str  # dotted module key
+    name: str  # binding name ("REGISTRY", "MetricsRegistry._counters")
+    kind: str  # "container" | "instance" | "class-table" | "global-rebind"
+    lineno: int
+    class_name: str | None = None  # for instances: the class's local name
+    delta_capable: bool = False
+    zone: str = SHARED_ZONE
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class Inventory:
+    """Shared-state facts for one project."""
+
+    #: dotted module key -> binding name -> entry
+    by_module: dict[str, dict[str, SharedState]] = field(default_factory=dict)
+    #: class local-name per module -> True when the class defines the
+    #: snapshot/delta protocol (module key, class name)
+    delta_classes: set[tuple[str, str]] = field(default_factory=set)
+    #: classes with a module-level instance somewhere in the project:
+    #: (defining module key, class name) -> instance qualnames
+    singleton_classes: dict[tuple[str, str], list[str]] = field(
+        default_factory=dict
+    )
+    #: module key -> local names bound to a lock at module level
+    module_locks: dict[str, set[str]] = field(default_factory=dict)
+
+    def entries(self) -> list[SharedState]:
+        out: list[SharedState] = []
+        for table in self.by_module.values():
+            out.extend(table.values())
+        return out
+
+    def lookup(self, module: ModuleInfo, name: str) -> SharedState | None:
+        """Resolve ``name`` in ``module`` to a shared-state entry.
+
+        Follows ``from m import NAME [as alias]`` bindings so a write
+        to an imported registry is charged to its defining module.
+        """
+        local = self.by_module.get(module.dotted, {}).get(name)
+        if local is not None:
+            return local
+        bound = module.symbol_imports.get(name)
+        if bound is not None:
+            target_key, symbol = bound
+            return self.by_module.get(target_key, {}).get(symbol)
+        return None
+
+    def lookup_attr(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> SharedState | None:
+        """Resolve ``m.NAME`` (module-attribute spelling) to an entry."""
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+        ):
+            return None
+        target_key = module.module_imports.get(node.value.id)
+        if target_key is None:
+            return None
+        return self.by_module.get(target_key, {}).get(node.attr)
+
+    def resolve(self, module: ModuleInfo, node: ast.expr) -> SharedState | None:
+        """Entry a ``Name`` or ``module.Name`` expression refers to."""
+        if isinstance(node, ast.Name):
+            return self.lookup(module, node.id)
+        return self.lookup_attr(module, node)
+
+    def is_lock(self, module: ModuleInfo, node: ast.expr) -> bool:
+        """Whether a with-item context expression is a sanctioned lock.
+
+        Module-level ``threading.Lock()`` bindings resolve through
+        imports like shared state does; any attribute whose name
+        mentions ``lock`` (``self._lock``) is accepted too -- the rules
+        prefer missing a mis-named lock to flagging a guarded write.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.module_locks.get(module.dotted, set()):
+                return True
+            bound = module.symbol_imports.get(node.id)
+            if bound is not None:
+                return bound[1] in self.module_locks.get(bound[0], set())
+            return "lock" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            if "lock" in node.attr.lower():
+                return True
+            if isinstance(node.value, ast.Name):
+                target_key = module.module_imports.get(node.value.id)
+                if target_key is not None:
+                    return node.attr in self.module_locks.get(
+                        target_key, set()
+                    )
+        if isinstance(node, ast.Call):
+            # ``with LOCK:`` vs ``with lock_for(x):`` -- accept a call
+            # whose callee looks lock-ish.
+            return self.is_lock(module, node.func)
+        return False
+
+
+def _mutable_kind(value: ast.expr) -> str | None:
+    """Whether a module-level assignment value is a mutable container."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return "container"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name in _MUTABLE_FACTORIES:
+            return "container"
+    return None
+
+
+def _instance_class(value: ast.expr) -> str | None:
+    """Class local-name when ``value`` is a ``SomeClass()`` call."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = (
+        func.id if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute)
+        else None
+    )
+    if name is not None and name[:1].isupper() and name not in _LOCK_FACTORIES:
+        return name
+    return None
+
+
+def _is_lock_value(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = (
+        func.id if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute)
+        else None
+    )
+    return name in _LOCK_FACTORIES
+
+
+def _class_delta_capable(node: ast.ClassDef) -> bool:
+    names = {
+        sub.name
+        for sub in node.body
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return bool(names & _DELTA_METHODS)
+
+
+def _class_tables(node: ast.ClassDef) -> list[tuple[str, int]]:
+    """Class-level mutable tables (intern caches) declared in the body."""
+    out: list[tuple[str, int]] = []
+    for sub in node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(sub, ast.Assign):
+            targets, value = sub.targets, sub.value
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            targets, value = [sub.target], sub.value
+        if value is None or _mutable_kind(value) is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.append((target.id, sub.lineno))
+    return out
+
+
+def collect_inventory(project: Project) -> Inventory:
+    """Collect the shared-state inventory of a whole project."""
+    inv = Inventory()
+    class_defs: dict[str, dict[str, ast.ClassDef]] = {}
+
+    # Pass 1: per-module bindings, classes, locks.
+    for key, module in project.modules.items():
+        table: dict[str, SharedState] = {}
+        zone = concurrency_zone_of(module.path)
+        class_defs[key] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                class_defs[key][node.name] = node
+                if _class_delta_capable(node):
+                    inv.delta_classes.add((key, node.name))
+                for table_name, lineno in _class_tables(node):
+                    entry = SharedState(
+                        module=key,
+                        name=f"{node.name}.{table_name}",
+                        kind="class-table",
+                        lineno=lineno,
+                        class_name=node.name,
+                        zone=zone,
+                    )
+                    table[entry.name] = entry
+                continue
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            if _is_lock_value(value):
+                inv.module_locks.setdefault(key, set()).update(names)
+                continue
+            kind = _mutable_kind(value)
+            if kind is not None:
+                for name in names:
+                    table[name] = SharedState(
+                        module=key, name=name, kind=kind,
+                        lineno=node.lineno, zone=zone,
+                    )
+                continue
+            instance_of = _instance_class(value)
+            if instance_of is not None:
+                for name in names:
+                    table[name] = SharedState(
+                        module=key, name=name, kind="instance",
+                        lineno=node.lineno, class_name=instance_of,
+                        zone=zone,
+                    )
+        # ``global NAME`` rebinds anywhere in the module make NAME
+        # shared even when its initializer is immutable (_TRACER).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    table.setdefault(
+                        name,
+                        SharedState(
+                            module=key, name=name, kind="global-rebind",
+                            lineno=node.lineno, zone=zone,
+                        ),
+                    )
+        if table:
+            inv.by_module[key] = table
+
+    # Pass 2: resolve instance entries to their defining class (possibly
+    # imported) and inherit its delta-capability; record singletons.
+    for key, module in project.modules.items():
+        for entry in list(inv.by_module.get(key, {}).values()):
+            if entry.kind != "instance" or entry.class_name is None:
+                continue
+            cls_module, cls_name = _resolve_class(
+                project, module, entry.class_name, class_defs
+            )
+            if cls_module is None:
+                continue
+            delta = (cls_module, cls_name) in inv.delta_classes
+            inv.singleton_classes.setdefault(
+                (cls_module, cls_name), []
+            ).append(entry.qualname)
+            if delta:
+                inv.by_module[key][entry.name] = SharedState(
+                    module=entry.module,
+                    name=entry.name,
+                    kind=entry.kind,
+                    lineno=entry.lineno,
+                    class_name=entry.class_name,
+                    delta_capable=True,
+                    zone=entry.zone,
+                )
+    return inv
+
+
+def _resolve_class(
+    project: Project,
+    module: ModuleInfo,
+    class_name: str,
+    class_defs: dict[str, dict[str, ast.ClassDef]],
+) -> tuple[str | None, str]:
+    """(module key, class name) a local class reference points at."""
+    if class_name in class_defs.get(module.dotted, {}):
+        return module.dotted, class_name
+    bound = module.symbol_imports.get(class_name)
+    if bound is not None and class_name == bound[1]:
+        if bound[1] in class_defs.get(bound[0], {}):
+            return bound[0], bound[1]
+    return None, class_name
+
+
+# ---------------------------------------------------------------------------
+# Dispatch sites: where work crosses a thread/process boundary.
+# ---------------------------------------------------------------------------
+
+#: Executor constructor names, split by boundary kind.
+PROCESS_EXECUTORS = frozenset({"ProcessPoolExecutor"})
+THREAD_EXECUTORS = frozenset({"ThreadPoolExecutor"})
+_TARGET_CONSTRUCTORS = frozenset({"Thread", "Process"})
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    """One call handing a callable to another thread/process."""
+
+    call: ast.Call
+    callable: ast.expr  # the expression naming the worker function
+    boundary: str  # "process" | "thread" | "executor" (receiver unknown)
+    args: tuple[ast.expr, ...] = ()  # payload expressions crossing over
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def executor_constructions(func_node: ast.AST) -> list[tuple[ast.Call, str]]:
+    """``(call, kind)`` for every executor constructed under the node."""
+    out: list[tuple[ast.Call, str]] = []
+    for node in ast.walk(func_node):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _callee_name(node.func)
+        if name in PROCESS_EXECUTORS:
+            out.append((node, "process"))
+        elif name in THREAD_EXECUTORS:
+            out.append((node, "thread"))
+    return out
+
+
+def dispatch_sites(func: FunctionInfo) -> list[DispatchSite]:
+    """Dispatch sites inside one function body.
+
+    ``pool.map(f, ...)`` / ``pool.submit(f, ...)`` count regardless of
+    the receiver's (unknown) type -- an executor method is the only
+    idiom spelled that way in this codebase -- and
+    ``Thread(target=f)`` / ``Process(target=f)`` count by constructor
+    name.  The builtin ``map(f, xs)`` is a plain-name call and does not
+    match.
+    """
+    out: list[DispatchSite] = []
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func_expr = node.func
+        if isinstance(func_expr, ast.Attribute) and func_expr.attr in (
+            "submit", "map"
+        ):
+            if node.args:
+                out.append(
+                    DispatchSite(
+                        call=node,
+                        callable=node.args[0],
+                        boundary="executor",
+                        args=tuple(node.args[1:]),
+                    )
+                )
+            continue
+        name = _callee_name(func_expr)
+        if name in _TARGET_CONSTRUCTORS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    boundary = "process" if name == "Process" else "thread"
+                    payload = tuple(
+                        k.value for k in node.keywords if k.arg == "args"
+                    )
+                    out.append(
+                        DispatchSite(
+                            call=node,
+                            callable=keyword.value,
+                            boundary=boundary,
+                            args=payload,
+                        )
+                    )
+    return out
+
+
+def mutating_method(call: ast.Call) -> str | None:
+    """The in-place mutator name when ``call`` is ``x.append(...)`` etc."""
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _MUTATOR_METHODS
+    ):
+        return call.func.attr
+    return None
+
+
+def lock_guard_lines(
+    func_node: ast.AST, module: ModuleInfo, inv: Inventory
+) -> set[int]:
+    """Line numbers lexically inside a ``with <lock>:`` body.
+
+    The concurrency rules treat a write as synchronized when its line
+    falls inside a with-block whose context expression resolves to a
+    sanctioned lock.  Lexical containment (rather than CFG dominance)
+    is exactly what ``with`` gives us: the body *is* the guarded
+    region.
+    """
+    guarded: set[int] = set()
+    for node in ast.walk(func_node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(
+            inv.is_lock(module, item.context_expr) for item in node.items
+        ):
+            continue
+        last = max(
+            (getattr(sub, "end_lineno", None) or sub.lineno)
+            for stmt in node.body
+            for sub in ast.walk(stmt)
+            if hasattr(sub, "lineno")
+        )
+        first = min(stmt.lineno for stmt in node.body)
+        guarded.update(range(first, last + 1))
+    return guarded

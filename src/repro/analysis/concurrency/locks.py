@@ -1,0 +1,81 @@
+"""SIA503: lock discipline on shared-registry read-modify-writes.
+
+The GIL makes single bytecodes atomic; it does not make *idioms*
+atomic.  The two racy idioms this rule hunts are exactly the ones that
+corrupt a registry the moment a second thread appears (the ``repro
+serve`` daemon, a background flusher):
+
+* **Unlocked augmented assignment** -- ``SHARED[key] += 1`` /
+  ``GLOBAL.field += n`` compiles to read, add, write; two threads
+  interleave and one increment is lost.
+* **Check-then-insert** -- ``metric = table.get(name)`` / ``if key not
+  in table`` followed by an unlocked ``table[key] = ...``: two threads
+  both observe "absent" and both insert, and one of the two objects
+  (with whatever state it accumulated) is silently dropped.  This is
+  the get-or-create shape of ``MetricsRegistry``.
+
+A write is sanctioned when it sits lexically inside a ``with <lock>:``
+block resolving to a module-level lock (the double-checked pattern --
+unlocked fast-path *read*, locked re-check and insert -- is clean by
+construction: only the store needs the lock).  The worker-local zone
+(per-process solver core and memo caches) is exempt, as is state whose
+writes are already covered per-process by the snapshot/delta protocol
+*and* live in the worker-local zone.  ``# sia: allow(SIA503)``
+suppresses a deliberate single-threaded exception.
+"""
+
+from __future__ import annotations
+
+from ..findings import Finding
+from ..flow.callgraph import Project
+from .inventory import WORKER_LOCAL_ZONE, Inventory, lock_guard_lines
+from .writes import guard_reads, shared_writes
+
+__all__ = ["analyze_locks"]
+
+
+def analyze_locks(project: Project, inv: Inventory) -> list[Finding]:
+    """Run the SIA503 pass over a whole project."""
+    findings: list[Finding] = []
+    for func in project.all_functions():
+        module = func.module
+        guarded_lines = lock_guard_lines(func.node, module, inv)
+        checked = guard_reads(func, inv)
+        for site in shared_writes(func, inv):
+            state = site.state
+            if state.zone == WORKER_LOCAL_ZONE:
+                continue
+            if site.lineno in guarded_lines:
+                continue
+            if site.rmw:
+                findings.append(
+                    Finding(
+                        file=str(module.path),
+                        line=site.lineno,
+                        col=site.col,
+                        rule="SIA503",
+                        message=(
+                            f"read-modify-write on shared state "
+                            f"{state.qualname} outside a lock; the "
+                            "interleaving loses updates"
+                        ),
+                        pass_name="concurrency",
+                    )
+                )
+            elif site.op == "store" and state.qualname in checked:
+                findings.append(
+                    Finding(
+                        file=str(module.path),
+                        line=site.lineno,
+                        col=site.col,
+                        rule="SIA503",
+                        message=(
+                            f"check-then-insert on shared state "
+                            f"{state.qualname} outside a lock; two "
+                            "threads can both observe 'absent' and "
+                            "both insert"
+                        ),
+                        pass_name="concurrency",
+                    )
+                )
+    return findings

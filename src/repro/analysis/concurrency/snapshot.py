@@ -1,0 +1,95 @@
+"""SIA504: cross-process aggregation must use the snapshot/delta protocol.
+
+Delta-capable registries (``GLOBAL_COUNTERS``, ``GLOBAL_METRICS``)
+have exactly one sanctioned way to cross a process boundary: the
+worker snapshots before its batch, ships ``delta_since(before)``, and
+the parent folds the deltas with ``merge_delta`` in batch order.  Any
+other access in aggregation code -- reading ``GLOBAL_COUNTERS.checks``
+in the parent and adding worker numbers to it by hand, poking a
+counter field to "carry over" state -- silently mixes parent-local
+warmth into worker totals, and the result depends on the start method
+and on scheduling.
+
+The rule therefore scopes itself to *aggregation modules*: modules
+that construct a process pool or dispatch work across a process
+boundary.  Inside those modules, every attribute access on a
+delta-capable registry must be one of the protocol methods
+(``snapshot`` / ``delta_since`` / ``merge_delta`` / ``reset``) or a
+metric accessor (``counter`` / ``timer`` / ``histogram`` /
+``summary``).  Raw field reads and writes are findings.  Modules
+without process dispatch (the solver core incrementing its own
+counters) are out of scope by construction.  Suppress with
+``# sia: allow(SIA504)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..flow.callgraph import ModuleInfo, Project
+from .inventory import (
+    Inventory,
+    dispatch_sites,
+    executor_constructions,
+)
+
+__all__ = ["analyze_snapshot"]
+
+#: Attribute names sanctioned on a delta-capable registry in
+#: aggregation code: the snapshot/delta protocol plus the metric
+#: accessors (which hand back per-metric objects, not raw tables).
+SANCTIONED_ACCESSORS = frozenset(
+    {"snapshot", "delta_since", "merge_delta", "reset", "summary",
+     "counter", "timer", "histogram"}
+)
+
+
+def _is_aggregation_module(project: Project, module: ModuleInfo) -> bool:
+    """Whether the module dispatches work across a process boundary."""
+    for func in project.all_functions():
+        if func.module is not module:
+            continue
+        for _call, kind in executor_constructions(func.node):
+            if kind == "process":
+                return True
+        for site in dispatch_sites(func):
+            if site.boundary in ("process", "executor"):
+                return True
+    return False
+
+
+def analyze_snapshot(project: Project, inv: Inventory) -> list[Finding]:
+    """Run the SIA504 pass over a whole project."""
+    findings: list[Finding] = []
+    for module in project.modules.values():
+        if not _is_aggregation_module(project, module):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            entry = inv.resolve(module, node.value)
+            if entry is None or not entry.delta_capable:
+                continue
+            if node.attr in SANCTIONED_ACCESSORS:
+                continue
+            verb = (
+                "write" if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            findings.append(
+                Finding(
+                    file=str(module.path),
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="SIA504",
+                    message=(
+                        f"raw attribute {verb} of delta-capable registry "
+                        f"{entry.qualname}.{node.attr} in cross-process "
+                        "aggregation code; use snapshot()/delta_since()/"
+                        "merge_delta()"
+                    ),
+                    pass_name="concurrency",
+                )
+            )
+    return findings

@@ -1,0 +1,184 @@
+"""Write-site detection over the shared-state inventory.
+
+A *write* to shared state is any of:
+
+* a subscript store -- ``REGISTRY[key] = value`` (plain, annotated or
+  augmented assignment),
+* a field store on a module-level instance -- ``GLOBAL.attr = v`` /
+  ``GLOBAL.attr += v``,
+* an in-place mutator call -- ``REGISTRY.update(...)``,
+  ``EVENTS.append(...)``, ``TABLE.setdefault(...)``,
+* a rebind through ``global NAME``.
+
+Each write site records whether it is an RMW (read-modify-write: an
+augmented assignment, or a store textually guarded by a membership /
+``.get`` check on the same state -- the check-then-insert shape), and
+the resolved :class:`~repro.analysis.concurrency.inventory.SharedState`
+entry it hits.  Rules decide what to do with the sites; this module
+only finds them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..flow.callgraph import FunctionInfo, ModuleInfo
+from .inventory import (
+    Inventory,
+    SharedState,
+    concurrency_zone_of,
+    mutating_method,
+)
+
+__all__ = ["WriteSite", "shared_writes", "guard_reads"]
+
+#: ``.get``-style reads that make a following store check-then-insert.
+_GUARD_READ_METHODS = frozenset({"get", "setdefault", "__contains__"})
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One statement/expression writing a piece of shared state."""
+
+    node: ast.AST  # anchor for line/col reporting
+    state: SharedState
+    op: str  # "store" | "field" | "mutate:<method>" | "rebind"
+    rmw: bool  # augmented assignment (+=) -- an unconditional RMW
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+    @property
+    def col(self) -> int:
+        return getattr(self.node, "col_offset", 0) + 1
+
+
+def _self_table_state(
+    func: FunctionInfo,
+    module: ModuleInfo,
+    inv: Inventory,
+    node: ast.expr,
+) -> SharedState | None:
+    """``self._counters`` inside a singleton class method.
+
+    When a class has a module-level instance anywhere in the project
+    (``GLOBAL_METRICS = MetricsRegistry()``), its instance tables are
+    process-global in practice; a write through ``self`` inside its
+    methods is a shared-state write.
+    """
+    if not (
+        func.is_method
+        and isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return None
+    class_name = func.qualname.rsplit(".", 2)[-2]
+    key = (module.dotted, class_name)
+    if key not in inv.singleton_classes:
+        return None
+    return SharedState(
+        module=module.dotted,
+        name=f"{class_name}.{node.attr}",
+        kind="instance-table",
+        lineno=getattr(node, "lineno", 0),
+        class_name=class_name,
+        delta_capable=(key in inv.delta_classes),
+        zone=concurrency_zone_of(module.path),
+    )
+
+
+def _resolve_base(
+    func: FunctionInfo,
+    module: ModuleInfo,
+    inv: Inventory,
+    node: ast.expr,
+) -> SharedState | None:
+    """Shared-state entry a store/mutator base expression refers to."""
+    entry = inv.resolve(module, node)
+    if entry is not None:
+        return entry
+    return _self_table_state(func, module, inv, node)
+
+
+def shared_writes(
+    func: FunctionInfo, inv: Inventory
+) -> list[WriteSite]:
+    """Every shared-state write site in one function body."""
+    module = func.module
+    out: list[WriteSite] = []
+    declared_global: set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                targets = [node.target]
+            rmw = isinstance(node, ast.AugAssign)
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    entry = _resolve_base(func, module, inv, target.value)
+                    if entry is not None:
+                        out.append(WriteSite(node, entry, "store", rmw))
+                elif isinstance(target, ast.Attribute):
+                    entry = _resolve_base(func, module, inv, target.value)
+                    if entry is not None:
+                        out.append(WriteSite(node, entry, "field", rmw))
+                elif isinstance(target, ast.Name):
+                    if target.id in declared_global:
+                        entry = inv.lookup(module, target.id)
+                        if entry is not None:
+                            out.append(
+                                WriteSite(node, entry, "rebind", rmw)
+                            )
+        elif isinstance(node, ast.Call):
+            method = mutating_method(node)
+            if method is None:
+                continue
+            assert isinstance(node.func, ast.Attribute)
+            entry = _resolve_base(func, module, inv, node.func.value)
+            if entry is not None:
+                # ``setdefault`` reads then inserts: an RMW in one call.
+                out.append(
+                    WriteSite(
+                        node, entry, f"mutate:{method}",
+                        method == "setdefault",
+                    )
+                )
+    return out
+
+
+def guard_reads(func: FunctionInfo, inv: Inventory) -> set[str]:
+    """Qualnames of shared state the function *checks* before writing.
+
+    A membership test (``key in REGISTRY`` / ``key not in REGISTRY``)
+    or a ``REGISTRY.get(...)`` read marks the registry as
+    check-then-insert material: a later unlocked store to the same
+    state is the classic lost-update race (two threads both see
+    "absent", both insert).
+    """
+    module = func.module
+    out: set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    entry = _resolve_base(func, module, inv, comparator)
+                    if entry is not None:
+                        out.add(entry.qualname)
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _GUARD_READ_METHODS
+            ):
+                entry = _resolve_base(func, module, inv, node.func.value)
+                if entry is not None:
+                    out.add(entry.qualname)
+    return out

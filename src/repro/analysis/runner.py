@@ -8,7 +8,9 @@
    (:mod:`repro.analysis.invariants`),
 3. the null-soundness pass discharging each rule's obligation through
    the SMT solver (:mod:`repro.analysis.soundness`),
-4. (opt-in, ``certify=True``) the proof-certification pass: every
+4. (opt-in, ``concurrency=True``) the shared-state/fork-safety pass
+   (:mod:`repro.analysis.concurrency`),
+5. (opt-in, ``certify=True``) the proof-certification pass: every
    registry obligation is re-run with ``Solver(proof=True)`` and the
    resulting proof log is replayed by the independent auditor
    (:mod:`repro.analysis.certify`).
@@ -46,6 +48,7 @@ class AnalysisReport:
     findings: list[Finding] = field(default_factory=list)
     files_linted: int = 0
     files_flowed: int = 0
+    files_concurrency: int = 0
     rules_checked: int = 0
     obligations_discharged: int = 0
     proofs_audited: int = 0
@@ -68,6 +71,7 @@ class AnalysisReport:
             "summary": {
                 "files_linted": self.files_linted,
                 "files_flowed": self.files_flowed,
+                "files_concurrency": self.files_concurrency,
                 "rules_checked": self.rules_checked,
                 "obligations_discharged": self.obligations_discharged,
                 "proofs_audited": self.proofs_audited,
@@ -83,22 +87,25 @@ def run_analysis(
     *,
     lint: bool = True,
     flow: bool = False,
+    concurrency: bool = False,
     domain: bool = True,
     certify: bool = False,
 ) -> AnalysisReport:
     """Run the configured passes and return the aggregated report.
 
-    ``paths`` feeds the lint and flow passes (default: ``src``).
-    ``flow=True`` additionally runs the interprocedural dataflow
-    analyses (SIA401 float taint, SIA402 determinism, SIA403 resource
-    lifecycle) over the same file set.  The domain passes (invariants +
-    soundness over the rewrite-rule registry) are path-independent;
-    disable them with ``domain=False`` when linting fixture trees.
-    ``certify=True`` additionally re-runs every registry obligation
-    with proof logging on and audits the logs.
+    ``paths`` feeds the lint, flow and concurrency passes (default:
+    ``src``).  ``flow=True`` additionally runs the interprocedural
+    dataflow analyses (SIA401 float taint, SIA402 determinism, SIA403
+    resource lifecycle) over the same file set.  ``concurrency=True``
+    runs the shared-state/fork-safety analyses (SIA501-504) over it.
+    The domain passes (invariants + soundness over the rewrite-rule
+    registry) are path-independent; disable them with ``domain=False``
+    when linting fixture trees.  ``certify=True`` additionally re-runs
+    every registry obligation with proof logging on and audits the
+    logs.
     """
     report = AnalysisReport()
-    if lint or flow:
+    if lint or flow or concurrency:
         resolved: list[Path] = []
         for raw in paths or ["src"]:
             path = Path(raw)
@@ -115,6 +122,12 @@ def run_analysis(
         findings, files = flow_paths(resolved)
         report.findings.extend(findings)
         report.files_flowed = files
+    if concurrency:
+        from .concurrency import concurrency_paths
+
+        findings, files = concurrency_paths(resolved)
+        report.findings.extend(findings)
+        report.files_concurrency = files
     if domain:
         soundness = check_registry()
         report.findings.extend(soundness.findings)
@@ -186,6 +199,11 @@ def render_text(report: AnalysisReport, *, fix_hints: bool = False) -> str:
         + (
             f"flow-analyzed {report.files_flowed} file(s), "
             if report.files_flowed
+            else ""
+        )
+        + (
+            f"concurrency-analyzed {report.files_concurrency} file(s), "
+            if report.files_concurrency
             else ""
         )
         + f"verified {report.rules_checked} rewrite rule(s) "

@@ -28,11 +28,19 @@ Used by ``repro bench --parallel N`` and, via the
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..obs.metrics import GLOBAL_METRICS, merge_delta
+from ..obs.sanitizer import (
+    SANITIZE_ENV,
+    install_sanitizer,
+    maybe_install_sanitizer,
+    summarize_reports,
+    uninstall_sanitizer,
+)
 from ..obs.trace import get_tracer
 from ..smt.stats import GLOBAL_COUNTERS
 from ..tpch import WorkloadQuery, generate_workload
@@ -56,6 +64,9 @@ class ParallelRunResult:
     counters: dict[str, int] = field(default_factory=dict)
     metrics: dict[str, dict] = field(default_factory=dict)
     workers: int = 1
+    #: Run-level sanitizer summary (``--sanitize`` only): process
+    #: count, access totals per registry, recorded violations.
+    sanitizer: dict | None = None
 
 
 def _query_batch(
@@ -97,9 +108,16 @@ def _query_batch(
 
 def _batch_entry(
     args: tuple,
-) -> tuple[int, list[dict], dict[str, int], dict[str, dict]]:
+) -> tuple[int, list[dict], dict[str, int], dict[str, dict], dict | None]:
     # Top-level single-argument wrapper so executor.map can pickle it.
-    return _query_batch(*args)
+    # Workers self-install the sanitizer from the environment flag the
+    # parent exports for --sanitize runs (a spawn worker is a fresh
+    # interpreter, so the parent's in-process install does not carry
+    # over) and ship their drained access report with the batch.
+    sanitizer = maybe_install_sanitizer()
+    index, payloads, delta, metrics_delta = _query_batch(*args)
+    report = sanitizer.drain().to_json() if sanitizer is not None else None
+    return index, payloads, delta, metrics_delta, report
 
 
 def default_workers() -> int:
@@ -113,6 +131,7 @@ def parallel_efficacy_records(
     seed: int | None = None,
     techniques: tuple[str, ...] = TECHNIQUES,
     workers: int | None = None,
+    sanitize: bool = False,
 ) -> ParallelRunResult:
     """Run the efficacy workload across ``workers`` processes.
 
@@ -122,6 +141,10 @@ def parallel_efficacy_records(
     order) together with the summed per-worker solver-counter deltas.
     Record ``predicate`` fields are SQL-rendered in transit and come
     back ``None``, exactly like ``fullscale`` checkpoint round-trips.
+
+    ``sanitize=True`` installs the shared-state sanitizer in this
+    process, exports its environment flag so every worker installs it
+    too, and attaches the folded access report as ``.sanitizer``.
     """
     from .fullscale import _record_from_json
 
@@ -131,20 +154,40 @@ def parallel_efficacy_records(
     queries = generate_workload(num_queries, seed=seed)
     tasks = [(wq, techniques) for wq in queries]
 
+    sanitizer = None
+    if sanitize:
+        os.environ[SANITIZE_ENV] = "1"
+        sanitizer = install_sanitizer()
+    reports: list[dict] = []
     batches: dict[int, list[dict]] = {}
     deltas: dict[int, tuple[dict[str, int], dict[str, dict]]] = {}
-    if workers <= 1:
-        results = map(_batch_entry, tasks)
-        for index, payloads, delta, metrics_delta in results:
-            batches[index] = payloads
-            deltas[index] = (delta, metrics_delta)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, payloads, delta, metrics_delta in pool.map(
-                _batch_entry, tasks, chunksize=1
-            ):
+    try:
+        if workers <= 1:
+            results = map(_batch_entry, tasks)
+            for index, payloads, delta, metrics_delta, report in results:
                 batches[index] = payloads
                 deltas[index] = (delta, metrics_delta)
+                if report is not None:
+                    reports.append(report)
+        else:
+            # Spawn, never the platform default: fork would clone the
+            # parent's warm registries (interned terms, counters) into
+            # every worker, and the deltas workers report would ride on
+            # inherited state instead of starting from zero.
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                for index, payloads, delta, metrics_delta, report in pool.map(
+                    _batch_entry, tasks, chunksize=1
+                ):
+                    batches[index] = payloads
+                    deltas[index] = (delta, metrics_delta)
+                    if report is not None:
+                        reports.append(report)
+    finally:
+        if sanitize:
+            os.environ.pop(SANITIZE_ENV, None)
 
     # Merge per-batch deltas in ascending query index, never arrival
     # order, so the aggregate is identical for any worker count.
@@ -161,9 +204,15 @@ def parallel_efficacy_records(
         for index in sorted(batches)
         for payload in batches[index]
     ]
+    summary: dict | None = None
+    if sanitizer is not None:
+        reports.append(sanitizer.drain().to_json())
+        uninstall_sanitizer()
+        summary = summarize_reports(reports)
     return ParallelRunResult(
         records=records,
         counters=totals,
         metrics=metric_totals,
         workers=workers,
+        sanitizer=summary,
     )

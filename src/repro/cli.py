@@ -115,6 +115,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="perf-JSON path (default: BENCH_smt_micro.json; '-' skips)",
     )
     bench.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="install the shared-state sanitizer in the parent and "
+        "every worker; prints an access report and fails on "
+        "cross-process unsynchronized writes",
+    )
+    bench.add_argument(
         "--trace",
         dest="trace_path",
         default=None,
@@ -172,6 +179,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(SIA401 float taint, SIA402 determinism, SIA403 lifecycle)",
     )
     analyze.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the shared-state/fork-safety passes "
+        "(SIA501 escape, SIA502 fork hazards, SIA503 lock discipline, "
+        "SIA504 snapshot/delta protocol)",
+    )
+    analyze.add_argument(
         "--skip-domain",
         action="store_true",
         help="lint only; skip the rewrite-rule soundness pass",
@@ -225,6 +239,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         report = run_analysis(
             args.paths,
             flow=args.flow,
+            concurrency=args.concurrency,
             domain=not args.skip_domain,
             certify=args.certify,
         )
@@ -275,7 +290,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             else nullcontext()
         ):
             result = parallel_efficacy_records(
-                num_queries=args.queries, seed=args.seed, workers=workers
+                num_queries=args.queries,
+                seed=args.seed,
+                workers=workers,
+                sanitize=args.sanitize,
             )
         wall_clock_ms = (now() - start) * 1000.0
     records = result.records
@@ -294,6 +312,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{counters.get('sessions_created', 0)} sessions), "
         f"{counters.get('clauses_learned', 0)} clauses learned"
     )
+    exit_code = 0
+    if args.sanitize and result.sanitizer is not None:
+        san = result.sanitizer
+        print(
+            f"sanitizer: {san['accesses']} shared-state accesses across "
+            f"{san['processes']} process(es), "
+            f"{len(san['violations'])} violation(s)"
+        )
+        for violation in san["violations"]:
+            print(f"  violation: {violation['message']}")
+        if san["violations"]:
+            exit_code = 1
     if args.trace_path:
         print(f"trace {trace_id} written to {args.trace_path}")
     if args.json_path != "-" and records:
@@ -316,7 +346,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         stamp_trace_id(entries, trace_id)
         path = update_bench_json(entries, args.json_path or DEFAULT_PATH)
         print(f"wrote {path}")
-    return 0
+    return exit_code
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

@@ -56,7 +56,9 @@ class Hyperplane:
         for var, weight in self.coeffs:
             if weight:
                 expr = expr + LinExpr.var(var) * weight
-        _LINEXPR_CACHE[self] = expr
+        # Idempotent memo insert: interning makes both racers compute
+        # the identical LinExpr, so losing one insert is harmless.
+        _LINEXPR_CACHE[self] = expr  # sia: allow(SIA503)
         return expr
 
     def formula(self) -> Formula:

@@ -9,6 +9,9 @@ A zero-dependency substrate the whole stack reports through:
 * :mod:`repro.obs.metrics` -- named counters/timers/histograms with
   worker-mergeable deltas, generalizing the solver's
   :data:`~repro.smt.stats.GLOBAL_COUNTERS`;
+* :mod:`repro.obs.sanitizer` -- opt-in runtime shared-state sanitizer
+  recording per-process/thread registry accesses and flagging
+  fork-inherited writes (``repro bench --sanitize``);
 * :mod:`repro.obs.replay` -- the ``repro trace`` replay: per-phase
   attribution tables and text flamegraphs from a trace file.
 
@@ -37,6 +40,15 @@ from .metrics import (
     merge_delta,
     summarize_values,
 )
+from .sanitizer import (
+    SANITIZE_ENV,
+    Sanitizer,
+    SanitizerReport,
+    install_sanitizer,
+    maybe_install_sanitizer,
+    summarize_reports,
+    uninstall_sanitizer,
+)
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -55,17 +67,24 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SANITIZE_ENV",
+    "Sanitizer",
+    "SanitizerReport",
     "Span",
     "Timer",
     "Tracer",
     "get_clock",
     "get_tracer",
     "install_file_tracer",
+    "install_sanitizer",
+    "maybe_install_sanitizer",
     "merge_delta",
     "now",
     "set_clock",
     "set_tracer",
+    "summarize_reports",
     "summarize_values",
+    "uninstall_sanitizer",
 ]
 
 

@@ -26,6 +26,8 @@ solver arithmetic, so SIA001's exact-zone rules do not apply.
 
 from __future__ import annotations
 
+import os
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -46,6 +48,19 @@ __all__ = [
 #: workload cannot hold a million floats per timer.  Deterministic: the
 #: *first* ``_VALUE_CAP`` recordings are retained, no sampling.
 _VALUE_CAP = 8192
+
+#: Pid that imported this module.  A spawn worker re-imports and owns
+#: its registry from zero; a fork child inherits the parent's pid here
+#: while ``os.getpid()`` disagrees -- the mismatch is how the runtime
+#: sanitizer (:mod:`repro.obs.sanitizer`) detects inherited registries.
+_OWNER_PID = os.getpid()
+
+#: Guards the get-or-create of every registry in this process.  The
+#: lock-free fast path returns an existing metric; only the re-check +
+#: insert takes the lock (double-checked locking), so two threads
+#: racing on a fresh name can no longer both insert and silently drop
+#: one Counter's accumulated value.
+_REGISTRY_LOCK = threading.Lock()
 
 
 class Counter:
@@ -134,19 +149,28 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = Counter()
+            with _REGISTRY_LOCK:
+                metric = self._counters.get(name)
+                if metric is None:
+                    metric = self._counters[name] = Counter()
         return metric
 
     def timer(self, name: str) -> Timer:
         metric = self._timers.get(name)
         if metric is None:
-            metric = self._timers[name] = Timer()
+            with _REGISTRY_LOCK:
+                metric = self._timers.get(name)
+                if metric is None:
+                    metric = self._timers[name] = Timer()
         return metric
 
     def histogram(self, name: str) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram()
+            with _REGISTRY_LOCK:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    metric = self._histograms[name] = Histogram()
         return metric
 
     # -- snapshots / deltas -------------------------------------------

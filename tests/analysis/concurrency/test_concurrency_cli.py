@@ -1,0 +1,68 @@
+"""CLI and runner contract of ``repro analyze --concurrency``."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import RULE_CATALOG, run_analysis
+from repro.cli import main
+
+ROOT = Path(__file__).resolve().parents[3]
+FIXTURES = Path(__file__).parents[1] / "fixtures" / "concurrency"
+
+
+def test_concurrency_flag_detects_planted_violations(capsys):
+    code = main(
+        ["analyze", "--concurrency", "--skip-domain", str(FIXTURES)]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    for rule in ("SIA501", "SIA502", "SIA503", "SIA504"):
+        assert rule in out, rule
+
+
+def test_concurrency_json_report(capsys):
+    code = main(
+        [
+            "analyze",
+            "--concurrency",
+            "--skip-domain",
+            "--json",
+            str(FIXTURES),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    by_rule = payload["summary"]["by_rule"]
+    assert by_rule.get("SIA501", 0) == 2
+    assert by_rule.get("SIA502", 0) == 6
+    assert by_rule.get("SIA503", 0) == 4
+    assert by_rule.get("SIA504", 0) == 2
+    assert payload["summary"]["files_concurrency"] > 0
+    conc = [f for f in payload["findings"] if f["rule"].startswith("SIA5")]
+    assert all(f["pass"] == "concurrency" for f in conc)
+    assert all(f["hint"] for f in conc)
+
+
+def test_concurrency_over_src_is_clean(capsys):
+    # Acceptance criterion: the shipped tree has zero concurrency
+    # findings (MetricsRegistry carries a lock, the parallel driver
+    # pins spawn, aggregation rides the snapshot/delta protocol).
+    code = main(
+        ["analyze", "--concurrency", "--skip-domain", str(ROOT / "src")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "concurrency-analyzed" in out
+
+
+def test_concurrency_off_by_default():
+    report = run_analysis([str(FIXTURES)], domain=False)
+    assert not any(f.rule.startswith("SIA5") for f in report.findings)
+    assert report.files_concurrency == 0
+
+
+def test_rules_registered_in_catalog():
+    for rule in ("SIA501", "SIA502", "SIA503", "SIA504"):
+        info = RULE_CATALOG[rule]
+        assert info.title
+        assert info.hint

@@ -1,0 +1,114 @@
+"""Shared-state inventory over the concurrency fixture package."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency.inventory import (
+    SHARED_ZONE,
+    WORKER_LOCAL_ZONE,
+    collect_inventory,
+    concurrency_zone_of,
+    dispatch_sites,
+)
+from repro.analysis.flow.callgraph import Project
+from repro.analysis.lint import iter_python_files
+
+FIXTURES = Path(__file__).parents[1] / "fixtures" / "concurrency"
+
+
+@pytest.fixture(scope="module")
+def project():
+    return Project.load(iter_python_files([FIXTURES]))
+
+
+@pytest.fixture(scope="module")
+def inventory(project):
+    return collect_inventory(project)
+
+
+def _entry(inventory, suffix):
+    hits = [e for e in inventory.entries() if e.qualname.endswith(suffix)]
+    assert len(hits) == 1, f"{suffix}: {[e.qualname for e in hits]}"
+    return hits[0]
+
+
+def test_zone_classification():
+    assert concurrency_zone_of(Path("src/repro/smt/solver.py")) == (
+        WORKER_LOCAL_ZONE
+    )
+    assert concurrency_zone_of(Path("src/repro/predicates/expr.py")) == (
+        WORKER_LOCAL_ZONE
+    )
+    assert concurrency_zone_of(Path("src/repro/bench/harness.py")) == (
+        WORKER_LOCAL_ZONE
+    )
+    assert concurrency_zone_of(Path("src/repro/bench/parallel.py")) == (
+        SHARED_ZONE
+    )
+    assert concurrency_zone_of(Path("src/repro/obs/metrics.py")) == (
+        SHARED_ZONE
+    )
+
+
+def test_container_bindings_inventoried(inventory):
+    registry = _entry(inventory, "state.REGISTRY")
+    assert registry.kind == "container"
+    assert registry.zone == SHARED_ZONE
+    events = _entry(inventory, "state.EVENTS")
+    assert events.kind == "container"
+
+
+def test_worker_local_zone_from_path(inventory):
+    intern = _entry(inventory, "smt.core.INTERN")
+    assert intern.zone == WORKER_LOCAL_ZONE
+
+
+def test_delta_capable_singleton(inventory):
+    box = _entry(inventory, "state.GLOBAL_BOX")
+    assert box.kind == "instance"
+    assert box.delta_capable
+    assert any(
+        cls == "CounterBox" for (_mod, cls) in inventory.delta_classes
+    )
+
+
+def test_plain_singleton_not_delta_capable(inventory):
+    store = _entry(inventory, "rmw.STORE")
+    assert store.kind == "instance"
+    assert not store.delta_capable
+    assert any(
+        cls == "ItemStore" and store.qualname in instances
+        for (_mod, cls), instances in inventory.singleton_classes.items()
+    )
+
+
+def test_module_lock_registered(inventory):
+    assert any(
+        "LOCK" in names for names in inventory.module_locks.values()
+    )
+
+
+def test_imported_registry_resolves_to_definer(project, inventory):
+    workers = next(
+        m for key, m in project.modules.items()
+        if key.endswith("pkg.workers")
+    )
+    import ast
+
+    name = ast.parse("REGISTRY").body[0].value
+    entry = inventory.lookup(workers, "REGISTRY")
+    assert entry is not None
+    assert entry.module.endswith("pkg.state")
+    assert inventory.resolve(workers, name) is entry
+
+
+def test_dispatch_sites_found(project):
+    workers = next(
+        m for key, m in project.modules.items()
+        if key.endswith("pkg.workers")
+    )
+    run = workers.functions["run"]
+    sites = dispatch_sites(run)
+    assert len(sites) == 2
+    assert all(site.boundary == "executor" for site in sites)

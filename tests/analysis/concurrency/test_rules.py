@@ -1,0 +1,107 @@
+"""Per-rule behavior of the SIA501-504 passes over the fixtures."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency import concurrency_paths
+
+FIXTURES = Path(__file__).parents[1] / "fixtures" / "concurrency"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    found, files = concurrency_paths([FIXTURES])
+    assert files == 9
+    return found
+
+
+def _by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+def test_sia501_worker_reachable_writes(findings):
+    hits = _by_rule(findings, "SIA501")
+    assert len(hits) == 2
+    assert all(f.file.endswith("workers.py") for f in hits)
+    assert {f.line for f in hits} == {17, 23}
+    # The message names the worker entry the write is reachable from.
+    assert all("entry:" in f.message for f in hits)
+
+
+def test_sia501_exemptions(findings):
+    # Lock-guarded writes, the worker-local intern table and the
+    # delta-capable registry never show up.
+    assert not any(
+        "guarded_worker" in f.message or "INTERN" in f.message
+        or "GLOBAL_BOX" in f.message
+        for f in _by_rule(findings, "SIA501")
+    )
+
+
+def test_sia502_fork_hazards(findings):
+    hits = _by_rule(findings, "SIA502")
+    assert len(hits) == 6
+    assert all(f.file.endswith("forks.py") for f in hits)
+    messages = " | ".join(f.message for f in hits)
+    assert messages.count("without an explicit mp_context") == 2
+    assert "while a process pool is live" in messages
+    assert "a lambda" in messages
+    assert "nested function local()" in messages
+    assert "copied, not shared" in messages
+
+
+def test_sia502_spawn_pool_is_clean(findings):
+    # workers.run constructs its pool with an explicit spawn context.
+    assert not any(
+        f.file.endswith("workers.py")
+        for f in _by_rule(findings, "SIA502")
+    )
+
+
+def test_sia503_lock_discipline(findings):
+    hits = _by_rule(findings, "SIA503")
+    assert len(hits) == 4
+    assert all(f.file.endswith("rmw.py") for f in hits)
+    messages = [f.message for f in hits]
+    assert sum("read-modify-write" in m for m in messages) == 2
+    assert sum("check-then-insert" in m for m in messages) == 2
+    # Singleton instance tables are charged to the class's table.
+    assert sum("ItemStore._items" in m for m in messages) == 2
+
+
+def test_sia503_locked_paths_clean(findings):
+    assert not any(
+        f.line > 42 for f in _by_rule(findings, "SIA503")
+    ), "locked_tally must not be reported"
+
+
+def test_sia504_protocol_bypass(findings):
+    hits = _by_rule(findings, "SIA504")
+    assert len(hits) == 2
+    assert all(f.file.endswith("merge.py") for f in hits)
+    assert {("read" in f.message, "write" in f.message) for f in hits} == {
+        (True, False),
+        (False, True),
+    }
+
+
+def test_sia504_protocol_methods_clean(findings):
+    # batch() uses snapshot()/delta_since() -- lines 16-17 stay clean.
+    assert not any(
+        f.line < 20 for f in _by_rule(findings, "SIA504")
+    )
+
+
+def test_pragma_suppression():
+    suppressed, _ = concurrency_paths([FIXTURES])
+    raw, _ = concurrency_paths([FIXTURES], honor_pragmas=False)
+    extra = [f for f in raw if f not in suppressed]
+    assert len(extra) == 1
+    assert extra[0].rule == "SIA503"
+    assert extra[0].file.endswith("clean.py")
+
+
+def test_all_findings_carry_concurrency_pass(findings):
+    assert findings
+    assert all(f.pass_name == "concurrency" for f in findings)

@@ -1,0 +1,1 @@
+"""Fixture package for the concurrency rules (SIA501-504)."""

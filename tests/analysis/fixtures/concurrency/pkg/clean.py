@@ -1,0 +1,23 @@
+"""Sanctioned patterns: none of these may be reported.
+
+Lock-guarded get-or-create, protocol-mediated delta shipping, and a
+deliberate exception suppressed through the pragma machinery.
+"""
+
+from .state import GLOBAL_BOX, LOCK, REGISTRY
+
+
+def guarded_put(key, value):
+    with LOCK:
+        if key not in REGISTRY:
+            REGISTRY[key] = value  # clean: lock-guarded
+
+
+def sanctioned_delta():
+    before = GLOBAL_BOX.snapshot()
+    return GLOBAL_BOX.delta_since(before)
+
+
+def deliberate(key):
+    # Single-threaded bootstrap path, documented exception.
+    REGISTRY[key] = REGISTRY.get(key, 0) + 1  # sia: allow(SIA503)

@@ -1,0 +1,32 @@
+"""SIA502 seeds: fork-inheritance and pickling hazards.
+
+Three shapes: pools constructed without an explicit start method,
+parent-side mutation of a shared registry while a pool is live, and
+dispatch payloads that cannot cross the process boundary.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .state import EVENTS, REGISTRY
+from .workers import worker
+
+
+def implicit_start(tasks):
+    with ProcessPoolExecutor() as pool:  # SIA502: no mp_context
+        return list(pool.map(worker, tasks))
+
+
+def parent_mutation(tasks):
+    with ProcessPoolExecutor() as pool:  # SIA502: no mp_context
+        REGISTRY["phase"] = "running"  # SIA502: mutated while pool live
+        return list(pool.map(worker, tasks))
+
+
+def bad_payloads(pool, tasks):
+    pool.submit(lambda t: t + 1, tasks)  # SIA502: lambda payload
+
+    def local(t):
+        return t
+
+    pool.submit(local, tasks)  # SIA502: nested function payload
+    pool.submit(worker, EVENTS)  # SIA502: registry crosses boundary

@@ -1,0 +1,30 @@
+"""SIA504 seeds: aggregation bypassing the snapshot/delta protocol.
+
+This module dispatches work across a process pool, so every access to
+the delta-capable ``GLOBAL_BOX`` must be a protocol method; the raw
+field read in ``aggregate`` and the raw write in ``carry_over`` mix
+parent-local state into worker totals.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from .state import GLOBAL_BOX
+
+
+def batch(task):
+    before = GLOBAL_BOX.snapshot()  # clean: protocol method
+    return GLOBAL_BOX.delta_since(before)  # clean: protocol method
+
+
+def aggregate(tasks):
+    total = 0
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(mp_context=context) as pool:
+        for delta in pool.map(batch, tasks):
+            total += delta["value"]
+    return total + GLOBAL_BOX.value  # SIA504: raw field read
+
+
+def carry_over(amount):
+    GLOBAL_BOX.value = amount  # SIA504: raw field write

@@ -1,0 +1,46 @@
+"""SIA503 seeds: unlocked read-modify-writes on shared registries.
+
+Covers the augmented-assignment shape, the check-then-insert shape on
+a module-level dict, and both shapes on a singleton class's instance
+table (``STORE = ItemStore()`` makes ``self._items`` process-global).
+"""
+
+import threading
+
+from .state import REGISTRY
+
+COUNTS: dict = {}
+_CACHE_LOCK = threading.Lock()
+
+
+class ItemStore:
+    """Singleton whose instance table is process-global."""
+
+    def __init__(self):
+        self._items: dict = {}
+
+    def put(self, key, value):
+        if key not in self._items:
+            self._items[key] = value  # SIA503: check-then-insert
+
+    def bump(self, key):
+        self._items[key] += 1  # SIA503: read-modify-write
+
+
+STORE = ItemStore()
+
+
+def tally(key):
+    COUNTS[key] += 1  # SIA503: read-modify-write
+
+
+def get_or_create(key):
+    value = REGISTRY.get(key)
+    if value is None:
+        value = REGISTRY[key] = object()  # SIA503: check-then-insert
+    return value
+
+
+def locked_tally(key):
+    with _CACHE_LOCK:
+        COUNTS[key] = COUNTS.get(key, 0) + 1  # clean: lock-guarded

@@ -1,0 +1,1 @@
+"""Worker-local zone subtree (path part ``smt``)."""

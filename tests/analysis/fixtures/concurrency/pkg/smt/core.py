@@ -1,0 +1,15 @@
+"""Worker-local intern table: exempt from the concurrency rules.
+
+The path carve-out (``smt`` in the module path) marks this module
+per-process by contract, so the check-then-insert below must NOT be
+reported even though it is reachable from a worker entry point.
+"""
+
+INTERN: dict = {}
+
+
+def intern_term(key):
+    cached = INTERN.get(key)
+    if cached is None:
+        cached = INTERN[key] = object()
+    return cached

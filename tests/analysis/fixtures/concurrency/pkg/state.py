@@ -1,0 +1,28 @@
+"""Shared-state definitions the concurrency fixtures write.
+
+Definitions only -- every module in this file's package imports from
+here, and the rules must charge writes to these registries back to
+this module's inventory entries.
+"""
+
+import threading
+
+REGISTRY: dict = {}
+EVENTS: list = []
+LOCK = threading.Lock()
+
+
+class CounterBox:
+    """Delta-capable registry: speaks the snapshot/delta protocol."""
+
+    def __init__(self):
+        self.value = 0
+
+    def snapshot(self):
+        return {"value": self.value}
+
+    def delta_since(self, before):
+        return {"value": self.value - before["value"]}
+
+
+GLOBAL_BOX = CounterBox()

@@ -1,0 +1,36 @@
+"""SIA501 seeds: worker-reachable writes to shared state.
+
+``run`` dispatches ``worker`` and ``guarded_worker`` across a process
+pool; the escape analysis must close over the call graph and flag the
+unsynchronized writes in ``worker`` and ``record_result`` while
+accepting the lock-guarded write and the worker-local intern table.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from .smt.core import intern_term
+from .state import EVENTS, LOCK, REGISTRY
+
+
+def record_result(key, value):
+    REGISTRY[key] = value  # SIA501: reachable via worker()
+
+
+def worker(task):
+    record_result(task, 1)
+    intern_term(task)  # clean: worker-local zone (pkg/smt/)
+    EVENTS.append(task)  # SIA501: unsynchronized mutator
+
+
+def guarded_worker(task):
+    with LOCK:
+        REGISTRY[task] = -1  # clean: lock-guarded
+
+
+def run(tasks):
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(mp_context=context) as pool:
+        done = list(pool.map(worker, tasks))
+        done += list(pool.map(guarded_worker, tasks))
+    return done

@@ -1,0 +1,169 @@
+"""Runtime shared-state sanitizer: patching, recording, violations."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
+from repro.obs.sanitizer import (
+    SANITIZE_ENV,
+    Sanitizer,
+    install_sanitizer,
+    maybe_install_sanitizer,
+    summarize_reports,
+    uninstall_sanitizer,
+)
+from repro.smt import stats as stats_mod
+from repro.smt.stats import GLOBAL_COUNTERS, SolverCounters
+
+
+@pytest.fixture
+def sanitizer():
+    san = install_sanitizer()
+    san.drain()  # start each test from an empty log
+    yield san
+    uninstall_sanitizer()
+
+
+def test_install_uninstall_restores_patches():
+    original_setattr = SolverCounters.__setattr__
+    original_counter = MetricsRegistry.counter
+    install_sanitizer()
+    assert SolverCounters.__setattr__ is not original_setattr
+    assert MetricsRegistry.counter is not original_counter
+    uninstall_sanitizer()
+    assert SolverCounters.__setattr__ is original_setattr
+    assert MetricsRegistry.counter is original_counter
+
+
+def test_install_is_idempotent():
+    first = install_sanitizer()
+    assert install_sanitizer() is first
+    uninstall_sanitizer()
+    uninstall_sanitizer()  # second uninstall is a no-op
+
+
+def test_counter_writes_recorded(sanitizer):
+    GLOBAL_COUNTERS.checks += 1
+    GLOBAL_COUNTERS.checks += 1  # two write events, whatever the amount
+    GLOBAL_COUNTERS.pivots += 1
+    report = sanitizer.drain()
+    writes = {
+        (a["registry"], a["site"]): a["count"] for a in report.accesses
+    }
+    assert writes[("GLOBAL_COUNTERS", "checks")] == 2
+    assert writes[("GLOBAL_COUNTERS", "pivots")] == 1
+    assert report.pid == os.getpid()
+    assert report.violations == []
+
+
+def test_private_instances_not_recorded(sanitizer):
+    own = SolverCounters()
+    own.checks += 5
+    assert own.checks == 5
+    report = sanitizer.drain()
+    assert not any(
+        a["site"] == "checks" for a in report.accesses
+    ), "only the global singleton is sanitized"
+
+
+def test_metric_touches_recorded(sanitizer):
+    GLOBAL_METRICS.counter("san.test").inc()
+    GLOBAL_METRICS.timer("san.ms").record(1.0)
+    report = sanitizer.drain()
+    sites = {a["site"] for a in report.accesses}
+    assert "counter:san.test" in sites
+    assert "timer:san.ms" in sites
+    assert all(a["op"] == "touch" for a in report.accesses)
+
+
+def test_fork_inherited_write_is_violation():
+    # Simulate a fork child: the registry's owner pid differs from the
+    # writing process's pid.
+    san = Sanitizer(owners={"GLOBAL_COUNTERS": os.getpid() + 1})
+    san.record("GLOBAL_COUNTERS", "checks", "write")
+    san.record("GLOBAL_COUNTERS", "checks", "write")  # deduplicated
+    report = san.drain()
+    assert len(report.violations) == 1
+    violation = report.violations[0]
+    assert violation["kind"] == "fork-inherited-write"
+    assert "inherited warm across a fork" in violation["message"]
+
+
+def test_cross_thread_counter_writes_are_violation(sanitizer):
+    done = threading.Event()
+
+    def other():
+        GLOBAL_COUNTERS.restarts += 1
+        done.set()
+
+    thread = threading.Thread(target=other)
+    thread.start()
+    thread.join()
+    assert done.is_set()
+    GLOBAL_COUNTERS.restarts += 1
+    report = sanitizer.drain()
+    kinds = {v["kind"] for v in report.violations}
+    assert "cross-thread-write" in kinds
+
+
+def test_drain_clears_state(sanitizer):
+    GLOBAL_COUNTERS.checks += 1
+    assert sanitizer.drain().accesses
+    assert sanitizer.drain().accesses == []
+
+
+def test_maybe_install_from_env(monkeypatch):
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    assert maybe_install_sanitizer() is None
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    san = maybe_install_sanitizer()
+    try:
+        assert san is not None
+        assert maybe_install_sanitizer() is san
+    finally:
+        uninstall_sanitizer()
+
+
+def test_owner_pids_captured_at_import():
+    assert stats_mod._OWNER_PID == os.getpid()
+    assert metrics_mod._OWNER_PID == os.getpid()
+
+
+def test_summarize_reports_folds_processes():
+    reports = [
+        {
+            "pid": 100,
+            "accesses": [
+                {"registry": "GLOBAL_COUNTERS", "site": "checks",
+                 "pid": 100, "tid": 1, "op": "write", "count": 3},
+            ],
+            "violations": [],
+        },
+        {
+            "pid": 200,
+            "accesses": [
+                {"registry": "GLOBAL_COUNTERS", "site": "pivots",
+                 "pid": 200, "tid": 1, "op": "write", "count": 2},
+                {"registry": "GLOBAL_METRICS", "site": "counter:x",
+                 "pid": 200, "tid": 1, "op": "touch", "count": 1},
+            ],
+            "violations": [{"kind": "fork-inherited-write",
+                            "message": "boom"}],
+        },
+    ]
+    summary = summarize_reports(reports)
+    assert summary["processes"] == 2
+    assert summary["accesses"] == 6
+    assert summary["by_registry"] == {
+        "GLOBAL_COUNTERS": 5, "GLOBAL_METRICS": 1,
+    }
+    assert len(summary["violations"]) == 1
+
+
+def test_counters_still_work_while_sanitized(sanitizer):
+    before = GLOBAL_COUNTERS.snapshot()
+    GLOBAL_COUNTERS.checks += 7
+    assert GLOBAL_COUNTERS.delta_since(before)["checks"] == 7
