@@ -41,7 +41,7 @@ __all__ = ["analyze_snapshot"]
 #: accessors (which hand back per-metric objects, not raw tables).
 SANCTIONED_ACCESSORS = frozenset(
     {"snapshot", "delta_since", "merge_delta", "reset", "summary",
-     "counter", "timer", "histogram"}
+     "counter", "timer", "histogram", "gauge"}
 )
 
 

@@ -38,8 +38,11 @@ from .report import format_table
 
 def _record_to_json(record: EfficacyRecord) -> dict:
     payload = dataclasses.asdict(record)
+    del payload["predicate_sql"]  # folded into the "predicate" key
     payload["predicate"] = (
-        None if record.predicate is None else render_pred(record.predicate)
+        render_pred(record.predicate)
+        if record.predicate is not None
+        else record.predicate_sql
     )
     return payload
 
@@ -47,7 +50,11 @@ def _record_to_json(record: EfficacyRecord) -> dict:
 def _record_from_json(payload: dict) -> EfficacyRecord:
     payload = dict(payload)
     payload["subset"] = tuple(payload["subset"])
-    payload["predicate"] = None  # SQL text is enough for summaries
+    # The Pred tree is not shipped across JSON transit; its SQL
+    # rendering is kept so re-encoding a decoded record (the parallel
+    # fullscale path) does not blank the checkpoint's predicate field.
+    payload["predicate_sql"] = payload["predicate"]
+    payload["predicate"] = None
     return EfficacyRecord(**payload)
 
 
@@ -55,8 +62,29 @@ def _cell_key(payload: dict) -> tuple:
     return (payload["query_index"], tuple(payload["subset"]), payload["technique"])
 
 
-def run(queries: int, seed: int, out_path: Path, techniques=TECHNIQUES) -> int:
-    """Run (resumably) and return the number of new cells computed."""
+def run(
+    queries: int,
+    seed: int,
+    out_path: Path,
+    techniques=TECHNIQUES,
+    *,
+    workers: int = 1,
+    deadline_ms: float | None = None,
+    sanitize: bool = False,
+    stats: dict | None = None,
+) -> int:
+    """Run (resumably) and return the number of new cells computed.
+
+    ``workers > 1`` hands the pending queries to the sharded
+    work-stealing driver (:mod:`repro.bench.parallel`): queries with
+    any missing cell run as whole batches on persistent warm workers
+    and only the cells absent from the checkpoint are appended, so
+    parallel and sequential runs extend the same file
+    interchangeably.  The driver's scheduling statistics land in
+    ``stats`` (when given).  ``deadline_ms`` bounds each SIA cell's
+    synthesis wall-clock on both paths; expired cells are checkpointed
+    as partial results.
+    """
     done: set[tuple] = set()
     if out_path.exists():
         with out_path.open() as handle:
@@ -64,6 +92,13 @@ def run(queries: int, seed: int, out_path: Path, techniques=TECHNIQUES) -> int:
                 if line.strip():
                     done.add(_cell_key(json.loads(line)))
     out_path.parent.mkdir(parents=True, exist_ok=True)
+
+    if workers > 1:
+        return _run_parallel(
+            queries, seed, out_path, tuple(techniques), done,
+            workers=workers, deadline_ms=deadline_ms,
+            sanitize=sanitize, stats=stats,
+        )
 
     new_cells = 0
     with out_path.open("a") as handle:
@@ -82,7 +117,9 @@ def run(queries: int, seed: int, out_path: Path, techniques=TECHNIQUES) -> int:
                     if technique == "TC":
                         record = _run_transitive_closure(wq, subset)
                     else:
-                        record = _run_sia_variant(wq, subset, technique)
+                        record = _run_sia_variant(
+                            wq, subset, technique, deadline_ms=deadline_ms
+                        )
                     record.possible = possible
                     handle.write(json.dumps(_record_to_json(record)) + "\n")
                     handle.flush()
@@ -93,6 +130,64 @@ def run(queries: int, seed: int, out_path: Path, techniques=TECHNIQUES) -> int:
                         f"({_now() - start:.1f}s)",
                         file=sys.stderr,
                     )
+    return new_cells
+
+
+def _run_parallel(
+    queries: int,
+    seed: int,
+    out_path: Path,
+    techniques: tuple[str, ...],
+    done: set[tuple],
+    *,
+    workers: int,
+    deadline_ms: float | None,
+    sanitize: bool,
+    stats: dict | None,
+) -> int:
+    """Sharded-driver path of :func:`run` (whole-query granularity)."""
+    from .parallel import parallel_efficacy_records
+
+    pending = [
+        wq
+        for wq in generate_workload(queries, seed=seed)
+        if any(
+            (wq.index, tuple(c.name for c in subset), technique) not in done
+            for subset in column_subsets()
+            for technique in techniques
+        )
+    ]
+    if not pending:
+        if stats is not None:
+            stats.update({"workers": workers, "steals": 0, "requeues": 0})
+        return 0
+    result = parallel_efficacy_records(
+        techniques=techniques,
+        workers=workers,
+        sanitize=sanitize,
+        deadline_ms=deadline_ms,
+        queries=pending,
+    )
+    if stats is not None:
+        stats.update(result.pool)
+        stats["counters"] = result.counters
+        if result.sanitizer is not None:
+            stats["sanitizer"] = result.sanitizer
+    new_cells = 0
+    with out_path.open("a") as handle:
+        for record in result.records:
+            payload = _record_to_json(record)
+            if _cell_key(payload) in done:
+                continue
+            handle.write(json.dumps(payload) + "\n")
+            new_cells += 1
+    print(
+        f"parallel x{workers}: {new_cells} new cells, "
+        f"steals={result.pool.get('steals', 0)} "
+        f"requeues={result.pool.get('requeues', 0)} "
+        f"utilization={result.pool.get('utilization', 0.0)}",
+        file=sys.stderr,
+    )
     return new_cells
 
 
@@ -123,6 +218,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--out", type=Path, default=Path("results/fullscale.jsonl"))
     parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes for the sharded driver (1 = in-process)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="B",
+        help="per-cell synthesis budget; expired cells checkpoint partials",
+    )
+    parser.add_argument(
         "--summarize", type=Path, default=None, metavar="JSONL",
         help="print Table 2/3 from an existing checkpoint file and exit",
     )
@@ -130,7 +233,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.summarize is not None:
         print(summarize(args.summarize))
         return 0
-    new_cells = run(args.queries, args.seed, args.out)
+    new_cells = run(
+        args.queries, args.seed, args.out,
+        workers=args.parallel, deadline_ms=args.deadline_ms,
+    )
     print(f"computed {new_cells} new cells -> {args.out}", file=sys.stderr)
     print(summarize(args.out))
     return 0

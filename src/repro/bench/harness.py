@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from statistics import mean
 
 from ..obs.clock import now as _now
@@ -111,6 +111,10 @@ class EfficacyRecord:
     learning_ms: float = 0.0
     validation_ms: float = 0.0
     predicate: Pred | None = None
+    #: SQL rendering of ``predicate``, preserved across JSON transit
+    #: (checkpoint lines, worker payloads) where the ``Pred`` tree
+    #: itself is not shipped.
+    predicate_sql: str | None = None
 
 
 _EFFICACY_CACHE: dict[tuple, list[EfficacyRecord]] = {}
@@ -133,9 +137,18 @@ def _ground_truth_possible(wq: WorkloadQuery, subset: tuple[Column, ...]) -> boo
 
 
 def _run_sia_variant(
-    wq: WorkloadQuery, subset: tuple[Column, ...], technique: str
+    wq: WorkloadQuery,
+    subset: tuple[Column, ...],
+    technique: str,
+    *,
+    deadline_ms: float | None = None,
 ) -> EfficacyRecord:
+    """One synthesis cell.  ``deadline_ms`` caps the CEGIS wall-clock
+    via ``SiaConfig.timeout_ms`` (cooperative, section 6.2): an expired
+    run still returns a record carrying the best predicate found."""
     config = _CONFIGS[technique]
+    if deadline_ms is not None:
+        config = replace(config, timeout_ms=deadline_ms)
     outcome = Synthesizer(config).synthesize(wq.predicate, set(subset))
     return EfficacyRecord(
         query_index=wq.index,

@@ -1,28 +1,51 @@
-"""Parallel workload driver for the rewrite benchmarks.
+"""Sharded parallel workload driver with persistent warm workers.
 
 The Table-2/3 efficacy experiment is embarrassingly parallel: every
 (query, column subset, technique) cell is an independent synthesis
-run.  This driver fans the workload's queries out over a
-``ProcessPoolExecutor`` and merges the per-query record batches back
-in query order, so the result list matches the sequential driver
-field-for-field (``predicate`` excepted -- it is SQL-rendered in
-transit) regardless of worker count or scheduling:
+run.  Historically this module fanned queries over a static
+``ProcessPoolExecutor``; it is now a sharded work queue over
+**persistent** worker processes:
 
-* the workload seed fixes each query's predicate before any work is
-  dispatched (queries are generated once, in the parent);
-* each cell's synthesis RNG is seeded from its ``SiaConfig`` alone,
-  deterministic per query and independent of which worker runs it;
-* batches are merged by ascending query index, never arrival order.
+* **Warm workers.**  Each worker installs a
+  :class:`~repro.smt.session.SessionPool` for its whole lifetime, so
+  ``SmtSession``/enumerator state survives *across* queries, not just
+  within one (extending the PR 3 lifecycle).
+* **Longest-expected-first shards.**  Queries are ranked by the
+  :mod:`repro.bench.schedule` cost model (seeded from
+  ``engine/statistics`` cardinalities) and LPT-assigned, so long-tail
+  queries start first.
+* **Work stealing.**  A worker whose shard drains steals from the tail
+  of the largest remaining shard, so nobody idles while a grinder
+  holds unstarted work.
+* **Deadlines.**  ``deadline_ms`` threads a per-cell
+  ``SiaConfig.timeout_ms`` budget through the harness: an expired cell
+  yields a *recorded partial result* (section 6.2 semantics), never a
+  hung pool.
+* **Crash isolation.**  Worker death is detected by liveness probes;
+  the in-flight query is requeued **at most once** (an attempt ledger
+  caps retries) and the worker restarted.  A query that kills two
+  workers is recorded as placeholder cells so the merge stays total.
 
-Workers ship records back as JSON payloads (the ``fullscale``
-checkpoint encoding) rather than pickled objects -- the synthesized
-``Pred`` trees carry no interned solver state across the process
-boundary, and the payloads double as checkpoint lines.  Each worker
-also reports its :data:`~repro.smt.stats.GLOBAL_COUNTERS` delta so the
-driver can aggregate solver effort across the pool.
+Determinism is unchanged from the static driver: the workload seed
+fixes every predicate in the parent, each cell's synthesis RNG is
+seeded from its ``SiaConfig`` alone, all cells of one query run
+consecutively on one worker in canonical order (which also pins the
+session pool's warm-state trajectory), and batches are merged by
+ascending query index, never arrival order.  Workers ship records as
+JSON payloads (the ``fullscale`` checkpoint encoding) plus their
+:data:`~repro.smt.stats.GLOBAL_COUNTERS` and
+:data:`~repro.obs.metrics.GLOBAL_METRICS` deltas; scheduling
+statistics (steals, requeues, utilization, queue waits) come back in
+``ParallelRunResult.pool``.
 
-Used by ``repro bench --parallel N`` and, via the
-``REPRO_BENCH_PARALLEL`` environment knob, by
+Environment knobs (``SIA_FLOAT_FILTER``, ``REPRO_SANITIZE``) cross the
+process boundary through an explicit initializer dict handed to every
+worker -- never through fork/spawn inheritance -- and each worker
+reports the environment it actually applied so tests can assert
+parity.
+
+Used by ``repro bench --parallel N [--fullscale] [--deadline-ms B]``
+and, via the ``REPRO_BENCH_PARALLEL`` environment knob, by
 :func:`repro.bench.harness.efficacy_records`.
 """
 
@@ -30,10 +53,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import queue as queue_mod
 from dataclasses import dataclass, field
 
-from ..obs.metrics import GLOBAL_METRICS, merge_delta
+from ..obs.clock import now as _now
+from ..obs.metrics import GLOBAL_METRICS, merge_delta, summarize_values
 from ..obs.sanitizer import (
     SANITIZE_ENV,
     install_sanitizer,
@@ -42,6 +66,7 @@ from ..obs.sanitizer import (
     uninstall_sanitizer,
 )
 from ..obs.trace import get_tracer
+from ..smt.backend import FLOAT_MODE_ENV
 from ..smt.stats import GLOBAL_COUNTERS
 from ..tpch import WorkloadQuery, generate_workload
 from .harness import (
@@ -54,6 +79,24 @@ from .harness import (
     bench_seed,
     column_subsets,
 )
+from .schedule import assign_shards, expected_costs
+
+#: Test-only fault injection: a worker handed the query whose index
+#: matches this variable's value exits hard (attempt 0 only), so the
+#: crash-isolation tests can kill a worker mid-cell deterministically.
+CRASH_ENV = "REPRO_BENCH_CRASH_QUERY"
+
+#: Environment keys propagated into every worker through the explicit
+#: initializer dict (never via start-method inheritance alone).
+PROPAGATED_ENV = (FLOAT_MODE_ENV, SANITIZE_ENV, CRASH_ENV)
+
+#: Attempt ledger cap: a query is dispatched at most this many times.
+#: 2 = the at-most-once requeue the crash-isolation contract promises.
+_MAX_ATTEMPTS = 2
+
+#: Parent poll interval while waiting on worker results, seconds.
+#: Bounds crash-detection latency without busy-waiting.
+_POLL_S = 0.25
 
 
 @dataclass
@@ -67,10 +110,18 @@ class ParallelRunResult:
     #: Run-level sanitizer summary (``--sanitize`` only): process
     #: count, access totals per registry, recorded violations.
     sanitizer: dict | None = None
+    #: Scheduler statistics: steals, requeues, worker restarts,
+    #: queue-wait summary, per-worker busy time and utilization.
+    pool: dict = field(default_factory=dict)
+    #: Propagated-environment snapshot each worker reported from its
+    #: initializer (worker id -> {env key: value or None}).
+    worker_env: dict[int, dict] = field(default_factory=dict)
 
 
 def _query_batch(
-    wq: WorkloadQuery, techniques: tuple[str, ...]
+    wq: WorkloadQuery,
+    techniques: tuple[str, ...],
+    deadline_ms: float | None = None,
 ) -> tuple[int, list[dict], dict[str, int], dict[str, dict]]:
     """All cells of one query (runs inside a worker process)."""
     from .fullscale import _record_to_json
@@ -94,7 +145,9 @@ def _query_batch(
                     if technique == "TC":
                         record = _run_transitive_closure(wq, subset)
                     else:
-                        record = _run_sia_variant(wq, subset, technique)
+                        record = _run_sia_variant(
+                            wq, subset, technique, deadline_ms=deadline_ms
+                        )
                 record.possible = possible
                 payloads.append(_record_to_json(record))
     GLOBAL_METRICS.counter("bench.cells").inc(len(payloads))
@@ -106,23 +159,335 @@ def _query_batch(
     )
 
 
-def _batch_entry(
-    args: tuple,
-) -> tuple[int, list[dict], dict[str, int], dict[str, dict], dict | None]:
-    # Top-level single-argument wrapper so executor.map can pickle it.
-    # Workers self-install the sanitizer from the environment flag the
-    # parent exports for --sanitize runs (a spawn worker is a fresh
-    # interpreter, so the parent's in-process install does not carry
-    # over) and ship their drained access report with the batch.
+def _crashed_payloads(
+    wq: WorkloadQuery, techniques: tuple[str, ...]
+) -> list[dict]:
+    """Placeholder cells for a query that killed two workers.
+
+    Shaped exactly like real payloads (``valid``/``optimal`` False) so
+    the merged record list stays total and query-ordered even when a
+    query is genuinely poisonous.
+    """
+    from .fullscale import _record_to_json
+
+    payloads = []
+    for subset in column_subsets():
+        for technique in techniques:
+            payloads.append(
+                _record_to_json(
+                    EfficacyRecord(
+                        query_index=wq.index,
+                        subset=tuple(c.name for c in subset),
+                        n_cols=len(subset),
+                        technique=technique,
+                        possible=False,
+                        valid=False,
+                        optimal=False,
+                    )
+                )
+            )
+    return payloads
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_env_overrides() -> dict[str, str]:
+    """The parent's propagated-environment snapshot at dispatch time."""
+    return {
+        key: os.environ[key] for key in PROPAGATED_ENV if key in os.environ
+    }
+
+
+def _apply_env_overrides(overrides: dict[str, str]) -> None:
+    """Explicit worker initializer for environment-driven knobs.
+
+    Applies exactly the parent's snapshot: keys present in
+    ``overrides`` are set, propagated keys absent from it are cleared.
+    Spawn children *do* inherit the parent's environment on every
+    platform this repo targets, but the contract must not depend on
+    start-method details -- the initializer makes worker configuration
+    explicit, testable and start-method-proof.
+    """
+    for key in PROPAGATED_ENV:
+        value = overrides.get(key)
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    env_overrides: dict[str, str],
+    techniques: tuple[str, ...],
+    deadline_ms: float | None,
+) -> None:
+    """Persistent worker loop (top-level so spawn can pickle it).
+
+    Pulls ``(query, attempt)`` tasks until the ``None`` sentinel.  One
+    session pool spans the whole loop -- that is the point: warm
+    sessions survive across queries.  Every result message carries the
+    batch payloads, both registry deltas, the drained sanitizer report
+    (when installed) and the wait/busy timings the parent folds into
+    the pool statistics.
+    """
+    _apply_env_overrides(env_overrides)
     sanitizer = maybe_install_sanitizer()
-    index, payloads, delta, metrics_delta = _query_batch(*args)
-    report = sanitizer.drain().to_json() if sanitizer is not None else None
-    return index, payloads, delta, metrics_delta, report
+    from ..smt.session import session_pool
+
+    result_queue.put(
+        (
+            "ready",
+            worker_id,
+            {key: os.environ.get(key) for key in PROPAGATED_ENV},
+        )
+    )
+    with session_pool():
+        while True:
+            wait_start = _now()
+            task = task_queue.get()
+            wait_ms = (_now() - wait_start) * 1000.0
+            if task is None:
+                break
+            wq, attempt = task
+            if attempt == 0 and os.environ.get(CRASH_ENV) == str(wq.index):
+                os._exit(3)  # fault injection, see CRASH_ENV
+            busy_start = _now()
+            index, payloads, delta, metrics_delta = _query_batch(
+                wq, techniques, deadline_ms
+            )
+            busy_ms = (_now() - busy_start) * 1000.0
+            report = (
+                sanitizer.drain().to_json() if sanitizer is not None else None
+            )
+            result_queue.put(
+                (
+                    "done",
+                    worker_id,
+                    index,
+                    payloads,
+                    delta,
+                    metrics_delta,
+                    report,
+                    busy_ms,
+                    wait_ms,
+                )
+            )
 
 
 def default_workers() -> int:
     """Worker count when none is requested (all cores, at least 1)."""
     return max(os.cpu_count() or 1, 1)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _run_inline(
+    queries: list[WorkloadQuery],
+    techniques: tuple[str, ...],
+    deadline_ms: float | None,
+    batches: dict[int, list[dict]],
+    deltas: dict[int, tuple],
+    reports: list[dict],
+) -> tuple[dict, dict[int, dict]]:
+    """The ``workers <= 1`` path: same pipeline, no processes.
+
+    Installs the same worker-lifetime session pool the sharded path
+    gives each worker, so a single-process run exercises (and its
+    records reflect) the identical warm-session trajectory.
+    """
+    from ..smt.session import session_pool
+
+    busy_ms = 0.0
+    with session_pool():
+        for wq in queries:
+            sanitizer = maybe_install_sanitizer()
+            start = _now()
+            index, payloads, delta, metrics_delta = _query_batch(
+                wq, techniques, deadline_ms
+            )
+            busy_ms += (_now() - start) * 1000.0
+            batches[index] = payloads
+            deltas[index] = (delta, metrics_delta)
+            if sanitizer is not None:
+                reports.append(sanitizer.drain().to_json())
+    pool_stats = {
+        "steals": 0,
+        "requeues": 0,
+        "worker_restarts": 0,
+        "queue_wait_ms": summarize_values([]),
+        "busy_ms": [round(busy_ms, 1)],
+    }
+    return pool_stats, {}
+
+
+def _run_sharded(
+    queries: list[WorkloadQuery],
+    techniques: tuple[str, ...],
+    deadline_ms: float | None,
+    workers: int,
+    batches: dict[int, list[dict]],
+    deltas: dict[int, tuple],
+    reports: list[dict],
+) -> tuple[dict, dict[int, dict]]:
+    """Dispatch ``queries`` over persistent workers (see module doc)."""
+    # Spawn, never the platform default: fork would clone the parent's
+    # warm registries (interned terms, counters) into every worker, and
+    # the deltas workers report would ride on inherited state instead
+    # of starting from zero.
+    context = multiprocessing.get_context("spawn")
+    result_queue = context.Queue()
+    env_overrides = _worker_env_overrides()
+    shards = [list(shard) for shard in assign_shards(expected_costs(queries), workers)]
+    requeued: list[int] = []
+    attempts: dict[int, int] = {}  # position -> dispatches so far
+    inflight: list[tuple[int, int] | None] = [None] * workers
+    task_queues: list = [None] * workers
+    procs: list = [None] * workers
+    worker_env: dict[int, dict] = {}
+    busy = [0.0] * workers
+    waits: list[float] = []
+    steals = requeues = restarts = 0
+    remaining = len(queries)
+
+    def start_worker(wid: int) -> None:
+        task_queues[wid] = context.Queue()
+        proc = context.Process(
+            target=_worker_main,
+            args=(
+                wid,
+                task_queues[wid],
+                result_queue,
+                env_overrides,
+                techniques,
+                deadline_ms,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        procs[wid] = proc
+
+    def next_position(wid: int) -> int | None:
+        nonlocal steals
+        if requeued:
+            return requeued.pop(0)
+        if shards[wid]:
+            return shards[wid].pop(0)
+        donor = None
+        for w in range(workers):
+            if shards[w] and (donor is None or len(shards[w]) > len(shards[donor])):
+                donor = w
+        if donor is None:
+            return None
+        steals += 1
+        # Tail of the donor shard: the cheapest work it has not started.
+        return shards[donor].pop()
+
+    def dispatch(wid: int) -> None:
+        position = next_position(wid)
+        if position is None:
+            return
+        attempt = attempts.get(position, 0)
+        attempts[position] = attempt + 1
+        inflight[wid] = (position, attempt)
+        task_queues[wid].put((queries[position], attempt))
+
+    def handle_death(wid: int) -> None:
+        nonlocal restarts, requeues, remaining
+        procs[wid].join()
+        procs[wid] = None
+        task, inflight[wid] = inflight[wid], None
+        if task is not None:
+            position, attempt = task
+            if attempt + 1 < _MAX_ATTEMPTS:
+                # At-most-once requeue, tracked by the attempt ledger.
+                requeues += 1
+                requeued.append(position)
+            else:
+                wq = queries[position]
+                batches[wq.index] = _crashed_payloads(wq, techniques)
+                deltas[wq.index] = ({}, {})
+                remaining -= 1
+        if requeued or any(shards) or any(inflight):
+            restarts += 1
+            if restarts > 2 * len(queries) + workers:
+                raise RuntimeError(
+                    "parallel driver: workers are crash-looping "
+                    f"({restarts} restarts for {len(queries)} queries)"
+                )
+            start_worker(wid)
+            dispatch(wid)
+
+    for wid in range(workers):
+        start_worker(wid)
+    for wid in range(workers):
+        dispatch(wid)
+
+    try:
+        while remaining:
+            try:
+                message = result_queue.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                for wid in range(workers):
+                    proc = procs[wid]
+                    if proc is not None and not proc.is_alive():
+                        handle_death(wid)
+                continue
+            if message[0] == "ready":
+                _, wid, env_snapshot = message
+                worker_env[wid] = env_snapshot
+                continue
+            (
+                _,
+                wid,
+                index,
+                payloads,
+                delta,
+                metrics_delta,
+                report,
+                busy_ms,
+                wait_ms,
+            ) = message
+            inflight[wid] = None
+            busy[wid] += busy_ms
+            waits.append(wait_ms)
+            if report is not None:
+                reports.append(report)
+            if index in batches:
+                # Duplicate of a cell the crash path already settled
+                # (the worker died *after* posting its result): keep
+                # the first copy, the merge stays at-most-once.
+                dispatch(wid)
+                continue
+            batches[index] = payloads
+            deltas[index] = (delta, metrics_delta)
+            remaining -= 1
+            dispatch(wid)
+    finally:
+        for wid in range(workers):
+            proc = procs[wid]
+            if proc is not None and proc.is_alive():
+                task_queues[wid].put(None)
+        for proc in procs:
+            if proc is None:
+                continue
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - shutdown backstop
+                proc.terminate()
+                proc.join()
+
+    pool_stats = {
+        "steals": steals,
+        "requeues": requeues,
+        "worker_restarts": restarts,
+        "queue_wait_ms": summarize_values(waits),
+        "busy_ms": [round(value, 1) for value in busy],
+    }
+    return pool_stats, worker_env
 
 
 def parallel_efficacy_records(
@@ -132,6 +497,8 @@ def parallel_efficacy_records(
     techniques: tuple[str, ...] = TECHNIQUES,
     workers: int | None = None,
     sanitize: bool = False,
+    deadline_ms: float | None = None,
+    queries: list[WorkloadQuery] | None = None,
 ) -> ParallelRunResult:
     """Run the efficacy workload across ``workers`` processes.
 
@@ -142,6 +509,12 @@ def parallel_efficacy_records(
     Record ``predicate`` fields are SQL-rendered in transit and come
     back ``None``, exactly like ``fullscale`` checkpoint round-trips.
 
+    ``deadline_ms`` caps each SIA cell's synthesis wall-clock; expired
+    cells come back as recorded partial results (best valid predicate
+    so far, section 6.2), never exceptions.  ``queries`` overrides the
+    workload (the fullscale runner passes its pending subset);
+    ``num_queries``/``seed`` generate it otherwise.
+
     ``sanitize=True`` installs the shared-state sanitizer in this
     process, exports its environment flag so every worker installs it
     too, and attaches the folded access report as ``.sanitizer``.
@@ -151,8 +524,8 @@ def parallel_efficacy_records(
     num_queries = num_queries if num_queries is not None else bench_queries()
     seed = seed if seed is not None else bench_seed()
     workers = workers if workers is not None else default_workers()
-    queries = generate_workload(num_queries, seed=seed)
-    tasks = [(wq, techniques) for wq in queries]
+    if queries is None:
+        queries = generate_workload(num_queries, seed=seed)
 
     sanitizer = None
     if sanitize:
@@ -160,34 +533,31 @@ def parallel_efficacy_records(
         sanitizer = install_sanitizer()
     reports: list[dict] = []
     batches: dict[int, list[dict]] = {}
-    deltas: dict[int, tuple[dict[str, int], dict[str, dict]]] = {}
+    deltas: dict[int, tuple] = {}
+    start = _now()
     try:
         if workers <= 1:
-            results = map(_batch_entry, tasks)
-            for index, payloads, delta, metrics_delta, report in results:
-                batches[index] = payloads
-                deltas[index] = (delta, metrics_delta)
-                if report is not None:
-                    reports.append(report)
+            pool_stats, worker_env = _run_inline(
+                queries, techniques, deadline_ms, batches, deltas, reports
+            )
         else:
-            # Spawn, never the platform default: fork would clone the
-            # parent's warm registries (interned terms, counters) into
-            # every worker, and the deltas workers report would ride on
-            # inherited state instead of starting from zero.
-            context = multiprocessing.get_context("spawn")
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                for index, payloads, delta, metrics_delta, report in pool.map(
-                    _batch_entry, tasks, chunksize=1
-                ):
-                    batches[index] = payloads
-                    deltas[index] = (delta, metrics_delta)
-                    if report is not None:
-                        reports.append(report)
+            pool_stats, worker_env = _run_sharded(
+                queries, techniques, deadline_ms, workers,
+                batches, deltas, reports,
+            )
     finally:
         if sanitize:
             os.environ.pop(SANITIZE_ENV, None)
+    wall_ms = (_now() - start) * 1000.0
+    effective = max(workers, 1)
+    pool_stats["workers"] = effective
+    pool_stats["wall_ms"] = round(wall_ms, 1)
+    pool_stats["utilization"] = round(
+        min(sum(pool_stats["busy_ms"]) / max(effective * wall_ms, 1e-9), 1.0),
+        4,
+    )
+    if deadline_ms is not None:
+        pool_stats["deadline_ms"] = deadline_ms
 
     # Merge per-batch deltas in ascending query index, never arrival
     # order, so the aggregate is identical for any worker count.
@@ -215,4 +585,6 @@ def parallel_efficacy_records(
         metrics=metric_totals,
         workers=workers,
         sanitizer=summary,
+        pool=pool_stats,
+        worker_env=worker_env,
     )

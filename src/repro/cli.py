@@ -6,6 +6,7 @@ Usage::
         --table lineitem [--iterations 41] [--strategy per_column] [--explain]
     python -m repro demo
     python -m repro bench --parallel 4 [--queries 8] [--seed 42]
+    python -m repro bench --fullscale --parallel 4 [--deadline-ms 5000]
 
 The TPC-H schema is built in; any query over its tables parses
 directly.  ``rewrite`` prints the rewritten SQL (or the reason nothing
@@ -99,7 +100,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--queries",
         type=int,
         default=None,
-        help="workload size (default: REPRO_BENCH_QUERIES or 8)",
+        help="workload size (default: REPRO_BENCH_QUERIES or 8; "
+        "200 under --fullscale)",
+    )
+    bench.add_argument(
+        "--fullscale",
+        action="store_true",
+        help="route through the resumable checkpoint runner "
+        "(bench/fullscale): cells append to --out across restarts and "
+        "the perf entry is written as 'parallel/fullscale'",
+    )
+    bench.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        metavar="B",
+        help="per-cell synthesis budget; an expired cell records a "
+        "partial result (best valid predicate so far), never an error",
+    )
+    bench.add_argument(
+        "--out",
+        dest="fullscale_out",
+        default=None,
+        metavar="JSONL",
+        help="checkpoint file for --fullscale "
+        "(default: results/fullscale.jsonl)",
     )
     bench.add_argument(
         "--seed",
@@ -263,6 +289,126 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _print_pool_stats(pool: dict) -> None:
+    """One-line scheduler summary + the worker-utilization gauge."""
+    if not pool:
+        return
+    from .obs.metrics import GLOBAL_METRICS
+
+    utilization = pool.get("utilization", 0.0)
+    GLOBAL_METRICS.gauge("bench.worker_utilization").set(utilization)
+    wait = pool.get("queue_wait_ms", {})
+    print(
+        f"pool: {pool.get('workers', 1)} worker(s) at "
+        f"{utilization:.0%} utilization, "
+        f"steals={pool.get('steals', 0)} "
+        f"requeues={pool.get('requeues', 0)} "
+        f"restarts={pool.get('worker_restarts', 0)}, "
+        f"queue wait p50/p95 {wait.get('p50', 0.0):.1f}/"
+        f"{wait.get('p95', 0.0):.1f} ms"
+    )
+
+
+def _print_sanitizer(summary: dict | None) -> int:
+    """Print the sanitizer rollup; 1 when violations were recorded."""
+    if summary is None:
+        return 0
+    print(
+        f"sanitizer: {summary['accesses']} shared-state accesses across "
+        f"{summary['processes']} process(es), "
+        f"{len(summary['violations'])} violation(s)"
+    )
+    for violation in summary["violations"]:
+        print(f"  violation: {violation['message']}")
+    return 1 if summary["violations"] else 0
+
+
+def _cmd_bench_fullscale(args: argparse.Namespace, workers: int) -> int:
+    """``repro bench --fullscale``: checkpointed paper-scale run.
+
+    Every finished (query, subset, technique) cell appends one JSON
+    line to the checkpoint, so an interrupted run resumes where it
+    stopped; ``--parallel N`` fans pending queries over the sharded
+    warm-worker driver.  The perf entry lands as ``parallel/fullscale``
+    with the scheduler statistics attached.
+    """
+    import json
+    from pathlib import Path
+
+    from .bench.fullscale import run as fullscale_run
+    from .bench.perflog import DEFAULT_PATH, summarize_times, update_bench_json
+    from .obs import now
+
+    num_queries = args.queries if args.queries is not None else 200
+    seed = args.seed if args.seed is not None else 42
+    out = Path(args.fullscale_out or "results/fullscale.jsonl")
+    stats: dict = {}
+    start = now()
+    new_cells = fullscale_run(
+        num_queries,
+        seed,
+        out,
+        workers=workers,
+        deadline_ms=args.deadline_ms,
+        sanitize=args.sanitize,
+        stats=stats,
+    )
+    wall_clock_ms = (now() - start) * 1000.0
+
+    times: list[float] = []
+    cells = valid = optimal = 0
+    with out.open() as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            cells += 1
+            valid += bool(payload["valid"])
+            optimal += bool(payload["optimal"])
+            times.append(
+                payload["generation_ms"]
+                + payload["learning_ms"]
+                + payload["validation_ms"]
+            )
+    print(
+        f"fullscale: {new_cells} new cells ({cells} total, {valid} valid, "
+        f"{optimal} optimal) in {wall_clock_ms / 1000.0:.1f} s on "
+        f"{workers} worker(s) -> {out}"
+    )
+    pool = {
+        key: stats[key]
+        for key in (
+            "workers", "steals", "requeues", "worker_restarts",
+            "queue_wait_ms", "busy_ms", "utilization", "wall_ms",
+            "deadline_ms",
+        )
+        if key in stats
+    }
+    _print_pool_stats(pool)
+    exit_code = _print_sanitizer(stats.get("sanitizer")) if args.sanitize else 0
+    if args.json_path != "-" and times:
+        entry = summarize_times(times)
+        entry.update(
+            {
+                "workers": workers,
+                "records": cells,
+                "new_cells": new_cells,
+                "valid": valid,
+                "optimal": optimal,
+                "wall_clock_ms": round(wall_clock_ms, 1),
+            }
+        )
+        if pool:
+            entry["pool"] = pool
+        if "counters" in stats:
+            entry["counters"] = stats["counters"]
+        path = update_bench_json(
+            {"parallel/fullscale": entry}, args.json_path or DEFAULT_PATH
+        )
+        print(f"wrote {path}")
+    return exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -276,6 +422,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs import install_file_tracer, now
 
     workers = default_workers() if args.parallel == 0 else args.parallel
+    if args.fullscale:
+        return _cmd_bench_fullscale(args, workers)
     tracing = (
         install_file_tracer(args.trace_path)
         if args.trace_path
@@ -294,6 +442,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 workers=workers,
                 sanitize=args.sanitize,
+                deadline_ms=args.deadline_ms,
             )
         wall_clock_ms = (now() - start) * 1000.0
     records = result.records
@@ -312,18 +461,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{counters.get('sessions_created', 0)} sessions), "
         f"{counters.get('clauses_learned', 0)} clauses learned"
     )
-    exit_code = 0
-    if args.sanitize and result.sanitizer is not None:
-        san = result.sanitizer
-        print(
-            f"sanitizer: {san['accesses']} shared-state accesses across "
-            f"{san['processes']} process(es), "
-            f"{len(san['violations'])} violation(s)"
-        )
-        for violation in san["violations"]:
-            print(f"  violation: {violation['message']}")
-        if san["violations"]:
-            exit_code = 1
+    _print_pool_stats(result.pool)
+    exit_code = _print_sanitizer(result.sanitizer) if args.sanitize else 0
     if args.trace_path:
         print(f"trace {trace_id} written to {args.trace_path}")
     if args.json_path != "-" and records:
@@ -342,6 +481,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         if result.metrics:
             entry["metrics"] = result.metrics
+        if result.pool:
+            entry["pool"] = result.pool
         entries = {"workload/efficacy": entry}
         stamp_trace_id(entries, trace_id)
         path = update_bench_json(entries, args.json_path or DEFAULT_PATH)

@@ -30,12 +30,12 @@ from ..smt import (
     Atom,
     Formula,
     LinExpr,
-    SmtSession,
     SolverError,
     Var,
     compare,
     conj,
     disj,
+    lease_session,
 )
 from ..smt.theory import SolverBudgetError
 from .config import RANDOM_BOX, SiaConfig
@@ -204,6 +204,13 @@ class IncrementalEnumerator:
     asserted outright, so the unboxed fallback (``next(...,
     boxed=False)``) reuses the same warm session instead of building a
     second solver over the same base formula.
+
+    The session comes from a :func:`repro.smt.lease_session` lease:
+    with a :class:`~repro.smt.SessionPool` installed (worker processes
+    of the sharded driver), enumerations over a recurring base formula
+    -- every CEGIS iteration's TRUE sampler shares one base -- reuse a
+    warm pooled session, and all additions ride in the lease's
+    retractable work scope so nothing leaks into the next checkout.
     """
 
     def __init__(
@@ -216,13 +223,14 @@ class IncrementalEnumerator:
         with_box: bool,
     ) -> None:
         self.variables = variables
-        self.session = SmtSession(
+        self._lease = lease_session(
+            (base,),
             bnb_budget=config.bnb_budget,
             float_filter=config.float_filter,
         )
-        self.session.assert_base(base)
+        self.session = self._lease.session
         self._box_scope = (
-            self.session.push(
+            self._lease.push(
                 box_formula(variables, config.sample_box), label="sample-box"
             )
             if with_box
@@ -232,11 +240,11 @@ class IncrementalEnumerator:
         self._block(known)
 
     def add(self, formula: Formula) -> None:
-        self.session.assert_base(formula)
+        self._lease.add(formula)
 
     def _block(self, points: list[Point]) -> None:
         for point in points[self.blocked:]:
-            self.session.assert_base(not_old_formula([point], self.variables))
+            self._lease.add(not_old_formula([point], self.variables))
             self.blocked += 1
 
     def next(
@@ -261,9 +269,10 @@ class IncrementalEnumerator:
         return {var: model.value(var) for var in self.variables}
 
     def close(self) -> None:
-        """Retract live scopes so abandoning the enumerator balances
-        the scope counters (delegates to :meth:`SmtSession.close`)."""
-        self.session.close()
+        """Release the session lease: retracts the box and work scopes
+        and returns the session to the pool (or closes it when
+        unpooled).  Idempotent."""
+        self._lease.release()
 
 
 # Backwards-compatible alias used inside Sampler.
@@ -282,19 +291,26 @@ def enumerate_all(
     section 5.3).  ``exhausted=True`` means the enumeration completed;
     ``False`` means the limit was hit."""
     points: list[Point] = []
-    session = SmtSession(bnb_budget=bnb_budget, float_filter=float_filter)
-    session.assert_base(base)
-    for _ in range(limit):
-        try:
-            if session.check() != SAT:
-                return SampleSet(points, exhausted=True)
-        except (SolverError, SolverBudgetError):
-            return SampleSet(points, exhausted=False)
-        model = session.model()
-        point = {var: model.value(var) for var in variables}
-        points.append(point)
-        session.assert_base(not_old_formula([point], variables))
-    return SampleSet(points, exhausted=False)
+    lease = lease_session(
+        (base,), bnb_budget=bnb_budget, float_filter=float_filter
+    )
+    try:
+        for _ in range(limit):
+            try:
+                if lease.check() != SAT:
+                    return SampleSet(points, exhausted=True)
+            except (SolverError, SolverBudgetError):
+                return SampleSet(points, exhausted=False)
+            model = lease.model()
+            point = {var: model.value(var) for var in variables}
+            points.append(point)
+            lease.add(not_old_formula([point], variables))
+        return SampleSet(points, exhausted=False)
+    finally:
+        # Historically this session was simply abandoned (leaked
+        # scopes and an unbalanced sessions_created); releasing the
+        # lease balances the counters and lets a pool reuse it.
+        lease.release()
 
 
 def point_key(point: Point, variables: list[Var]) -> tuple[Fraction, ...]:

@@ -19,7 +19,16 @@ from __future__ import annotations
 from ..learn import DisjunctivePredicate, Hyperplane
 from ..predicates import Pred, truth_formula
 from ..predicates.normalize import LinearizationContext
-from ..smt import SAT, Formula, Not, SmtSession, conj, disj, is_satisfiable, negate
+from ..smt import (
+    SAT,
+    Formula,
+    Not,
+    conj,
+    disj,
+    is_satisfiable,
+    lease_session,
+    negate,
+)
 from ..smt.session import certified_solver
 
 
@@ -97,6 +106,12 @@ class WarmUnsatChecker:
     query to the next.  Conservative like the one-shot helpers: an
     unknown verdict (budget or round exhaustion) reports ``False`` --
     "unsatisfiability not proven" -- never an over-claim.
+
+    The session is a :func:`repro.smt.lease_session` lease: with a
+    session pool installed (the sharded driver's workers), a checker
+    over a recurring base -- the same query's ``T(p)`` across all
+    seven column subsets -- resumes a warm pooled session instead of
+    re-encoding from cold.
     """
 
     def __init__(
@@ -106,14 +121,14 @@ class WarmUnsatChecker:
         bnb_budget: int = 4000,
         float_filter: str | None = None,
     ) -> None:
-        self._session = SmtSession(
-            bnb_budget=bnb_budget, float_filter=float_filter
+        self._lease = lease_session(
+            (base,), bnb_budget=bnb_budget, float_filter=float_filter
         )
-        self._session.assert_base(base)
+        self._session = self._lease.session
 
     def close(self) -> None:
-        """Balance scope counters when the checker is abandoned."""
-        self._session.close()
+        """Release the lease (returns the session to the pool)."""
+        self._lease.release()
 
     def proves_unsat(
         self, extra: Formula, *, bnb_budget: int | None = None

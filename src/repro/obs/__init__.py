@@ -34,6 +34,7 @@ from .clock import Clock, ManualClock, get_clock, now, set_clock
 from .metrics import (
     GLOBAL_METRICS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
@@ -62,6 +63,7 @@ __all__ = [
     "Clock",
     "Counter",
     "GLOBAL_METRICS",
+    "Gauge",
     "Histogram",
     "ManualClock",
     "MetricsRegistry",

@@ -36,6 +36,7 @@ from .clock import now
 __all__ = [
     "Counter",
     "GLOBAL_METRICS",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Timer",
@@ -73,6 +74,26 @@ class Counter:
 
     def inc(self, amount: int = 1) -> None:
         self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins).
+
+    Gauges report *state* (worker utilization, pool occupancy), not
+    *events*, so they are deliberately outside the snapshot/delta
+    protocol: a last-write value cannot be merged across workers
+    without inventing an aggregation rule, and shipping one would
+    silently overwrite the parent's.  They appear in :meth:`summary`
+    only.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
 
 
 class Histogram:
@@ -138,12 +159,13 @@ def summarize_values(
 class MetricsRegistry:
     """Named counters/timers/histograms, created on first use."""
 
-    __slots__ = ("_counters", "_timers", "_histograms")
+    __slots__ = ("_counters", "_timers", "_histograms", "_gauges")
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     # -- access --------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -171,6 +193,15 @@ class MetricsRegistry:
                 metric = self._histograms.get(name)
                 if metric is None:
                     metric = self._histograms[name] = Histogram()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with _REGISTRY_LOCK:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    metric = self._gauges[name] = Gauge()
         return metric
 
     # -- snapshots / deltas -------------------------------------------
@@ -227,12 +258,16 @@ class MetricsRegistry:
             "histograms": {
                 k: h.summary() for k, h in sorted(self._histograms.items())
             },
+            "gauges": {
+                k: round(g.value, 4) for k, g in sorted(self._gauges.items())
+            },
         }
 
     def reset(self) -> None:
         self._counters.clear()
         self._timers.clear()
         self._histograms.clear()
+        self._gauges.clear()
 
 
 def merge_delta(total: dict[str, Any], delta: dict[str, Any]) -> dict[str, Any]:

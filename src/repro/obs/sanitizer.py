@@ -32,7 +32,7 @@ shows *when* the cross-process write happened.
 Activation: ``repro bench --parallel N --sanitize`` installs the
 sanitizer in the parent and exports :data:`SANITIZE_ENV` so spawned
 workers self-install at entry (:func:`maybe_install_sanitizer` in
-``repro.bench.parallel._batch_entry``).  Workers ship their drained
+``repro.bench.parallel._worker_main``).  Workers ship their drained
 reports back with the batch deltas; :func:`summarize_reports` folds
 them into the run-level summary the CLI prints and CI gates on.
 """
@@ -213,7 +213,7 @@ def install_sanitizer() -> Sanitizer:
 
         _stats.SolverCounters.__setattr__ = _traced_setattr  # type: ignore[method-assign]
 
-        for accessor in ("counter", "timer", "histogram"):
+        for accessor in ("counter", "timer", "histogram", "gauge"):
             original = getattr(_metrics.MetricsRegistry, accessor)
             _ORIGINALS[f"MetricsRegistry.{accessor}"] = original
 
@@ -247,7 +247,7 @@ def uninstall_sanitizer() -> None:
         _stats.SolverCounters.__setattr__ = _ORIGINALS.pop(  # type: ignore[method-assign]
             "SolverCounters.__setattr__"
         )
-        for accessor in ("counter", "timer", "histogram"):
+        for accessor in ("counter", "timer", "histogram", "gauge"):
             setattr(
                 _metrics.MetricsRegistry,
                 accessor,

@@ -38,6 +38,35 @@ def test_checkpoint_is_valid_jsonl(tmp_path):
         assert {"query_index", "subset", "technique", "valid", "optimal"} <= set(payload)
 
 
+def test_parallel_run_extends_same_checkpoint(tmp_path):
+    """The sharded driver writes the same cells as the sequential
+    runner (wall-clock fields aside) and resumes against the same
+    file interchangeably."""
+    seq_out = tmp_path / "seq.jsonl"
+    par_out = tmp_path / "par.jsonl"
+    run(queries=1, seed=5, out_path=seq_out, techniques=("TC",))
+    stats: dict = {}
+    new = run(
+        queries=1, seed=5, out_path=par_out, techniques=("TC",),
+        workers=2, stats=stats,
+    )
+    assert new == 7
+    assert stats["workers"] == 2
+    assert stats["requeues"] == 0
+
+    def comparable(line):
+        payload = json.loads(line)
+        return {k: v for k, v in payload.items() if not k.endswith("_ms")}
+
+    seq_cells = [comparable(l) for l in seq_out.read_text().splitlines() if l.strip()]
+    par_cells = [comparable(l) for l in par_out.read_text().splitlines() if l.strip()]
+    assert seq_cells == par_cells
+    # Resume on the parallel-written file computes nothing new.
+    assert run(
+        queries=1, seed=5, out_path=par_out, techniques=("TC",), workers=2
+    ) == 0
+
+
 def test_main_summarize_mode(tmp_path, capsys):
     out = tmp_path / "cells.jsonl"
     run(queries=1, seed=5, out_path=out, techniques=("TC",))

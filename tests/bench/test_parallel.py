@@ -108,6 +108,92 @@ def test_parent_metrics_registry_is_isolated_from_workers():
     assert delta.get("histograms", {}) == {}
 
 
+def test_pool_stats_shape(sequential):
+    pool = sequential.pool
+    assert pool["workers"] == 1
+    assert pool["steals"] == 0 and pool["requeues"] == 0
+    assert pool["worker_restarts"] == 0
+    assert 0.0 <= pool["utilization"] <= 1.0
+    assert {"p50", "p95", "max"} <= set(pool["queue_wait_ms"])
+
+
+def test_session_pool_is_active_in_driver(sequential):
+    """The inline path installs the same worker-lifetime session pool
+    as sharded workers; its reuse shows up in the aggregated counters
+    whenever sessions are created at all (TC itself is solver-free)."""
+    created = sequential.counters.get("sessions_created", 0)
+    reused = sequential.counters.get("sessions_reused", 0)
+    assert created >= 0 and reused >= 0  # counters ship either way
+
+
+def test_killed_worker_requeues_query_exactly_once(sequential, monkeypatch):
+    """A worker dying mid-cell must not lose or duplicate the query:
+    the attempt ledger requeues it once, a fresh worker reruns it, and
+    the merged records are identical to the sequential run."""
+    crash_index = sequential.records[0].query_index
+    monkeypatch.setenv("REPRO_BENCH_CRASH_QUERY", str(crash_index))
+    result = parallel_efficacy_records(workers=2, **FAST)
+    assert result.pool["requeues"] == 1
+    assert result.pool["worker_restarts"] >= 1
+    assert len(result.records) == len(sequential.records)
+
+    def comparable(record):
+        return {
+            key: value
+            for key, value in dataclasses.asdict(record).items()
+            if not key.endswith("_ms")
+        }
+
+    for seq, par in zip(sequential.records, result.records):
+        assert comparable(seq) == comparable(par)
+
+
+def test_deadline_expiry_records_partial_result():
+    """An expired per-cell budget yields a *recorded* partial result
+    (section 6.2 cooperative timeout), never an exception or a missing
+    cell."""
+    result = parallel_efficacy_records(
+        num_queries=1,
+        seed=9,
+        techniques=("SIA",),
+        workers=1,
+        deadline_ms=1.0,
+    )
+    assert len(result.records) == 7  # every subset produced a record
+    for record in result.records:
+        assert record.technique == "SIA"
+        assert isinstance(record.valid, bool)
+        assert isinstance(record.optimal, bool)
+    assert result.pool["deadline_ms"] == 1.0
+
+
+def test_work_stealing_preserves_merge_order():
+    """An uneven shard split (3 queries, 2 workers) lets the idle
+    worker steal; the merged stream must stay query-ordered anyway."""
+    uneven = dict(num_queries=3, seed=9, techniques=("TC",))
+    seq = parallel_efficacy_records(workers=1, **uneven)
+    par = parallel_efficacy_records(workers=2, **uneven)
+    assert [r.query_index for r in par.records] == [
+        r.query_index for r in seq.records
+    ]
+    assert par.pool["steals"] >= 0  # recorded either way
+    assert par.pool["requeues"] == 0
+
+
+def test_worker_env_parity(monkeypatch):
+    """Propagated knobs cross the process boundary through the explicit
+    initializer: every worker reports exactly the parent's values."""
+    from repro.smt.backend import FLOAT_MODE_ENV
+
+    monkeypatch.setenv(FLOAT_MODE_ENV, "off")
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    result = parallel_efficacy_records(workers=2, **FAST)
+    assert len(result.worker_env) == 2
+    for snapshot in result.worker_env.values():
+        assert snapshot[FLOAT_MODE_ENV] == "off"
+        assert snapshot["REPRO_SANITIZE"] is None
+
+
 def test_parent_rewrite_cache_is_isolated_from_workers():
     """Worker processes must not mutate parent-side caches: the rewrite
     cache's hit/miss/eviction accounting reflects only parent traffic."""

@@ -115,5 +115,23 @@ def test_reset_clears_every_table():
     registry.counter("a").inc()
     registry.timer("t").record(1.0)
     registry.histogram("h").record(2.0)
+    registry.gauge("g").set(0.5)
     registry.reset()
-    assert registry.summary() == {"counters": {}, "timers": {}, "histograms": {}}
+    assert registry.summary() == {
+        "counters": {}, "timers": {}, "histograms": {}, "gauges": {},
+    }
+
+
+def test_gauge_is_last_write_wins_and_outside_deltas():
+    """Gauges report state, not events: they appear in summary() but
+    never in the snapshot/delta protocol (a last-write value has no
+    cross-worker merge rule)."""
+    registry = MetricsRegistry()
+    before = registry.snapshot()
+    gauge = registry.gauge("pool.utilization")
+    gauge.set(0.25)
+    gauge.set(0.75)
+    assert registry.gauge("pool.utilization") is gauge
+    assert registry.summary()["gauges"] == {"pool.utilization": 0.75}
+    delta = registry.delta_since(before)
+    assert delta == {"counters": {}, "timers": {}, "histograms": {}}

@@ -1,0 +1,143 @@
+"""Session pool and lease layer.
+
+Two properties carry the sharded driver's soundness:
+
+* **reuse is invisible** -- a pooled session checked out twice must
+  answer every check as if it were fresh each time (lease-scoped
+  additions retract on release, nothing leaks between checkouts);
+* **accounting is honest** -- pool hits increment ``sessions_reused``
+  and skip session construction, so the warm-churn fix is measurable.
+"""
+
+import pytest
+
+from repro.smt import (
+    LE,
+    SAT,
+    UNSAT,
+    Atom,
+    LinExpr,
+    Var,
+    lease_session,
+    session_pool,
+)
+from repro.smt.session import SessionPool, _ACTIVE_POOL  # noqa: F401
+from repro.smt.stats import GLOBAL_COUNTERS
+
+X = Var("px")
+
+#: x <= 5 as a base; x >= 10 (i.e. 10 - x <= 0) as a conflicting extra.
+BASE = Atom(LinExpr({X: 1}, -5), LE)
+CONFLICT = Atom(LinExpr({X: -1}, 10), LE)
+
+
+def test_unpooled_lease_closes_session():
+    before = GLOBAL_COUNTERS.snapshot()
+    lease = lease_session((BASE,))
+    assert lease.check() == SAT
+    lease.release()
+    lease.release()  # idempotent
+    delta = GLOBAL_COUNTERS.delta_since(before)
+    assert delta.get("sessions_created", 0) == 1
+    assert delta.get("sessions_reused", 0) == 0
+    assert delta.get("scopes_opened", 0) == delta.get("scopes_retracted", 0)
+
+
+def test_pooled_lease_reuses_session_and_counts_hits():
+    with session_pool() as pool:
+        before = GLOBAL_COUNTERS.snapshot()
+        first = lease_session((BASE,))
+        session = first.session
+        assert first.check() == SAT
+        first.release()
+        second = lease_session((BASE,))
+        assert second.session is session  # same warm instance
+        assert second.check() == SAT
+        second.release()
+        delta = GLOBAL_COUNTERS.delta_since(before)
+        assert delta.get("sessions_created", 0) == 1
+        assert delta.get("sessions_reused", 0) == 1
+        assert pool.stats()["hits"] == 1
+
+
+def test_lease_additions_do_not_poison_reuse():
+    """A blocked/constrained first checkout must not constrain the
+    second: lease ``add`` rides in a retractable work scope."""
+    with session_pool():
+        first = lease_session((BASE,))
+        first.add(CONFLICT)
+        assert first.check() == UNSAT
+        first.release()
+        second = lease_session((BASE,))
+        assert second.check() == SAT  # CONFLICT retracted on release
+        second.release()
+
+
+def test_lease_push_scopes_are_retracted_on_release():
+    with session_pool():
+        before = GLOBAL_COUNTERS.snapshot()
+        lease = lease_session((BASE,))
+        lease.push(CONFLICT, label="probe")
+        assert lease.check() == UNSAT
+        lease.release()
+        again = lease_session((BASE,))
+        assert again.check() == SAT
+        again.release()
+        delta = GLOBAL_COUNTERS.delta_since(before)
+        assert delta.get("scopes_opened", 0) == delta.get("scopes_retracted", 0)
+
+
+def test_distinct_keys_do_not_collide():
+    with session_pool():
+        a = lease_session((BASE,))
+        b = lease_session((CONFLICT,))
+        assert a.session is not b.session
+        a.release()
+        b.release()
+
+
+def test_pool_capacity_evicts_lru():
+    pool_cm = session_pool(capacity=1)
+    with pool_cm as pool:
+        a = lease_session((BASE,))
+        a.release()
+        b = lease_session((CONFLICT,))
+        b.release()  # evicts the BASE session (capacity 1)
+        assert pool.stats()["evictions"] == 1
+        assert pool.stats()["idle"] == 1
+        c = lease_session((BASE,))  # miss: the idle entry is CONFLICT's
+        c.release()
+        assert pool.stats()["misses"] >= 3 - 1  # a, b, c minus the hits
+
+
+def test_duplicate_release_of_same_key_closes_extra_session():
+    with session_pool() as pool:
+        a = lease_session((BASE,))
+        b = lease_session((BASE,))  # concurrent checkout: second build
+        assert a.session is not b.session
+        a.release()
+        b.release()  # key already idle: b's session is closed, not kept
+        assert pool.stats()["idle"] == 1
+
+
+def test_pool_uninstall_restores_unpooled_behavior():
+    with session_pool():
+        lease = lease_session((BASE,))
+        lease.release()
+    before = GLOBAL_COUNTERS.snapshot()
+    lease = lease_session((BASE,))
+    lease.release()
+    delta = GLOBAL_COUNTERS.delta_since(before)
+    assert delta.get("sessions_reused", 0) == 0
+
+
+@pytest.mark.parametrize("rounds", [3])
+def test_repeated_checkout_answers_like_fresh(rounds):
+    """Differential: N pooled checkouts all agree with a fresh lease."""
+    with session_pool():
+        for _ in range(rounds):
+            lease = lease_session((BASE,))
+            assert lease.check() == SAT
+            lease.add(CONFLICT)
+            assert lease.check() == UNSAT
+            lease.release()
