@@ -14,6 +14,10 @@ applies:
 * the state is **delta-capable** -- its class speaks the
   snapshot/delta protocol (``GLOBAL_COUNTERS``, ``GLOBAL_METRICS``),
   so per-worker mutation *is* the aggregation design;
+* the state is **channel-capable** -- its class speaks the
+  single-producer post/drain side-channel protocol (``GLOBAL_BOARD``,
+  ``BeaconChannel``): each worker posts only its own slots and the
+  parent drains, so the writes are the telemetry design, not a race;
 * the write site is in the **worker-local zone** (the per-process
   solver core and memo caches);
 * the write is lexically inside a ``with <lock>:`` block.
@@ -99,6 +103,8 @@ def analyze_escape(project: Project, inv: Inventory) -> list[Finding]:
         for site in shared_writes(func, inv):
             state = site.state
             if state.delta_capable:
+                continue
+            if state.channel_capable:
                 continue
             if state.zone == WORKER_LOCAL_ZONE:
                 continue

@@ -13,7 +13,13 @@ can say anything useful:
   whose class defines ``snapshot``/``delta_since`` participates in the
   sanctioned cross-process aggregation scheme (worker snapshots before
   the batch, ships the delta, parent merges in batch order) -- writes
-  to it inside a worker are the *design*, not a hazard.
+  to it inside a worker are the *design*, not a hazard.  The same
+  holds for the **channel protocol**: a class defining both ``post``
+  and ``drain`` is a single-producer lossy side channel (the heartbeat
+  status board / beacon channel in :mod:`repro.obs.heartbeat`) whose
+  posts on worker-reachable paths are how telemetry leaves the hot
+  path, deliberately without a lock (plain GIL-atomic stores, lossy by
+  design).
 * **Which code is a worker-local zone.**  The solver core
   (``repro/smt/``, ``repro/predicates/``) is single-threaded per
   process by contract: its counters and intern tables are mutated on
@@ -75,6 +81,10 @@ _MUTATOR_METHODS = frozenset(
 #: cross-process aggregation protocol).
 _DELTA_METHODS = frozenset({"snapshot", "delta_since"})
 
+#: Methods that make a class channel-capable (the sanctioned
+#: single-producer side-channel protocol): it must define BOTH.
+_CHANNEL_METHODS = frozenset({"post", "drain"})
+
 #: Names that construct a lock (``threading.Lock()`` and kin).
 _LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
                              "BoundedSemaphore"})
@@ -100,6 +110,7 @@ class SharedState:
     lineno: int
     class_name: str | None = None  # for instances: the class's local name
     delta_capable: bool = False
+    channel_capable: bool = False
     zone: str = SHARED_ZONE
 
     @property
@@ -116,6 +127,9 @@ class Inventory:
     #: class local-name per module -> True when the class defines the
     #: snapshot/delta protocol (module key, class name)
     delta_classes: set[tuple[str, str]] = field(default_factory=set)
+    #: (module key, class name) of classes speaking the post/drain
+    #: channel protocol (single-producer lossy side channels)
+    channel_classes: set[tuple[str, str]] = field(default_factory=set)
     #: classes with a module-level instance somewhere in the project:
     #: (defining module key, class name) -> instance qualnames
     singleton_classes: dict[tuple[str, str], list[str]] = field(
@@ -240,13 +254,22 @@ def _is_lock_value(value: ast.expr) -> bool:
     return name in _LOCK_FACTORIES
 
 
-def _class_delta_capable(node: ast.ClassDef) -> bool:
-    names = {
+def _class_methods(node: ast.ClassDef) -> set[str]:
+    return {
         sub.name
         for sub in node.body
         if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
     }
-    return bool(names & _DELTA_METHODS)
+
+
+def _class_delta_capable(node: ast.ClassDef) -> bool:
+    return bool(_class_methods(node) & _DELTA_METHODS)
+
+
+def _class_channel_capable(node: ast.ClassDef) -> bool:
+    # Both protocol methods, not either: plenty of classes have a
+    # ``post`` or a ``drain`` in isolation without being a channel.
+    return _CHANNEL_METHODS <= _class_methods(node)
 
 
 def _class_tables(node: ast.ClassDef) -> list[tuple[str, int]]:
@@ -282,6 +305,8 @@ def collect_inventory(project: Project) -> Inventory:
                 class_defs[key][node.name] = node
                 if _class_delta_capable(node):
                     inv.delta_classes.add((key, node.name))
+                if _class_channel_capable(node):
+                    inv.channel_classes.add((key, node.name))
                 for table_name, lineno in _class_tables(node):
                     entry = SharedState(
                         module=key,
@@ -350,17 +375,19 @@ def collect_inventory(project: Project) -> Inventory:
             if cls_module is None:
                 continue
             delta = (cls_module, cls_name) in inv.delta_classes
+            channel = (cls_module, cls_name) in inv.channel_classes
             inv.singleton_classes.setdefault(
                 (cls_module, cls_name), []
             ).append(entry.qualname)
-            if delta:
+            if delta or channel:
                 inv.by_module[key][entry.name] = SharedState(
                     module=entry.module,
                     name=entry.name,
                     kind=entry.kind,
                     lineno=entry.lineno,
                     class_name=entry.class_name,
-                    delta_capable=True,
+                    delta_capable=delta,
+                    channel_capable=channel,
                     zone=entry.zone,
                 )
     return inv

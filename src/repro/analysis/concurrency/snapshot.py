@@ -20,6 +20,11 @@ metric accessor (``counter`` / ``timer`` / ``histogram`` /
 without process dispatch (the solver core incrementing its own
 counters) are out of scope by construction.  Suppress with
 ``# sia: allow(SIA504)``.
+
+Channel-capable state (post/drain side channels, see the inventory)
+gets the same treatment with its own accessor set: aggregation code
+may ``post`` to, ``drain`` from, or ``reset`` a channel/status board
+-- those are the protocol -- but may not poke its fields directly.
 """
 
 from __future__ import annotations
@@ -43,6 +48,10 @@ SANCTIONED_ACCESSORS = frozenset(
     {"snapshot", "delta_since", "merge_delta", "reset", "summary",
      "counter", "timer", "histogram", "gauge"}
 )
+
+#: Attribute names sanctioned on channel-capable state (the
+#: single-producer post/drain side-channel protocol).
+CHANNEL_ACCESSORS = frozenset({"post", "drain", "reset"})
 
 
 def _is_aggregation_module(project: Project, module: ModuleInfo) -> bool:
@@ -69,9 +78,19 @@ def analyze_snapshot(project: Project, inv: Inventory) -> list[Finding]:
             if not isinstance(node, ast.Attribute):
                 continue
             entry = inv.resolve(module, node.value)
-            if entry is None or not entry.delta_capable:
+            if entry is None:
                 continue
-            if node.attr in SANCTIONED_ACCESSORS:
+            if entry.delta_capable:
+                if node.attr in SANCTIONED_ACCESSORS:
+                    continue
+                kind = "delta-capable registry"
+                hint = "use snapshot()/delta_since()/merge_delta()"
+            elif entry.channel_capable:
+                if node.attr in CHANNEL_ACCESSORS:
+                    continue
+                kind = "channel-capable state"
+                hint = "use post()/drain()"
+            else:
                 continue
             verb = (
                 "write" if isinstance(node.ctx, (ast.Store, ast.Del))
@@ -84,10 +103,9 @@ def analyze_snapshot(project: Project, inv: Inventory) -> list[Finding]:
                     col=node.col_offset + 1,
                     rule="SIA504",
                     message=(
-                        f"raw attribute {verb} of delta-capable registry "
+                        f"raw attribute {verb} of {kind} "
                         f"{entry.qualname}.{node.attr} in cross-process "
-                        "aggregation code; use snapshot()/delta_since()/"
-                        "merge_delta()"
+                        f"aggregation code; {hint}"
                     ),
                     pass_name="concurrency",
                 )

@@ -86,6 +86,7 @@ def _self_table_state(
         lineno=getattr(node, "lineno", 0),
         class_name=class_name,
         delta_capable=(key in inv.delta_classes),
+        channel_capable=(key in inv.channel_classes),
         zone=concurrency_zone_of(module.path),
     )
 

@@ -99,7 +99,7 @@ RULE_CATALOG: dict[str, RuleInfo] = {
         ),
         RuleInfo(
             "SIA010",
-            "raw wall-clock read outside repro.obs",
+            "raw wall-clock read outside repro.obs.clock",
             "use repro.obs.now()/Timer so tests can install ManualClock; "
             "this covers time.*, aliased 'from time import ...' names "
             "and datetime.now()/today()/utcnow()",

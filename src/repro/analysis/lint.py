@@ -45,17 +45,21 @@ file and enforces them directly:
   ``certified_solver`` for proof-logged verdicts; deliberate
   exceptions carry ``# sia: allow(SIA009)``.
 
-* **Clock discipline** (SIA010), enforced everywhere except under
-  ``repro/obs/``: durations must be measured on the injectable clock
-  (:func:`repro.obs.clock.now`), never on ``time.time()`` /
-  ``time.perf_counter()`` / ``time.monotonic()`` directly.  A direct
-  call bypasses ``ManualClock`` in tests (timing assertions go flaky)
-  and escapes the span tracer's notion of time.  Aliased spellings are
-  tracked through the file's imports: ``import time as t``,
-  ``from time import perf_counter [as pc]`` and the datetime family
-  (``datetime.datetime.now()`` / ``today()`` / ``utcnow()``, under
-  any import alias) all count.  ``repro/obs/clock.py`` is the single
-  sanctioned call site.
+* **Clock discipline** (SIA010), enforced everywhere except
+  ``repro/obs/clock.py`` itself: durations must be measured on the
+  injectable clock (:func:`repro.obs.clock.now`), never on
+  ``time.time()`` / ``time.perf_counter()`` / ``time.monotonic()``
+  directly.  A direct call bypasses ``ManualClock`` in tests (timing
+  assertions go flaky) and escapes the span tracer's notion of time.
+  Aliased spellings are tracked through the file's imports: ``import
+  time as t``, ``from time import perf_counter [as pc]`` and the
+  datetime family (``datetime.datetime.now()`` / ``today()`` /
+  ``utcnow()``, under any import alias) all count.
+  ``repro/obs/clock.py`` is the single sanctioned call site; the rest
+  of ``repro/obs/`` (heartbeat emitters, exporters, the ledger) is
+  held to the same rule as everything else, because telemetry
+  timestamps must be drivable by ``ManualClock`` too.  ``time.sleep``
+  is not a clock read and stays legal everywhere.
 
 The linter is purely syntactic -- it never imports the code it checks.
 """
@@ -137,8 +141,10 @@ class _Linter(ast.NodeVisitor):
         self._core_zone = (
             "core" in parts and Path(path).name not in _SESSION_MODULES
         )
-        # repro/obs/ is the sanctioned home of the real clock (SIA010).
-        self._obs_zone = "obs" in parts
+        # Only repro/obs/clock.py may read the real clock (SIA010);
+        # every other obs/ module (heartbeat, export, ledger, top) is
+        # telemetry code whose timestamps must honor ManualClock.
+        self._obs_zone = "obs" in parts and Path(path).name == "clock.py"
         self.findings: list[Finding] = []
         self._class_stack: list[str] = []
         self._func_stack: list[str] = []

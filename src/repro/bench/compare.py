@@ -1,0 +1,217 @@
+"""Structural BENCH diff: the perf-regression gate behind ``--compare``.
+
+``BENCH_smt_micro.json`` (see :mod:`repro.bench.perflog`) accumulates
+one perf entry per benchmark; this module diffs two such documents and
+decides, entry by entry, whether the new side regressed:
+
+* an entry regresses when its ``median_ms`` *or* ``p95_ms`` exceeds
+  the old value by more than the corresponding ratio threshold **and**
+  by more than an absolute floor (``min_ms``) -- the floor keeps
+  microsecond-scale entries from tripping a 1.5x ratio on noise;
+* an entry present in the old document but absent from the new one is
+  a regression too (a benchmark silently dropping out of the
+  trajectory is exactly what a gate must catch), unless
+  ``allow_missing`` is set;
+* entries only in the new document are reported as added, never fatal.
+
+p95 gets its own (typically looser) threshold because the ROADMAP
+wants the tail "tracked per-PR, not just the median" -- the tail is
+noisier, but a sustained 2x tail drift should fail CI even when the
+median holds.
+
+``repro bench --compare OLD.json`` runs this as a compare-only mode
+(no workload is executed) and exits nonzero on any regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CompareResult",
+    "EntryDiff",
+    "compare_bench",
+    "load_bench",
+    "render_compare",
+]
+
+#: Default drift thresholds: ratios a new median/p95 may reach before
+#: counting as a regression, and the absolute floor (ms) both must
+#: also clear.  CI passes looser ratios for tiny-scale smoke entries.
+DEFAULT_MEDIAN_RATIO = 1.5
+DEFAULT_P95_RATIO = 2.0
+DEFAULT_MIN_MS = 5.0
+
+
+@dataclass(frozen=True)
+class EntryDiff:
+    """One benchmark's old-vs-new medians and the verdict."""
+
+    name: str
+    status: str  # "ok" | "regressed" | "missing" | "added"
+    old_median: float | None = None
+    new_median: float | None = None
+    old_p95: float | None = None
+    new_p95: float | None = None
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def median_ratio(self) -> float | None:
+        if not self.old_median or self.new_median is None:
+            return None
+        return self.new_median / self.old_median
+
+    @property
+    def p95_ratio(self) -> float | None:
+        if not self.old_p95 or self.new_p95 is None:
+            return None
+        return self.new_p95 / self.old_p95
+
+
+@dataclass
+class CompareResult:
+    """Every entry diff plus the regression verdict."""
+
+    entries: list[EntryDiff] = field(default_factory=list)
+    thresholds: dict = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list[EntryDiff]:
+        return [e for e in self.entries if e.status in ("regressed", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def load_bench(path: Path | str) -> dict[str, dict]:
+    """The ``benchmarks`` table of a perflog JSON document."""
+    payload = json.loads(Path(path).read_text())
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ValueError(f"{path}: not a BENCH document (no 'benchmarks')")
+    return benchmarks
+
+
+def compare_bench(
+    old: dict[str, dict],
+    new: dict[str, dict],
+    *,
+    median_ratio: float = DEFAULT_MEDIAN_RATIO,
+    p95_ratio: float = DEFAULT_P95_RATIO,
+    min_ms: float = DEFAULT_MIN_MS,
+    allow_missing: bool = False,
+) -> CompareResult:
+    """Diff two benchmark tables (see module docstring for the rules)."""
+    result = CompareResult(
+        thresholds={
+            "median_ratio": median_ratio,
+            "p95_ratio": p95_ratio,
+            "min_ms": min_ms,
+        }
+    )
+    for name in sorted(old):
+        old_entry = old[name]
+        old_median = old_entry.get("median_ms")
+        old_p95 = old_entry.get("p95_ms")
+        new_entry = new.get(name)
+        if new_entry is None:
+            result.entries.append(
+                EntryDiff(
+                    name=name,
+                    status="ok" if allow_missing else "missing",
+                    old_median=old_median,
+                    old_p95=old_p95,
+                    reasons=() if allow_missing else (
+                        "entry absent from the new document",
+                    ),
+                )
+            )
+            continue
+        new_median = new_entry.get("median_ms")
+        new_p95 = new_entry.get("p95_ms")
+        reasons = []
+        for label, old_v, new_v, ratio in (
+            ("median_ms", old_median, new_median, median_ratio),
+            ("p95_ms", old_p95, new_p95, p95_ratio),
+        ):
+            if old_v is None or new_v is None:
+                continue
+            if new_v > old_v * ratio and new_v - old_v > min_ms:
+                reasons.append(
+                    f"{label} {old_v:.1f} -> {new_v:.1f} "
+                    f"({new_v / old_v if old_v else float('inf'):.2f}x "
+                    f"> {ratio:.2f}x)"
+                )
+        result.entries.append(
+            EntryDiff(
+                name=name,
+                status="regressed" if reasons else "ok",
+                old_median=old_median,
+                new_median=new_median,
+                old_p95=old_p95,
+                new_p95=new_p95,
+                reasons=tuple(reasons),
+            )
+        )
+    for name in sorted(set(new) - set(old)):
+        entry = new[name]
+        result.entries.append(
+            EntryDiff(
+                name=name,
+                status="added",
+                new_median=entry.get("median_ms"),
+                new_p95=entry.get("p95_ms"),
+            )
+        )
+    return result
+
+
+def _cell(value: float | None) -> str:
+    return f"{value:.1f}" if value is not None else "-"
+
+
+def render_compare(result: CompareResult) -> str:
+    """The diff as an aligned table plus a one-line verdict."""
+    headers = ["benchmark", "status", "median old", "new", "p95 old", "new"]
+    body = [
+        [
+            diff.name,
+            diff.status,
+            _cell(diff.old_median),
+            _cell(diff.new_median),
+            _cell(diff.old_p95),
+            _cell(diff.new_p95),
+        ]
+        for diff in result.entries
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body))
+        if body
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) if i < 2 else cell.rjust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(line) for line in body)
+    for diff in result.regressions:
+        for reason in diff.reasons:
+            lines.append(f"  regression {diff.name}: {reason}")
+    thresholds = result.thresholds
+    lines.append("")
+    lines.append(
+        ("PASS" if result.ok else "FAIL")
+        + f": {len(result.regressions)} regression(s) at thresholds "
+        f"median {thresholds.get('median_ratio')}x / "
+        f"p95 {thresholds.get('p95_ratio')}x / "
+        f"floor {thresholds.get('min_ms')} ms"
+    )
+    return "\n".join(lines)

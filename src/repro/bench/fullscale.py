@@ -50,6 +50,8 @@ def _record_to_json(record: EfficacyRecord) -> dict:
 def _record_from_json(payload: dict) -> EfficacyRecord:
     payload = dict(payload)
     payload["subset"] = tuple(payload["subset"])
+    # Checkpoints written before the partial flag existed lack the key.
+    payload.setdefault("partial", False)
     # The Pred tree is not shipped across JSON transit; its SQL
     # rendering is kept so re-encoding a decoded record (the parallel
     # fullscale path) does not blank the checkpoint's predicate field.
@@ -72,6 +74,7 @@ def run(
     deadline_ms: float | None = None,
     sanitize: bool = False,
     stats: dict | None = None,
+    telemetry=None,
 ) -> int:
     """Run (resumably) and return the number of new cells computed.
 
@@ -83,7 +86,11 @@ def run(
     interchangeably.  The driver's scheduling statistics land in
     ``stats`` (when given).  ``deadline_ms`` bounds each SIA cell's
     synthesis wall-clock on both paths; expired cells are checkpointed
-    as partial results.
+    as partial results (``partial: true``, truncated timings).
+
+    ``telemetry`` (a :class:`~repro.bench.parallel.TelemetryConfig`)
+    turns on the heartbeat/ledger plane; it routes even single-worker
+    runs through the driver so the telemetry shape is uniform.
     """
     done: set[tuple] = set()
     if out_path.exists():
@@ -93,11 +100,11 @@ def run(
                     done.add(_cell_key(json.loads(line)))
     out_path.parent.mkdir(parents=True, exist_ok=True)
 
-    if workers > 1:
+    if workers > 1 or telemetry is not None:
         return _run_parallel(
             queries, seed, out_path, tuple(techniques), done,
             workers=workers, deadline_ms=deadline_ms,
-            sanitize=sanitize, stats=stats,
+            sanitize=sanitize, stats=stats, telemetry=telemetry,
         )
 
     new_cells = 0
@@ -144,6 +151,7 @@ def _run_parallel(
     deadline_ms: float | None,
     sanitize: bool,
     stats: dict | None,
+    telemetry=None,
 ) -> int:
     """Sharded-driver path of :func:`run` (whole-query granularity)."""
     from .parallel import parallel_efficacy_records
@@ -167,10 +175,12 @@ def _run_parallel(
         sanitize=sanitize,
         deadline_ms=deadline_ms,
         queries=pending,
+        telemetry=telemetry,
     )
     if stats is not None:
         stats.update(result.pool)
         stats["counters"] = result.counters
+        stats["metrics"] = result.metrics
         if result.sanitizer is not None:
             stats["sanitizer"] = result.sanitizer
     new_cells = 0
@@ -204,11 +214,18 @@ def summarize(path: Path) -> str:
     headers3 = ["cols"]
     for technique in ("SIA", "SIA_v1", "SIA_v2"):
         headers3 += [f"{technique} gen", f"{technique} learn", f"{technique} val"]
-    return (
+    partials = sum(1 for r in records if r.partial)
+    out = (
         format_table(headers2, table2_rows(records), title=f"Table 2 ({len(records)} cells)")
         + "\n\n"
         + format_table(headers3, table3_rows(records), title="Table 3 (ms)")
     )
+    if partials:
+        out += (
+            f"\n\n{partials} partial cell(s) (deadline expired); "
+            "their timings are excluded from Table 3."
+        )
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -226,6 +243,10 @@ def main(argv: list[str] | None = None) -> int:
         help="per-cell synthesis budget; expired cells checkpoint partials",
     )
     parser.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="write heartbeats.jsonl and ledger.jsonl under DIR",
+    )
+    parser.add_argument(
         "--summarize", type=Path, default=None, metavar="JSONL",
         help="print Table 2/3 from an existing checkpoint file and exit",
     )
@@ -233,9 +254,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.summarize is not None:
         print(summarize(args.summarize))
         return 0
+    telemetry = None
+    if args.telemetry is not None:
+        from .parallel import TelemetryConfig
+
+        telemetry = TelemetryConfig(directory=args.telemetry)
     new_cells = run(
         args.queries, args.seed, args.out,
         workers=args.parallel, deadline_ms=args.deadline_ms,
+        telemetry=telemetry,
     )
     print(f"computed {new_cells} new cells -> {args.out}", file=sys.stderr)
     print(summarize(args.out))

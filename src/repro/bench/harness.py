@@ -115,6 +115,11 @@ class EfficacyRecord:
     #: (checkpoint lines, worker payloads) where the ``Pred`` tree
     #: itself is not shipped.
     predicate_sql: str | None = None
+    #: The cell's synthesis deadline expired (section 6.2): verdict and
+    #: timings describe a truncated run.  Flows through checkpoint
+    #: lines, the run ledger and reports so aggregates can keep partial
+    #: cells out of timing averages.
+    partial: bool = False
 
 
 _EFFICACY_CACHE: dict[tuple, list[EfficacyRecord]] = {}
@@ -165,6 +170,7 @@ def _run_sia_variant(
         learning_ms=outcome.timings.learning_ms,
         validation_ms=outcome.timings.validation_ms,
         predicate=outcome.predicate,
+        partial=outcome.timed_out,
     )
 
 
@@ -277,7 +283,12 @@ _COL_LABEL = {1: "one", 2: "two", 3: "three"}
 
 
 def table3_rows(records: list[EfficacyRecord]) -> list[list[object]]:
-    """Average generation/learning/validation ms per column count."""
+    """Average generation/learning/validation ms per column count.
+
+    Partial cells (expired deadlines) are excluded: their timings are
+    truncated at the budget, and averaging them in would silently bias
+    the per-phase costs downward.
+    """
     rows = []
     for n_cols in (1, 2, 3):
         row: list[object] = [_COL_LABEL[n_cols]]
@@ -285,7 +296,8 @@ def table3_rows(records: list[EfficacyRecord]) -> list[list[object]]:
             tech = [
                 r
                 for r in records
-                if r.n_cols == n_cols and r.technique == technique and r.possible
+                if r.n_cols == n_cols and r.technique == technique
+                and r.possible and not r.partial
             ]
             if tech:
                 row.extend(

@@ -51,12 +51,22 @@ and, via the ``REPRO_BENCH_PARALLEL`` environment knob, by
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import queue as queue_mod
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..obs.clock import now as _now
+from ..obs.heartbeat import (
+    DEFAULT_INTERVAL_MS,
+    GLOBAL_BOARD,
+    BeaconChannel,
+    HeartbeatEmitter,
+    RunModel,
+)
+from ..obs.ledger import RunLedger, cell_entry
 from ..obs.metrics import GLOBAL_METRICS, merge_delta, summarize_values
 from ..obs.sanitizer import (
     SANITIZE_ENV,
@@ -66,10 +76,11 @@ from ..obs.sanitizer import (
     uninstall_sanitizer,
 )
 from ..obs.trace import get_tracer
-from ..smt.backend import FLOAT_MODE_ENV
+from ..smt.backend import FLOAT_MODE_ENV, resolve_float_mode
 from ..smt.stats import GLOBAL_COUNTERS
 from ..tpch import WorkloadQuery, generate_workload
 from .harness import (
+    _CONFIGS,
     TECHNIQUES,
     EfficacyRecord,
     _ground_truth_possible,
@@ -99,6 +110,107 @@ _MAX_ATTEMPTS = 2
 _POLL_S = 0.25
 
 
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Where and how often the run's telemetry plane writes.
+
+    ``directory`` receives ``heartbeats.jsonl`` (worker beacons +
+    parent driver lines, rendered by ``repro top``) and
+    ``ledger.jsonl`` (the per-attempt run ledger, rendered by ``repro
+    report``).  When no config is given, the telemetry plane does not
+    exist: no emitter thread, no beacon queue, no board posts -- the
+    null path costs nothing.
+    """
+
+    directory: Path
+    heartbeat_ms: float = DEFAULT_INTERVAL_MS
+
+    @property
+    def heartbeat_path(self) -> Path:
+        return Path(self.directory) / "heartbeats.jsonl"
+
+    @property
+    def ledger_path(self) -> Path:
+        return Path(self.directory) / "ledger.jsonl"
+
+
+class _TelemetryRecorder:
+    """Parent-side telemetry plane: beacon fold + ``heartbeats.jsonl``.
+
+    Owns the :class:`~repro.obs.heartbeat.RunModel` for the run and the
+    heartbeat log file.  Every beacon is folded *and* appended verbatim
+    (with a flush, so ``repro top`` can tail a live run); the parent
+    adds ``driver`` lines (progress, steals, queue depth), ``silence``
+    lines (one per newly-flagged worker) and a final ``end`` line.
+    """
+
+    def __init__(self, config: TelemetryConfig, workers: int) -> None:
+        self.config = config
+        self.model = RunModel(interval_ms=config.heartbeat_ms)
+        directory = Path(config.directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._fh = open(config.heartbeat_path, "w")
+
+    def register(self, worker_id: int) -> None:
+        """Start a worker's silence clock (call once it reports ready,
+        so spawn/import latency is not misread as silence)."""
+        self.model.register(worker_id, _now())
+
+    def _write(self, line: dict) -> None:
+        self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def fold(self, beacons: list[dict]) -> None:
+        # Beacon "t" is worker perf-counter time (arbitrary epoch); the
+        # parent stamps its own arrival clock as "rx" so every line in
+        # the log shares one epoch for `repro top` to order by.
+        arrival = _now()
+        for beacon in beacons:
+            self.model.fold(beacon, arrival)
+            self._write({**beacon, "rx": round(arrival, 4)})
+
+    def driver_line(
+        self,
+        *,
+        done: int,
+        total: int,
+        steals: int = 0,
+        requeues: int = 0,
+        queue_depth: int = 0,
+    ) -> None:
+        self._write(
+            {
+                "type": "driver",
+                "t": round(_now(), 4),
+                "done": done,
+                "total": total,
+                "steals": steals,
+                "requeues": requeues,
+                "queue_depth": queue_depth,
+            }
+        )
+
+    def check_silence(self) -> None:
+        for wid in self.model.flag_silent(_now()):
+            self._write(
+                {"type": "silence", "t": round(_now(), 4), "worker": wid}
+            )
+
+    def close(self) -> dict:
+        """Write the ``end`` line; returns the run-model rollup."""
+        rollup = self.model.snapshot()
+        self._write(
+            {
+                "type": "end",
+                "t": round(_now(), 4),
+                "beacons": rollup["beacons"],
+                "silence_flags": rollup["silence_flags"],
+            }
+        )
+        self._fh.close()
+        return rollup
+
+
 @dataclass
 class ParallelRunResult:
     """Merged records plus aggregated solver counters and metrics."""
@@ -118,22 +230,50 @@ class ParallelRunResult:
     worker_env: dict[int, dict] = field(default_factory=dict)
 
 
+def _cell_audit(technique: str) -> str:
+    """Ledger audit status: were the cell's verify verdicts certified?"""
+    config = _CONFIGS.get(technique)
+    if config is not None and config.certify_verify:
+        return "certified"
+    return "none"
+
+
 def _query_batch(
     wq: WorkloadQuery,
     techniques: tuple[str, ...],
     deadline_ms: float | None = None,
-) -> tuple[int, list[dict], dict[str, int], dict[str, dict]]:
-    """All cells of one query (runs inside a worker process)."""
+    *,
+    telemetry: bool = False,
+) -> tuple[int, list[dict], dict[str, int], dict[str, dict], list[dict]]:
+    """All cells of one query (runs inside a worker process).
+
+    With ``telemetry`` on, the hot path additionally posts its current
+    position to the heartbeat status board (a few plain attribute
+    stores per *cell*, read by the emitter thread) and builds one run
+    ledger entry per cell with that cell's solver-counter delta.  Off,
+    neither exists -- the null path is unchanged.
+    """
     from .fullscale import _record_to_json
 
     tracer = get_tracer()
     before = GLOBAL_COUNTERS.snapshot()
     metrics_before = GLOBAL_METRICS.snapshot()
     payloads: list[dict] = []
+    ledger_entries: list[dict] = []
+    cells_done = 0
     with GLOBAL_METRICS.timer("bench.query_ms").time(), tracer.span(
         "bench.query", index=wq.index, counters=True
     ):
         for subset in column_subsets():
+            subset_label = "+".join(str(col) for col in subset)
+            if telemetry:
+                GLOBAL_BOARD.post(
+                    query=wq.index,
+                    cell=subset_label,
+                    phase="ground_truth",
+                    cells_done=cells_done,
+                    deadline_ms=deadline_ms,
+                )
             with tracer.span(
                 "bench.ground_truth",
                 phase="ground_truth",
@@ -141,6 +281,13 @@ def _query_batch(
             ):
                 possible = _ground_truth_possible(wq, subset)
             for technique in techniques:
+                if telemetry:
+                    GLOBAL_BOARD.post(
+                        cell=f"{subset_label}/{technique}",
+                        phase="cell",
+                        cells_done=cells_done,
+                    )
+                    cell_before = GLOBAL_COUNTERS.snapshot()
                 with tracer.span("bench.cell", technique=technique):
                     if technique == "TC":
                         record = _run_transitive_closure(wq, subset)
@@ -149,13 +296,27 @@ def _query_batch(
                             wq, subset, technique, deadline_ms=deadline_ms
                         )
                 record.possible = possible
-                payloads.append(_record_to_json(record))
+                payload = _record_to_json(record)
+                payloads.append(payload)
+                cells_done += 1
+                if telemetry:
+                    ledger_entries.append(
+                        cell_entry(
+                            payload,
+                            counters=GLOBAL_COUNTERS.delta_since(cell_before),
+                            audit=_cell_audit(technique),
+                            deadline_ms=deadline_ms,
+                        )
+                    )
+    if telemetry:
+        GLOBAL_BOARD.post(phase="idle", cells_done=cells_done)
     GLOBAL_METRICS.counter("bench.cells").inc(len(payloads))
     return (
         wq.index,
         payloads,
         GLOBAL_COUNTERS.delta_since(before),
         GLOBAL_METRICS.delta_since(metrics_before),
+        ledger_entries,
     )
 
 
@@ -224,6 +385,8 @@ def _worker_main(
     env_overrides: dict[str, str],
     techniques: tuple[str, ...],
     deadline_ms: float | None,
+    beacon_queue=None,
+    heartbeat_ms: float = DEFAULT_INTERVAL_MS,
 ) -> None:
     """Persistent worker loop (top-level so spawn can pickle it).
 
@@ -231,13 +394,27 @@ def _worker_main(
     session pool spans the whole loop -- that is the point: warm
     sessions survive across queries.  Every result message carries the
     batch payloads, both registry deltas, the drained sanitizer report
-    (when installed) and the wait/busy timings the parent folds into
-    the pool statistics.
+    (when installed), the wait/busy timings the parent folds into the
+    pool statistics, and (telemetry runs) the batch's ledger entries.
+
+    ``beacon_queue`` is the telemetry side channel: when given, a
+    daemon :class:`~repro.obs.heartbeat.HeartbeatEmitter` posts one
+    beacon per ``heartbeat_ms`` through a never-blocking
+    :class:`~repro.obs.heartbeat.BeaconChannel`.  When ``None``
+    (telemetry off) no thread, channel or board post exists.
     """
     _apply_env_overrides(env_overrides)
     sanitizer = maybe_install_sanitizer()
     from ..smt.session import session_pool
 
+    telemetry = beacon_queue is not None
+    emitter = None
+    if telemetry:
+        emitter = HeartbeatEmitter(
+            worker_id,
+            BeaconChannel(beacon_queue),
+            interval_ms=heartbeat_ms,
+        ).start()
     result_queue.put(
         (
             "ready",
@@ -245,37 +422,46 @@ def _worker_main(
             {key: os.environ.get(key) for key in PROPAGATED_ENV},
         )
     )
-    with session_pool():
-        while True:
-            wait_start = _now()
-            task = task_queue.get()
-            wait_ms = (_now() - wait_start) * 1000.0
-            if task is None:
-                break
-            wq, attempt = task
-            if attempt == 0 and os.environ.get(CRASH_ENV) == str(wq.index):
-                os._exit(3)  # fault injection, see CRASH_ENV
-            busy_start = _now()
-            index, payloads, delta, metrics_delta = _query_batch(
-                wq, techniques, deadline_ms
-            )
-            busy_ms = (_now() - busy_start) * 1000.0
-            report = (
-                sanitizer.drain().to_json() if sanitizer is not None else None
-            )
-            result_queue.put(
-                (
-                    "done",
-                    worker_id,
-                    index,
-                    payloads,
-                    delta,
-                    metrics_delta,
-                    report,
-                    busy_ms,
-                    wait_ms,
+    try:
+        with session_pool():
+            while True:
+                wait_start = _now()
+                task = task_queue.get()
+                wait_ms = (_now() - wait_start) * 1000.0
+                if task is None:
+                    break
+                wq, attempt = task
+                if attempt == 0 and os.environ.get(CRASH_ENV) == str(wq.index):
+                    os._exit(3)  # fault injection, see CRASH_ENV
+                busy_start = _now()
+                index, payloads, delta, metrics_delta, ledger_entries = (
+                    _query_batch(
+                        wq, techniques, deadline_ms, telemetry=telemetry
+                    )
                 )
-            )
+                busy_ms = (_now() - busy_start) * 1000.0
+                report = (
+                    sanitizer.drain().to_json()
+                    if sanitizer is not None
+                    else None
+                )
+                result_queue.put(
+                    (
+                        "done",
+                        worker_id,
+                        index,
+                        payloads,
+                        delta,
+                        metrics_delta,
+                        report,
+                        busy_ms,
+                        wait_ms,
+                        ledger_entries,
+                    )
+                )
+    finally:
+        if emitter is not None:
+            emitter.stop()
 
 
 def default_workers() -> int:
@@ -293,28 +479,59 @@ def _run_inline(
     batches: dict[int, list[dict]],
     deltas: dict[int, tuple],
     reports: list[dict],
+    ledgers: dict[int, list],
+    telemetry: TelemetryConfig | None,
 ) -> tuple[dict, dict[int, dict]]:
     """The ``workers <= 1`` path: same pipeline, no processes.
 
     Installs the same worker-lifetime session pool the sharded path
     gives each worker, so a single-process run exercises (and its
-    records reflect) the identical warm-session trajectory.
+    records reflect) the identical warm-session trajectory.  With
+    telemetry on, the single "worker" (id 0) runs the same emitter
+    thread over an in-process channel, so the heartbeat log has the
+    same shape as a sharded run's.
     """
     from ..smt.session import session_pool
 
+    recorder = emitter = channel = None
+    if telemetry is not None:
+        recorder = _TelemetryRecorder(telemetry, workers=1)
+        recorder.register(0)
+        channel = BeaconChannel()
+        emitter = HeartbeatEmitter(
+            0, channel, interval_ms=telemetry.heartbeat_ms
+        ).start()
+
     busy_ms = 0.0
-    with session_pool():
-        for wq in queries:
-            sanitizer = maybe_install_sanitizer()
-            start = _now()
-            index, payloads, delta, metrics_delta = _query_batch(
-                wq, techniques, deadline_ms
-            )
-            busy_ms += (_now() - start) * 1000.0
-            batches[index] = payloads
-            deltas[index] = (delta, metrics_delta)
-            if sanitizer is not None:
-                reports.append(sanitizer.drain().to_json())
+    done = 0
+    try:
+        with session_pool():
+            for wq in queries:
+                sanitizer = maybe_install_sanitizer()
+                start = _now()
+                index, payloads, delta, metrics_delta, entries = _query_batch(
+                    wq, techniques, deadline_ms,
+                    telemetry=telemetry is not None,
+                )
+                busy_ms += (_now() - start) * 1000.0
+                batches[index] = payloads
+                deltas[index] = (delta, metrics_delta)
+                ledgers[index] = entries
+                done += 1
+                if sanitizer is not None:
+                    reports.append(sanitizer.drain().to_json())
+                if recorder is not None:
+                    recorder.fold(channel.drain())
+                    recorder.driver_line(
+                        done=done,
+                        total=len(queries),
+                        queue_depth=len(queries) - done,
+                    )
+                    recorder.check_silence()
+    finally:
+        if emitter is not None:
+            emitter.stop()
+            GLOBAL_BOARD.reset()
     pool_stats = {
         "steals": 0,
         "requeues": 0,
@@ -322,6 +539,9 @@ def _run_inline(
         "queue_wait_ms": summarize_values([]),
         "busy_ms": [round(busy_ms, 1)],
     }
+    if recorder is not None:
+        recorder.fold(channel.drain())
+        pool_stats["heartbeats"] = recorder.close()
     return pool_stats, {}
 
 
@@ -333,6 +553,8 @@ def _run_sharded(
     batches: dict[int, list[dict]],
     deltas: dict[int, tuple],
     reports: list[dict],
+    ledgers: dict[int, list],
+    telemetry: TelemetryConfig | None,
 ) -> tuple[dict, dict[int, dict]]:
     """Dispatch ``queries`` over persistent workers (see module doc)."""
     # Spawn, never the platform default: fork would clone the parent's
@@ -341,6 +563,13 @@ def _run_sharded(
     # of starting from zero.
     context = multiprocessing.get_context("spawn")
     result_queue = context.Queue()
+    recorder = beacon_queue = beacon_channel = None
+    heartbeat_ms = DEFAULT_INTERVAL_MS
+    if telemetry is not None:
+        recorder = _TelemetryRecorder(telemetry, workers=workers)
+        heartbeat_ms = telemetry.heartbeat_ms
+        beacon_queue = context.Queue()
+        beacon_channel = BeaconChannel(beacon_queue)
     env_overrides = _worker_env_overrides()
     shards = [list(shard) for shard in assign_shards(expected_costs(queries), workers)]
     requeued: list[int] = []
@@ -365,6 +594,8 @@ def _run_sharded(
                 env_overrides,
                 techniques,
                 deadline_ms,
+                beacon_queue,
+                heartbeat_ms,
             ),
             daemon=True,
         )
@@ -411,6 +642,7 @@ def _run_sharded(
                 wq = queries[position]
                 batches[wq.index] = _crashed_payloads(wq, techniques)
                 deltas[wq.index] = ({}, {})
+                ledgers[wq.index] = []
                 remaining -= 1
         if requeued or any(shards) or any(inflight):
             restarts += 1
@@ -429,6 +661,9 @@ def _run_sharded(
 
     try:
         while remaining:
+            if recorder is not None:
+                recorder.fold(beacon_channel.drain())
+                recorder.check_silence()
             try:
                 message = result_queue.get(timeout=_POLL_S)
             except queue_mod.Empty:
@@ -440,6 +675,8 @@ def _run_sharded(
             if message[0] == "ready":
                 _, wid, env_snapshot = message
                 worker_env[wid] = env_snapshot
+                if recorder is not None:
+                    recorder.register(wid)
                 continue
             (
                 _,
@@ -451,6 +688,7 @@ def _run_sharded(
                 report,
                 busy_ms,
                 wait_ms,
+                ledger_entries,
             ) = message
             inflight[wid] = None
             busy[wid] += busy_ms
@@ -465,8 +703,17 @@ def _run_sharded(
                 continue
             batches[index] = payloads
             deltas[index] = (delta, metrics_delta)
+            ledgers[index] = ledger_entries
             remaining -= 1
             dispatch(wid)
+            if recorder is not None:
+                recorder.driver_line(
+                    done=len(queries) - remaining,
+                    total=len(queries),
+                    steals=steals,
+                    requeues=requeues,
+                    queue_depth=sum(len(s) for s in shards) + len(requeued),
+                )
     finally:
         for wid in range(workers):
             proc = procs[wid]
@@ -487,6 +734,10 @@ def _run_sharded(
         "queue_wait_ms": summarize_values(waits),
         "busy_ms": [round(value, 1) for value in busy],
     }
+    if recorder is not None:
+        # Final beats posted by each worker's emitter.stop() land here.
+        recorder.fold(beacon_channel.drain())
+        pool_stats["heartbeats"] = recorder.close()
     return pool_stats, worker_env
 
 
@@ -499,6 +750,7 @@ def parallel_efficacy_records(
     sanitize: bool = False,
     deadline_ms: float | None = None,
     queries: list[WorkloadQuery] | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> ParallelRunResult:
     """Run the efficacy workload across ``workers`` processes.
 
@@ -518,6 +770,11 @@ def parallel_efficacy_records(
     ``sanitize=True`` installs the shared-state sanitizer in this
     process, exports its environment flag so every worker installs it
     too, and attaches the folded access report as ``.sanitizer``.
+
+    ``telemetry`` (a :class:`TelemetryConfig`) turns on the heartbeat
+    plane and the run ledger: workers beat into
+    ``<dir>/heartbeats.jsonl`` and every cell lands in
+    ``<dir>/ledger.jsonl`` (ascending query order, like the merge).
     """
     from .fullscale import _record_from_json
 
@@ -534,16 +791,18 @@ def parallel_efficacy_records(
     reports: list[dict] = []
     batches: dict[int, list[dict]] = {}
     deltas: dict[int, tuple] = {}
+    ledgers: dict[int, list] = {}
     start = _now()
     try:
         if workers <= 1:
             pool_stats, worker_env = _run_inline(
-                queries, techniques, deadline_ms, batches, deltas, reports
+                queries, techniques, deadline_ms, batches, deltas, reports,
+                ledgers, telemetry,
             )
         else:
             pool_stats, worker_env = _run_sharded(
                 queries, techniques, deadline_ms, workers,
-                batches, deltas, reports,
+                batches, deltas, reports, ledgers, telemetry,
             )
     finally:
         if sanitize:
@@ -574,6 +833,27 @@ def parallel_efficacy_records(
         for index in sorted(batches)
         for payload in batches[index]
     ]
+    if telemetry is not None:
+        # Ledger lines land in ascending query order, exactly like the
+        # record merge, so a ledger is reproducible across worker
+        # counts (timestamps and counters aside).
+        with RunLedger(
+            telemetry.ledger_path,
+            {
+                "float_filter": resolve_float_mode(
+                    _CONFIGS["SIA"].float_filter
+                ),
+                "techniques": list(techniques),
+                "workers": workers,
+                "deadline_ms": deadline_ms,
+                "sanitize": sanitize,
+                "seed": seed,
+                "queries": len(queries),
+            },
+        ) as run_ledger:
+            for index in sorted(ledgers):
+                for entry in ledgers[index]:
+                    run_ledger.append(entry)
     summary: dict | None = None
     if sanitizer is not None:
         reports.append(sanitizer.drain().to_json())

@@ -7,6 +7,11 @@ Usage::
     python -m repro demo
     python -m repro bench --parallel 4 [--queries 8] [--seed 42]
     python -m repro bench --fullscale --parallel 4 [--deadline-ms 5000]
+    python -m repro bench --parallel 2 --telemetry telemetry/
+    python -m repro bench --compare old_BENCH.json
+    python -m repro top telemetry/heartbeats.jsonl --once
+    python -m repro report telemetry/ledger.jsonl
+    python -m repro serve-metrics --port 9109
 
 The TPC-H schema is built in; any query over its tables parses
 directly.  ``rewrite`` prints the rewritten SQL (or the reason nothing
@@ -156,6 +161,110 @@ def _build_parser() -> argparse.ArgumentParser:
         "'repro trace PATH'); traced spans cover the in-process "
         "portion of the run only",
     )
+    bench.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry",
+        default=None,
+        metavar="DIR",
+        help="write live telemetry under DIR (default 'telemetry'): "
+        "heartbeats.jsonl for 'repro top' and ledger.jsonl for "
+        "'repro report'; off when the flag is absent",
+    )
+    bench.add_argument(
+        "--heartbeat-ms",
+        dest="heartbeat_ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="worker heartbeat period for --telemetry (default: 500)",
+    )
+    bench.add_argument(
+        "--compare",
+        dest="compare_path",
+        default=None,
+        metavar="OLD.json",
+        help="compare-only mode: diff OLD.json against the current "
+        "perf JSON (--json or BENCH_smt_micro.json) and exit nonzero "
+        "on regression; no workload runs",
+    )
+    bench.add_argument(
+        "--median-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="--compare: fail when new median > old * R (default 1.5)",
+    )
+    bench.add_argument(
+        "--p95-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="--compare: fail when new p95 > old * R (default 2.0)",
+    )
+    bench.add_argument(
+        "--min-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="--compare: absolute drift floor a regression must also "
+        "clear (default 5.0)",
+    )
+    bench.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="--compare: entries absent from the new document are not "
+        "regressions",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a telemetry-enabled bench run "
+        "(reads heartbeats.jsonl)",
+    )
+    top.add_argument(
+        "path",
+        nargs="?",
+        default="telemetry/heartbeats.jsonl",
+        help="heartbeat log (default: telemetry/heartbeats.jsonl)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (CI-friendly)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="refresh period in seconds for live mode (default: 1.0)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="per-query profiles from a run ledger (reads ledger.jsonl)",
+    )
+    report.add_argument(
+        "path",
+        nargs="?",
+        default="telemetry/ledger.jsonl",
+        help="run ledger (default: telemetry/ledger.jsonl)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the profiles as JSON for CI",
+    )
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="stdlib HTTP endpoint exposing live metrics "
+        "(/metrics Prometheus text, /metrics.json, /healthz)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9109)
 
     trace = sub.add_parser(
         "trace",
@@ -289,14 +398,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
-def _print_pool_stats(pool: dict) -> None:
-    """One-line scheduler summary + the worker-utilization gauge."""
-    if not pool:
-        return
+def _run_gauges(pool: dict, metrics: dict | None) -> dict[str, float]:
+    """Every gauge the run produced: worker deltas + parent registry.
+
+    Setting ``bench.worker_utilization`` here (not just printing it)
+    keeps the parent registry the single source the exporters read.
+    """
     from .obs.metrics import GLOBAL_METRICS
 
+    gauges: dict[str, float] = dict((metrics or {}).get("gauges", {}))
+    if pool:
+        GLOBAL_METRICS.gauge("bench.worker_utilization").set(
+            pool.get("utilization", 0.0)
+        )
+    gauges.update(GLOBAL_METRICS.summary()["gauges"])
+    return gauges
+
+
+def _print_pool_stats(pool: dict, metrics: dict | None = None) -> None:
+    """Scheduler summary, gauge values, and the telemetry rollup."""
+    if not pool:
+        return
     utilization = pool.get("utilization", 0.0)
-    GLOBAL_METRICS.gauge("bench.worker_utilization").set(utilization)
     wait = pool.get("queue_wait_ms", {})
     print(
         f"pool: {pool.get('workers', 1)} worker(s) at "
@@ -307,6 +430,21 @@ def _print_pool_stats(pool: dict) -> None:
         f"queue wait p50/p95 {wait.get('p50', 0.0):.1f}/"
         f"{wait.get('p95', 0.0):.1f} ms"
     )
+    gauges = _run_gauges(pool, metrics)
+    if gauges:
+        print(
+            "gauges: "
+            + " ".join(
+                f"{name}={value}" for name, value in sorted(gauges.items())
+            )
+        )
+    heartbeats = pool.get("heartbeats")
+    if heartbeats:
+        print(
+            f"telemetry: {heartbeats.get('beacons', 0)} beacon(s) from "
+            f"{len(heartbeats.get('workers', {}))} worker(s), "
+            f"{heartbeats.get('silence_flags', 0)} silence flag(s)"
+        )
 
 
 def _print_sanitizer(summary: dict | None) -> int:
@@ -321,6 +459,72 @@ def _print_sanitizer(summary: dict | None) -> int:
     for violation in summary["violations"]:
         print(f"  violation: {violation['message']}")
     return 1 if summary["violations"] else 0
+
+
+def _telemetry_config(args: argparse.Namespace):
+    """The run's ``TelemetryConfig``, or ``None`` when --telemetry is off."""
+    if args.telemetry is None:
+        return None
+    from pathlib import Path
+
+    from .bench.parallel import TelemetryConfig
+    from .obs.heartbeat import DEFAULT_INTERVAL_MS
+
+    return TelemetryConfig(
+        directory=Path(args.telemetry),
+        heartbeat_ms=args.heartbeat_ms or DEFAULT_INTERVAL_MS,
+    )
+
+
+def _print_telemetry_paths(telemetry) -> None:
+    if telemetry is None:
+        return
+    print(
+        f"telemetry: heartbeats -> {telemetry.heartbeat_path}, "
+        f"ledger -> {telemetry.ledger_path}"
+    )
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """``repro bench --compare OLD.json``: the perf-regression gate."""
+    from .bench.compare import (
+        DEFAULT_MEDIAN_RATIO,
+        DEFAULT_MIN_MS,
+        DEFAULT_P95_RATIO,
+        compare_bench,
+        load_bench,
+        render_compare,
+    )
+    from .bench.perflog import DEFAULT_PATH
+
+    new_path = (
+        args.json_path
+        if args.json_path not in (None, "-")
+        else DEFAULT_PATH
+    )
+    try:
+        old = load_bench(args.compare_path)
+        new = load_bench(new_path)
+    except (OSError, ValueError) as exc:
+        print(f"bench --compare: error: {exc}", file=sys.stderr)
+        return 2
+    result = compare_bench(
+        old,
+        new,
+        median_ratio=(
+            args.median_ratio
+            if args.median_ratio is not None
+            else DEFAULT_MEDIAN_RATIO
+        ),
+        p95_ratio=(
+            args.p95_ratio if args.p95_ratio is not None else DEFAULT_P95_RATIO
+        ),
+        min_ms=args.min_ms if args.min_ms is not None else DEFAULT_MIN_MS,
+        allow_missing=args.allow_missing,
+    )
+    print(f"comparing {args.compare_path} (old) -> {new_path} (new)")
+    print(render_compare(result))
+    return 0 if result.ok else 1
 
 
 def _cmd_bench_fullscale(args: argparse.Namespace, workers: int) -> int:
@@ -342,6 +546,7 @@ def _cmd_bench_fullscale(args: argparse.Namespace, workers: int) -> int:
     num_queries = args.queries if args.queries is not None else 200
     seed = args.seed if args.seed is not None else 42
     out = Path(args.fullscale_out or "results/fullscale.jsonl")
+    telemetry = _telemetry_config(args)
     stats: dict = {}
     start = now()
     new_cells = fullscale_run(
@@ -352,11 +557,12 @@ def _cmd_bench_fullscale(args: argparse.Namespace, workers: int) -> int:
         deadline_ms=args.deadline_ms,
         sanitize=args.sanitize,
         stats=stats,
+        telemetry=telemetry,
     )
     wall_clock_ms = (now() - start) * 1000.0
 
     times: list[float] = []
-    cells = valid = optimal = 0
+    cells = valid = optimal = partial = 0
     with out.open() as handle:
         for line in handle:
             if not line.strip():
@@ -365,26 +571,31 @@ def _cmd_bench_fullscale(args: argparse.Namespace, workers: int) -> int:
             cells += 1
             valid += bool(payload["valid"])
             optimal += bool(payload["optimal"])
-            times.append(
-                payload["generation_ms"]
-                + payload["learning_ms"]
-                + payload["validation_ms"]
-            )
+            partial += bool(payload.get("partial", False))
+            if not payload.get("partial", False):
+                # Partial (deadline-expired) cells have truncated
+                # timings; keep them out of the perf trajectory.
+                times.append(
+                    payload["generation_ms"]
+                    + payload["learning_ms"]
+                    + payload["validation_ms"]
+                )
     print(
         f"fullscale: {new_cells} new cells ({cells} total, {valid} valid, "
-        f"{optimal} optimal) in {wall_clock_ms / 1000.0:.1f} s on "
-        f"{workers} worker(s) -> {out}"
+        f"{optimal} optimal, {partial} partial) in "
+        f"{wall_clock_ms / 1000.0:.1f} s on {workers} worker(s) -> {out}"
     )
+    _print_telemetry_paths(telemetry)
     pool = {
         key: stats[key]
         for key in (
             "workers", "steals", "requeues", "worker_restarts",
             "queue_wait_ms", "busy_ms", "utilization", "wall_ms",
-            "deadline_ms",
+            "deadline_ms", "heartbeats",
         )
         if key in stats
     }
-    _print_pool_stats(pool)
+    _print_pool_stats(pool, stats.get("metrics"))
     exit_code = _print_sanitizer(stats.get("sanitizer")) if args.sanitize else 0
     if args.json_path != "-" and times:
         entry = summarize_times(times)
@@ -395,6 +606,7 @@ def _cmd_bench_fullscale(args: argparse.Namespace, workers: int) -> int:
                 "new_cells": new_cells,
                 "valid": valid,
                 "optimal": optimal,
+                "partial": partial,
                 "wall_clock_ms": round(wall_clock_ms, 1),
             }
         )
@@ -421,9 +633,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     from .obs import install_file_tracer, now
 
+    if args.compare_path is not None:
+        return _cmd_bench_compare(args)
     workers = default_workers() if args.parallel == 0 else args.parallel
     if args.fullscale:
         return _cmd_bench_fullscale(args, workers)
+    telemetry = _telemetry_config(args)
     tracing = (
         install_file_tracer(args.trace_path)
         if args.trace_path
@@ -443,13 +658,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 workers=workers,
                 sanitize=args.sanitize,
                 deadline_ms=args.deadline_ms,
+                telemetry=telemetry,
             )
         wall_clock_ms = (now() - start) * 1000.0
+        if tracer is not None:
+            # Gauges ride the trace as events so `repro trace --json`
+            # surfaces them alongside the phase attribution.
+            for name, value in sorted(
+                _run_gauges(result.pool, result.metrics).items()
+            ):
+                tracer.event("metrics.gauge", gauge=name, value=value)
     records = result.records
     valid = sum(1 for r in records if r.valid)
     optimal = sum(1 for r in records if r.optimal)
+    partial = sum(1 for r in records if r.partial)
     print(
-        f"{len(records)} cells ({valid} valid, {optimal} optimal) in "
+        f"{len(records)} cells ({valid} valid, {optimal} optimal, "
+        f"{partial} partial) in "
         f"{wall_clock_ms / 1000.0:.1f} s on {result.workers} worker(s)"
     )
     counters = result.counters
@@ -461,13 +686,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{counters.get('sessions_created', 0)} sessions), "
         f"{counters.get('clauses_learned', 0)} clauses learned"
     )
-    _print_pool_stats(result.pool)
+    _print_pool_stats(result.pool, result.metrics)
+    _print_telemetry_paths(telemetry)
     exit_code = _print_sanitizer(result.sanitizer) if args.sanitize else 0
     if args.trace_path:
         print(f"trace {trace_id} written to {args.trace_path}")
     if args.json_path != "-" and records:
         entry = summarize_times(
-            [r.generation_ms + r.learning_ms + r.validation_ms for r in records]
+            [
+                r.generation_ms + r.learning_ms + r.validation_ms
+                for r in records
+                if not r.partial
+            ]
+            or [0.0]
         )
         entry.update(
             {
@@ -476,6 +707,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "records": len(records),
                 "valid": valid,
                 "optimal": optimal,
+                "partial": partial,
                 "wall_clock_ms": round(wall_clock_ms, 1),
             }
         )
@@ -514,6 +746,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(render_phase_table(replay))
     print()
     print(render_flamegraph(replay, depth=args.depth))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    return run_top(args.path, once=args.once, interval_s=args.interval)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.ledger import load_ledger, per_query_profiles, render_report
+
+    try:
+        header, entries = load_ledger(args.path)
+    except OSError as exc:
+        print(f"report: error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "config": header.get("config", {}),
+                    "version": header.get("version"),
+                    "profiles": per_query_profiles(entries),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(render_report(header, entries))
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    from .obs.export import serve
+
+    serve(args.host, args.port)
     return 0
 
 
@@ -567,6 +839,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "top":
+            return _cmd_top(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "serve-metrics":
+            return _cmd_serve_metrics(args)
         # demo
         from .engine import execute
         from .tpch import generate_catalog

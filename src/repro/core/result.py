@@ -80,6 +80,10 @@ class SynthesisOutcome:
     trace: list[IterationTrace] = field(default_factory=list)
     optimal_exact: bool = True  # QE exactness caveat (DESIGN.md section 6)
     target_columns: tuple[str, ...] = ()
+    #: The cooperative deadline (section 6.2) expired: the outcome is a
+    #: *partial* result -- best predicate found so far, truncated
+    #: timings.  Downstream aggregates must not mix these silently.
+    timed_out: bool = False
 
     @property
     def is_valid(self) -> bool:

@@ -368,6 +368,7 @@ class Synthesizer:
             if deadline is not None and _clock_now() > deadline:
                 status = VALID if not p1.is_trivial else FAILED
                 outcome.detail = outcome.detail or "timeout (section 6.2)"
+                outcome.timed_out = True
                 break
             iteration += 1
             with tracer.span("cegis.iteration", index=iteration):

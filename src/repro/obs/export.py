@@ -1,0 +1,161 @@
+"""Metrics exporters: Prometheus text, JSON snapshots, HTTP endpoint.
+
+The observability layer's read side for *external* consumers: where
+``repro trace`` replays a finished run, these exporters expose the
+**live** state of :data:`~repro.smt.stats.GLOBAL_COUNTERS` and
+:data:`~repro.obs.metrics.GLOBAL_METRICS` -- the first brick of the
+advisor daemon the ROADMAP sketches.
+
+* :func:`metrics_snapshot` -- one JSON document: solver counters,
+  metric summaries (timer/histogram percentiles, gauges) and the
+  current injectable-clock reading.
+* :func:`prometheus_text` -- the same data in the Prometheus text
+  exposition format (``sia_`` prefix, dots mapped to underscores,
+  timers/histograms as summaries with p50/p95 quantile labels).
+* :class:`MetricsServer` / :func:`serve` -- a stdlib
+  ``http.server`` endpoint (``repro serve-metrics``) answering
+  ``/metrics`` (Prometheus text), ``/metrics.json`` (snapshot) and
+  ``/healthz``.  Handlers only *read* the registries, so serving from
+  a thread never races the pipeline's writes beyond torn-but-typed
+  values -- acceptable for scrape-style consumers.
+
+Everything is stdlib; no client library is required on either side.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .clock import now
+from .metrics import GLOBAL_METRICS, MetricsRegistry
+
+__all__ = [
+    "MetricsServer",
+    "metrics_snapshot",
+    "prometheus_text",
+    "serve",
+]
+
+#: Prefix on every exported Prometheus metric name.
+_PREFIX = "sia_"
+
+
+def metrics_snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """Live JSON snapshot of solver counters + metrics summaries."""
+    from ..smt.stats import GLOBAL_COUNTERS
+
+    registry = registry if registry is not None else GLOBAL_METRICS
+    return {
+        "clock_s": round(now(), 4),
+        "counters": GLOBAL_COUNTERS.snapshot(),
+        "metrics": registry.summary(),
+    }
+
+
+def _name(raw: str, suffix: str = "") -> str:
+    """Map a dotted metric name to a Prometheus-legal one."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in raw
+    )
+    return f"{_PREFIX}{safe}{suffix}"
+
+
+def prometheus_text(snapshot: dict | None = None) -> str:
+    """Render a :func:`metrics_snapshot` as Prometheus exposition text."""
+    snap = snapshot if snapshot is not None else metrics_snapshot()
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value: Any, labels: str = "") -> None:
+        typed = f"# TYPE {name} {kind}"
+        if typed not in lines:
+            lines.append(typed)
+        lines.append(f"{name}{labels} {value}")
+
+    for name, value in sorted(snap.get("counters", {}).items()):
+        emit(_name(f"solver_{name}", "_total"), "counter", value)
+    metrics = snap.get("metrics", {})
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        emit(_name(name, "_total"), "counter", value)
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        emit(_name(name), "gauge", value)
+    for kind in ("timers", "histograms"):
+        for name, summary in sorted(metrics.get(kind, {}).items()):
+            base = _name(name)
+            emit(f"{base}_count", "summary", summary.get("count", 0))
+            lines.append(f"{base}_sum {summary.get('total', 0.0)}")
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+                lines.append(
+                    f"{base}{{quantile=\"{quantile}\"}} "
+                    f"{summary.get(key, 0.0)}"
+                )
+    emit(_name("clock_seconds"), "gauge", snap.get("clock_s", 0.0))
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/metrics`` / ``/metrics.json`` / ``/healthz``."""
+
+    def _respond(self, body: str, content_type: str, status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._respond(
+                prometheus_text(), "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif path == "/metrics.json":
+            self._respond(
+                json.dumps(metrics_snapshot(), indent=2, sort_keys=True),
+                "application/json",
+            )
+        elif path == "/healthz":
+            self._respond("ok\n", "text/plain")
+        else:
+            self._respond("not found\n", "text/plain", status=404)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrape traffic is not run output
+
+
+class MetricsServer:
+    """A bound-but-not-yet-serving metrics endpoint.
+
+    Binding in the constructor (port 0 supported) lets callers learn
+    the actual address before blocking in :meth:`serve_forever`, and
+    lets tests drive the server from a background thread.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self.host, self.port = self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+
+def serve(host: str = "127.0.0.1", port: int = 9109) -> None:
+    """Blocking entry point for ``repro serve-metrics``."""
+    server = MetricsServer(host, port)
+    print(f"serving metrics on {server.url}/metrics (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()

@@ -80,20 +80,27 @@ class Gauge:
     """A point-in-time value (last write wins).
 
     Gauges report *state* (worker utilization, pool occupancy), not
-    *events*, so they are deliberately outside the snapshot/delta
-    protocol: a last-write value cannot be merged across workers
-    without inventing an aggregation rule, and shipping one would
-    silently overwrite the parent's.  They appear in :meth:`summary`
-    only.
+    *events*.  They participate in the snapshot/delta protocol with
+    last-write-wins semantics: :meth:`MetricsRegistry.snapshot` records
+    each gauge's write version, :meth:`MetricsRegistry.delta_since`
+    ships the current value for gauges written since the snapshot, and
+    :func:`merge_delta` overwrites in merge order (ascending batch
+    index), so the aggregate carries the latest state deterministically
+    rather than an invented sum.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "version")
 
     def __init__(self) -> None:
         self.value = 0.0
+        #: Write counter; lets ``delta_since`` distinguish "set to the
+        #: same value again" from "never written" without comparing
+        #: floats.
+        self.version = 0
 
     def set(self, value: float) -> None:
         self.value = value
+        self.version += 1
 
 
 class Histogram:
@@ -217,6 +224,7 @@ class MetricsRegistry:
                 k: (h.count, len(h.values), h.total)
                 for k, h in self._histograms.items()
             },
+            "gauges": {k: g.version for k, g in self._gauges.items()},
         }
 
     def delta_since(self, snapshot: dict[str, Any]) -> dict[str, Any]:
@@ -246,6 +254,11 @@ class MetricsRegistry:
                     "max": round(metric.max, 4),
                 }
             out[kind] = deltas
+        gauges = {}
+        for name, gauge in self._gauges.items():
+            if gauge.version != snapshot.get("gauges", {}).get(name, 0):
+                gauges[name] = round(gauge.value, 4)
+        out["gauges"] = gauges
         return out
 
     def summary(self) -> dict[str, Any]:
@@ -277,12 +290,15 @@ def merge_delta(total: dict[str, Any], delta: dict[str, Any]) -> dict[str, Any]:
     output; start from ``{}``.  Counter increments add; timer/histogram
     deltas add counts/sums and **append** value lists in merge order, so
     the caller's ordering discipline (ascending batch index) makes the
-    aggregate deterministic.  Deltas must come from non-overlapping
-    windows (per-batch snapshots), or events would be double-counted.
+    aggregate deterministic.  Gauge values overwrite (last write in
+    merge order wins).  Deltas must come from non-overlapping windows
+    (per-batch snapshots), or events would be double-counted.
     """
     for name, value in delta.get("counters", {}).items():
         bucket = total.setdefault("counters", {})
         bucket[name] = bucket.get(name, 0) + value
+    for name, value in delta.get("gauges", {}).items():
+        total.setdefault("gauges", {})[name] = value
     for kind in ("timers", "histograms"):
         for name, entry in delta.get(kind, {}).items():
             bucket = total.setdefault(kind, {}).setdefault(

@@ -36,7 +36,7 @@ def test_concurrency_json_report(capsys):
     assert by_rule.get("SIA501", 0) == 2
     assert by_rule.get("SIA502", 0) == 6
     assert by_rule.get("SIA503", 0) == 4
-    assert by_rule.get("SIA504", 0) == 2
+    assert by_rule.get("SIA504", 0) == 3
     assert payload["summary"]["files_concurrency"] > 0
     conc = [f for f in payload["findings"] if f["rule"].startswith("SIA5")]
     assert all(f["pass"] == "concurrency" for f in conc)

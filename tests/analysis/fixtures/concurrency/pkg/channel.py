@@ -1,0 +1,45 @@
+"""Channel-protocol seeds: the single-producer side-channel sanction.
+
+``Beacons`` defines both ``post`` and ``drain``, so the inventory marks
+its module-level singleton ``CHANNEL`` *channel-capable*: workers
+posting into it is the telemetry design, not an unsynchronized write
+(SIA501 stays quiet), and aggregation code may call ``post`` /
+``drain`` / ``reset`` freely (SIA504 sanctions the accessors).  A raw
+field poke still bypasses the protocol and is flagged by SIA504.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Beacons:
+    """Channel-capable: defines both post() and drain()."""
+
+    def __init__(self):
+        self.slots = {}
+
+    def post(self, key, value):
+        self.slots[key] = value
+
+    def drain(self):
+        items = self.slots
+        self.slots = {}
+        return items
+
+    def reset(self):
+        self.slots = {}
+
+
+CHANNEL = Beacons()
+
+
+def beat(task):
+    CHANNEL.post(task, "busy")  # clean: sanctioned channel accessor
+    CHANNEL.latest = task  # SIA504 raw poke; SIA501-clean (channel)
+
+
+def collect(tasks):
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(mp_context=context) as pool:
+        list(pool.map(beat, tasks))
+    return CHANNEL.drain()  # clean: sanctioned channel accessor

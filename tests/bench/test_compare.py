@@ -1,0 +1,136 @@
+"""The BENCH perf-regression gate: diff rules and the CLI exit code."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.compare import compare_bench, load_bench, render_compare
+from repro.cli import main
+
+REPO_BENCH = Path(__file__).parents[2] / "BENCH_smt_micro.json"
+
+
+def _table(**entries):
+    return {
+        name: {"median_ms": median, "p95_ms": p95}
+        for name, (median, p95) in entries.items()
+    }
+
+
+class TestCompareRules:
+    def test_identical_tables_pass(self):
+        table = _table(a=(10.0, 20.0), b=(100.0, 150.0))
+        result = compare_bench(table, dict(table))
+        assert result.ok
+        assert all(e.status == "ok" for e in result.entries)
+
+    def test_median_drift_over_ratio_and_floor_regresses(self):
+        result = compare_bench(
+            _table(a=(10.0, 20.0)), _table(a=(25.0, 20.0)),
+            median_ratio=1.5, min_ms=5.0,
+        )
+        assert not result.ok
+        (diff,) = result.regressions
+        assert diff.status == "regressed"
+        assert "median_ms" in diff.reasons[0]
+
+    def test_p95_has_its_own_threshold(self):
+        # Median holds but the tail doubles past the 2x p95 ratio.
+        result = compare_bench(
+            _table(a=(10.0, 20.0)), _table(a=(10.0, 48.0)),
+            p95_ratio=2.0, min_ms=5.0,
+        )
+        assert not result.ok
+        assert "p95_ms" in result.regressions[0].reasons[0]
+
+    def test_absolute_floor_suppresses_microsecond_noise(self):
+        # 3x drift, but only 0.2ms absolute: under the 5ms floor.
+        result = compare_bench(
+            _table(a=(0.1, 0.2)), _table(a=(0.3, 0.6)), min_ms=5.0
+        )
+        assert result.ok
+
+    def test_missing_entry_is_fatal_unless_allowed(self):
+        old = _table(a=(10.0, 20.0), b=(1.0, 2.0))
+        new = _table(a=(10.0, 20.0))
+        result = compare_bench(old, new)
+        assert [e.status for e in result.regressions] == ["missing"]
+        assert compare_bench(old, new, allow_missing=True).ok
+
+    def test_added_entry_is_reported_not_fatal(self):
+        result = compare_bench(
+            _table(a=(10.0, 20.0)), _table(a=(10.0, 20.0), c=(5.0, 9.0))
+        )
+        assert result.ok
+        assert any(e.status == "added" for e in result.entries)
+
+    def test_render_has_verdict_line(self):
+        result = compare_bench(_table(a=(10.0, 20.0)), _table(a=(25.0, 60.0)))
+        text = render_compare(result)
+        assert "FAIL: 1 regression(s)" in text
+        assert "regression a:" in text
+        passing = compare_bench(_table(a=(1.0, 2.0)), _table(a=(1.0, 2.0)))
+        assert "PASS: 0 regression(s)" in render_compare(passing)
+
+
+class TestLoadBench:
+    def test_rejects_non_bench_document(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+
+class TestCompareCli:
+    def test_committed_bench_passes_against_itself(self, capsys):
+        code = main(
+            ["bench", "--compare", str(REPO_BENCH), "--json", str(REPO_BENCH)]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_p95_regression_fails_gate(self, tmp_path, capsys):
+        # Copy the committed BENCH and double every p95: the gate must
+        # exit nonzero while the pristine file keeps passing.
+        table = load_bench(REPO_BENCH)
+        doctored = {
+            name: {
+                **entry,
+                **(
+                    {"p95_ms": entry["p95_ms"] * 2.0 + 50.0}
+                    if "p95_ms" in entry
+                    else {}
+                ),
+            }
+            for name, entry in table.items()
+        }
+        assert any("p95_ms" in e for e in doctored.values())
+        new_path = tmp_path / "BENCH_doctored.json"
+        new_path.write_text(json.dumps({"benchmarks": doctored}))
+        code = main(
+            ["bench", "--compare", str(REPO_BENCH), "--json", str(new_path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "p95_ms" in out
+
+    def test_unreadable_old_side_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--compare", str(tmp_path / "missing.json"),
+             "--json", str(REPO_BENCH)]
+        )
+        assert code == 2
+
+    def test_threshold_flags_are_honored(self, tmp_path, capsys):
+        table = load_bench(REPO_BENCH)
+        new_path = tmp_path / "same.json"
+        new_path.write_text(json.dumps({"benchmarks": table}))
+        code = main(
+            ["bench", "--compare", str(REPO_BENCH), "--json", str(new_path),
+             "--median-ratio", "9.0", "--p95-ratio", "9.0",
+             "--min-ms", "100.0"]
+        )
+        assert code == 0
+        assert "9.0x" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Metrics exporters: snapshot shape, Prometheus text, HTTP endpoint."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.export import MetricsServer, metrics_snapshot, prometheus_text
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("solve.calls").inc(3)
+    timer = registry.timer("phase.learn")
+    timer.record(10.0)
+    timer.record(20.0)
+    registry.gauge("bench.worker_utilization").set(0.9)
+    return registry
+
+
+class TestSnapshot:
+    def test_snapshot_has_counters_metrics_and_clock(self, registry):
+        snap = metrics_snapshot(registry)
+        assert "checks" in snap["counters"]
+        assert snap["metrics"]["counters"]["solve.calls"] == 3
+        assert snap["metrics"]["gauges"]["bench.worker_utilization"] == 0.9
+        assert isinstance(snap["clock_s"], float)
+
+    def test_snapshot_is_json_serializable(self, registry):
+        json.dumps(metrics_snapshot(registry))
+
+
+class TestPrometheusText:
+    def test_renders_counters_gauges_and_summaries(self, registry):
+        text = prometheus_text(metrics_snapshot(registry))
+        assert "# TYPE sia_solve_calls_total counter" in text
+        assert "sia_solve_calls_total 3" in text
+        assert "sia_bench_worker_utilization 0.9" in text
+        assert "sia_phase_learn_count 2" in text
+        assert "sia_phase_learn_sum 30.0" in text
+        assert 'sia_phase_learn{quantile="0.5"} 10.0' in text
+        assert 'sia_phase_learn{quantile="0.95"} 20.0' in text
+        assert "sia_clock_seconds" in text
+
+    def test_dots_map_to_underscores_only(self, registry):
+        text = prometheus_text(metrics_snapshot(registry))
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert all(ch.isalnum() or ch == "_" for ch in name), name
+
+    def test_solver_counters_exported_with_prefix(self):
+        text = prometheus_text()
+        assert "sia_solver_checks_total" in text
+
+
+class TestMetricsServer:
+    @pytest.fixture
+    def server(self):
+        server = MetricsServer(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=5.0) as resp:
+            return resp.status, resp.headers.get("Content-Type"), (
+                resp.read().decode("utf-8")
+            )
+
+    def test_metrics_endpoint_serves_prometheus_text(self, server):
+        status, content_type, body = self._get(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "sia_solver_checks_total" in body
+
+    def test_metrics_json_endpoint(self, server):
+        status, content_type, body = self._get(server, "/metrics.json")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert "counters" in payload
+        assert "metrics" in payload
+
+    def test_healthz(self, server):
+        status, _, body = self._get(server, "/healthz")
+        assert status == 200
+        assert body == "ok\n"
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server, "/nope")
+        assert err.value.code == 404
+
+    def test_port_zero_binds_ephemeral(self, server):
+        assert server.port != 0
+        assert str(server.port) in server.url

@@ -1,0 +1,157 @@
+"""Heartbeat plane: board, channel, emitter and the parent-side fold."""
+
+import queue
+
+from repro.obs.heartbeat import (
+    BEACON_VERSION,
+    BeaconChannel,
+    HeartbeatEmitter,
+    RunModel,
+    StatusBoard,
+)
+
+
+class TestStatusBoard:
+    def test_post_overwrites_only_given_fields(self):
+        board = StatusBoard()
+        board.post(query=3, cell="a/SIA", phase="cell")
+        board.post(phase="ground_truth")
+        state = board.drain()
+        assert state["query"] == 3
+        assert state["cell"] == "a/SIA"
+        assert state["phase"] == "ground_truth"
+
+    def test_reset_clears_position(self):
+        board = StatusBoard()
+        board.post(query=1, cell="x", phase="cell", cells_done=4,
+                   deadline_ms=100.0)
+        board.reset()
+        assert board.drain() == {
+            "query": None, "cell": None, "phase": None,
+            "cells_done": 0, "deadline_ms": None,
+        }
+
+
+class TestBeaconChannel:
+    def test_post_drain_roundtrip(self):
+        channel = BeaconChannel()
+        assert channel.post({"worker": 0, "seq": 1})
+        assert channel.post({"worker": 0, "seq": 2})
+        assert [b["seq"] for b in channel.drain()] == [1, 2]
+        assert channel.drain() == []
+
+    def test_post_never_blocks_on_full_queue(self):
+        # Capacity-2 queue: the third post must return immediately,
+        # report the drop, and count it -- telemetry never holds up
+        # synthesis.
+        channel = BeaconChannel(queue.Queue(maxsize=2))
+        assert channel.post({"seq": 1})
+        assert channel.post({"seq": 2})
+        assert not channel.post({"seq": 3})
+        assert channel.dropped == 1
+        # Draining frees capacity; posting works again.
+        assert len(channel.drain()) == 2
+        assert channel.post({"seq": 4})
+
+
+class TestHeartbeatEmitter:
+    def _emitter(self, counters, **kwargs):
+        channel = BeaconChannel()
+        emitter = HeartbeatEmitter(
+            7, channel, board=StatusBoard(),
+            counter_source=lambda: dict(counters), **kwargs,
+        )
+        return emitter, channel
+
+    def test_beat_ships_counter_deltas_not_totals(self):
+        counters = {"checks": 10, "pivots": 0}
+        emitter, channel = self._emitter(counters)
+        counters["checks"] = 25
+        counters["pivots"] = 3
+        beacon = emitter.beat()
+        assert beacon["counters"] == {"checks": 15, "pivots": 3}
+        # No movement since the last beat: the delta is empty.
+        assert emitter.beat()["counters"] == {}
+        assert [b["seq"] for b in channel.drain()] == [1, 2]
+
+    def test_beat_carries_board_and_version(self):
+        emitter, _ = self._emitter({})
+        emitter.board.post(query=2, cell="b/DT", phase="cell")
+        beacon = emitter.beat()
+        assert beacon["type"] == "beacon"
+        assert beacon["v"] == BEACON_VERSION
+        assert beacon["worker"] == 7
+        assert beacon["query"] == 2
+        assert beacon["cell"] == "b/DT"
+
+    def test_stop_posts_a_final_beacon_without_start(self):
+        emitter, channel = self._emitter({})
+        emitter.stop()
+        assert len(channel.drain()) == 1
+
+    def test_thread_lifecycle_beats_and_stops(self):
+        emitter, channel = self._emitter({}, interval_ms=5.0)
+        emitter.start()
+        try:
+            deadline = 200
+            while not channel.drain() and deadline:
+                deadline -= 1
+                emitter._stop.wait(0.005)
+        finally:
+            emitter.stop()
+        assert emitter._thread is None
+
+
+class TestRunModel:
+    def test_fold_accumulates_and_snapshot_rolls_up(self):
+        model = RunModel(interval_ms=100.0)
+        model.fold({"worker": 0, "counters": {"checks": 5}, "query": 1,
+                    "cell": "a/SIA", "phase": "cell", "cells_done": 2},
+                   t=1.0)
+        model.fold({"worker": 0, "counters": {"checks": 3}}, t=1.1)
+        model.fold({"worker": 1, "counters": {"pivots": 7}}, t=1.1)
+        snap = model.snapshot()
+        assert snap["beacons"] == 3
+        assert snap["counters"] == {"checks": 8, "pivots": 7}
+        assert snap["workers"][0]["beacons"] == 2
+        assert snap["workers"][1]["beacons"] == 1
+        assert snap["silence_flags"] == 0
+
+    def test_silence_flagged_within_two_intervals(self):
+        # interval 100ms, threshold 2 intervals: a worker silent for
+        # >200ms of parent-clock time is flagged exactly once.
+        model = RunModel(interval_ms=100.0, silence_intervals=2)
+        model.register(0, 0.0)
+        model.register(1, 0.0)
+        model.fold({"worker": 0}, t=0.15)
+        # Just inside the horizon for worker 1: nothing flagged yet.
+        assert model.flag_silent(0.2) == []
+        # Past two intervals since worker 1's registration.
+        assert model.flag_silent(0.21) == [1]
+        # Already flagged: not re-reported while still silent.
+        assert model.flag_silent(5.0) == [0]
+        assert model.silent == [0, 1]
+        assert model.silence_flags == 2
+
+    def test_beacon_clears_silence_and_rearms_flag(self):
+        model = RunModel(interval_ms=100.0, silence_intervals=2)
+        model.register(3, 0.0)
+        assert model.flag_silent(1.0) == [3]
+        model.fold({"worker": 3}, t=1.05)
+        assert model.silent == []
+        # Silence re-flagged after the worker goes quiet again.
+        assert model.flag_silent(2.0) == [3]
+        assert model.silence_flags == 2
+
+    def test_fold_uses_arrival_time_not_beacon_clock(self):
+        # Worker perf-counter epochs are arbitrary per process; a huge
+        # beacon "t" must not postpone silence detection.
+        model = RunModel(interval_ms=100.0, silence_intervals=2)
+        model.fold({"worker": 0, "t": 99999.0}, t=1.0)
+        assert model.flag_silent(1.3) == [0]
+
+    def test_register_does_not_reset_live_worker(self):
+        model = RunModel(interval_ms=100.0)
+        model.fold({"worker": 0}, t=5.0)
+        model.register(0, 0.0)
+        assert model.flag_silent(5.1) == []

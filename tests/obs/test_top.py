@@ -1,0 +1,106 @@
+"""``repro top``: heartbeat-log fold and the rendered frame."""
+
+import json
+
+from repro.obs.top import load_feed, render_top, run_top
+
+
+def _write_feed(path, lines):
+    path.write_text(
+        "\n".join(json.dumps(line) for line in lines) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _feed_lines():
+    return [
+        {"type": "beacon", "worker": 0, "seq": 1, "rx": 1.0, "query": 0,
+         "cell": "l_shipdate/SIA", "phase": "cell", "cells_done": 2,
+         "counters": {"checks": 10}},
+        {"type": "beacon", "worker": 1, "seq": 1, "rx": 1.1, "query": 1,
+         "phase": "ground_truth", "cells_done": 0,
+         "counters": {"checks": 4, "pivots": 9}},
+        {"type": "driver", "t": 2.0, "done": 0, "total": 4,
+         "steals": 0, "requeues": 0, "queue_depth": 3},
+        {"type": "driver", "t": 4.0, "done": 2, "total": 4,
+         "steals": 1, "requeues": 0, "queue_depth": 1},
+        {"type": "silence", "t": 5.0, "worker": 1},
+    ]
+
+
+class TestLoadFeed:
+    def test_folds_beacons_counters_and_driver(self, tmp_path):
+        path = tmp_path / "heartbeats.jsonl"
+        _write_feed(path, _feed_lines())
+        state = load_feed(path)
+        assert state["beacons"] == 2
+        assert state["counters"] == {"checks": 14, "pivots": 9}
+        assert state["driver"]["done"] == 2
+        assert state["silent"] == [1]
+        assert not state["ended"]
+        # 2 queries finished across a 2s driver window: 1000ms each.
+        assert state["completions"] == [1000.0, 1000.0]
+
+    def test_beacon_after_silence_clears_flag(self, tmp_path):
+        path = tmp_path / "heartbeats.jsonl"
+        lines = _feed_lines()
+        lines.append({"type": "beacon", "worker": 1, "seq": 2, "rx": 6.0})
+        _write_feed(path, lines)
+        assert load_feed(path)["silent"] == []
+
+    def test_tolerates_torn_and_unknown_lines(self, tmp_path):
+        path = tmp_path / "heartbeats.jsonl"
+        _write_feed(path, _feed_lines())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "mystery"}\n{"type": "beac')
+        state = load_feed(path)
+        assert state["beacons"] == 2
+
+    def test_end_line_marks_run_finished(self, tmp_path):
+        path = tmp_path / "heartbeats.jsonl"
+        lines = _feed_lines() + [{"type": "end", "t": 9.0, "beacons": 2,
+                                  "silence_flags": 1}]
+        _write_feed(path, lines)
+        assert load_feed(path)["ended"]
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = load_feed(tmp_path / "nope.jsonl")
+        assert state["workers"] == {}
+        assert not state["ended"]
+
+
+class TestRenderTop:
+    def test_frame_has_rollup_and_worker_table(self, tmp_path):
+        path = tmp_path / "heartbeats.jsonl"
+        _write_feed(path, _feed_lines())
+        frame = render_top(load_feed(path))
+        assert "run running: 2/4 queries done" in frame
+        assert "2 seen" in frame and "1 silent" in frame
+        assert "query completion p50/p95" in frame
+        assert "checks=14" in frame
+        assert "l_shipdate/SIA" in frame
+        assert "1 (silent)" in frame
+
+    def test_empty_feed_renders_placeholder(self):
+        frame = render_top(load_feed("/nonexistent"))
+        assert "no worker beacons yet" in frame
+
+
+class TestRunTop:
+    def test_missing_log_exits_1(self, tmp_path, capsys):
+        assert run_top(tmp_path / "nope.jsonl", once=True) == 1
+        assert "--telemetry" in capsys.readouterr().out
+
+    def test_once_prints_single_frame(self, tmp_path, capsys):
+        path = tmp_path / "heartbeats.jsonl"
+        _write_feed(path, _feed_lines())
+        assert run_top(path, once=True) == 0
+        out = capsys.readouterr().out
+        assert "run running" in out
+        assert "\x1b" not in out  # --once never emits ANSI control
+
+    def test_live_mode_exits_0_when_run_ends(self, tmp_path, capsys):
+        path = tmp_path / "heartbeats.jsonl"
+        _write_feed(path, _feed_lines() + [{"type": "end", "t": 9.0}])
+        assert run_top(path, interval_s=0.01) == 0
+        assert "run finished" in capsys.readouterr().out
